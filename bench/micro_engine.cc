@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks for the MapReduce simulator: per-operator
+// execution throughput and UDF local-function pipelines.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/udf_exec.h"
+#include "udf/builtin_udfs.h"
+#include "workload/datagen.h"
+#include "workload/scenarios.h"
+
+using namespace opd;  // NOLINT
+
+namespace {
+
+struct Env {
+  std::unique_ptr<workload::TestBed> bed;
+  storage::TablePtr twtr;
+
+  Env() {
+    workload::TestBedConfig config;
+    config.data.n_tweets = 5000;
+    config.data.n_checkins = 2000;
+    config.data.n_locations = 300;
+    config.calibrate_udfs = false;
+    config.engine.retain_views = false;
+    config.engine.collect_stats = false;
+    auto result = workload::TestBed::Create(config);
+    if (!result.ok()) std::abort();
+    bed = std::move(result).value();
+    twtr = workload::GenerateTwitterLog(config.data);
+  }
+};
+
+Env& GetEnv() {
+  static Env env;
+  return env;
+}
+
+}  // namespace
+
+static void BM_ExecProject(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    plan::Plan p(plan::Project(plan::Scan("TWTR"), {"user_id", "tweet_text"}));
+    benchmark::DoNotOptimize(env.bed->engine().Execute(&p));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env.twtr->num_rows()));
+}
+BENCHMARK(BM_ExecProject)->Unit(benchmark::kMillisecond);
+
+static void BM_ExecGroupBy(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    plan::Plan p(plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                               {plan::AggSpec{plan::AggFn::kCount, "", "c"}}));
+    benchmark::DoNotOptimize(env.bed->engine().Execute(&p));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env.twtr->num_rows()));
+}
+BENCHMARK(BM_ExecGroupBy)->Unit(benchmark::kMillisecond);
+
+static void BM_ExecJoin(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    auto counts =
+        plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                      {plan::AggSpec{plan::AggFn::kCount, "", "c"}});
+    plan::Plan p(plan::Join(plan::Project(plan::Scan("TWTR"),
+                                          {"tweet_id", "user_id"}),
+                            counts, {{"user_id", "user_id"}}));
+    benchmark::DoNotOptimize(env.bed->engine().Execute(&p));
+  }
+}
+BENCHMARK(BM_ExecJoin)->Unit(benchmark::kMillisecond);
+
+static void BM_UdfWineScore(benchmark::State& state) {
+  Env& env = GetEnv();
+  udf::UdfDefinition udf = udf::MakeClassifyWineScoreUdf();
+  udf::Params params = {{"threshold", storage::Value(0.5)}};
+  for (auto _ : state) {
+    storage::Table out;
+    benchmark::DoNotOptimize(
+        exec::RunLocalFunctions(udf, *env.twtr, params, &out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env.twtr->num_rows()));
+}
+BENCHMARK(BM_UdfWineScore)->Unit(benchmark::kMillisecond);
+
+static void BM_UdfTokenize(benchmark::State& state) {
+  Env& env = GetEnv();
+  udf::UdfDefinition udf = udf::MakeTokenizeUdf();
+  for (auto _ : state) {
+    storage::Table out;
+    benchmark::DoNotOptimize(
+        exec::RunLocalFunctions(udf, *env.twtr, {}, &out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env.twtr->num_rows()));
+}
+BENCHMARK(BM_UdfTokenize)->Unit(benchmark::kMillisecond);
+
+static void BM_DataGenTwitter(benchmark::State& state) {
+  workload::DataGenConfig config;
+  config.n_tweets = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::GenerateTwitterLog(config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataGenTwitter)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// google-benchmark microbenchmarks for the rewriter's hot primitives:
+// OPTCOST, GUESSCOMPLETE, fix computation, annotation, and fingerprinting.
+// These are the operations whose cheapness the paper's design depends on
+// ("the ability to quickly compute a lower-bound is a key feature").
+
+#include <benchmark/benchmark.h>
+
+#include "optimizer/optimizer.h"
+#include "plan/annotate.h"
+#include "plan/fingerprint.h"
+#include "rewrite/guess_complete.h"
+#include "rewrite/opt_cost.h"
+#include "workload/scenarios.h"
+
+using namespace opd;  // NOLINT
+
+namespace {
+
+// Shared fixture: a small testbed with the workload's views materialized.
+struct Env {
+  std::unique_ptr<workload::TestBed> bed;
+  plan::Plan query;
+  std::vector<rewrite::CandidateView> candidates;
+
+  Env() {
+    workload::TestBedConfig config;
+    config.data.n_tweets = 2000;
+    config.data.n_checkins = 1200;
+    config.data.n_locations = 200;
+    config.calibrate_udfs = false;
+    auto result = workload::TestBed::Create(config);
+    if (!result.ok()) std::abort();
+    bed = std::move(result).value();
+    for (int a = 1; a <= 4; ++a) {
+      if (!bed->RunOriginal(a, 1).ok()) std::abort();
+    }
+    auto q = workload::BuildQuery(1, 2);
+    if (!q.ok()) std::abort();
+    query = std::move(q).value();
+    if (!bed->optimizer().Prepare(&query).ok()) std::abort();
+    for (const auto* def : bed->views().All()) {
+      candidates.push_back(rewrite::MakeBaseCandidate(*def));
+    }
+  }
+};
+
+Env& GetEnv() {
+  static Env env;
+  return env;
+}
+
+}  // namespace
+
+static void BM_GuessComplete(benchmark::State& state) {
+  Env& env = GetEnv();
+  const afk::Afk& q = env.query.root()->afk;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = env.candidates[i++ % env.candidates.size()];
+    benchmark::DoNotOptimize(rewrite::GuessComplete(q, c.afk));
+  }
+}
+BENCHMARK(BM_GuessComplete);
+
+static void BM_OptCost(benchmark::State& state) {
+  Env& env = GetEnv();
+  const afk::Afk& q = env.query.root()->afk;
+  const auto& model = env.bed->optimizer().cost_model();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = env.candidates[i++ % env.candidates.size()];
+    benchmark::DoNotOptimize(rewrite::OptCost(q, c, model));
+  }
+}
+BENCHMARK(BM_OptCost);
+
+static void BM_ComputeFix(benchmark::State& state) {
+  Env& env = GetEnv();
+  const afk::Afk& q = env.query.root()->afk;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = env.candidates[i++ % env.candidates.size()];
+    benchmark::DoNotOptimize(afk::ComputeFix(q, c.afk));
+  }
+}
+BENCHMARK(BM_ComputeFix);
+
+static void BM_AnnotatePlan(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    auto plan = workload::BuildQuery(1, 2);
+    benchmark::DoNotOptimize(
+        plan::AnnotatePlan(plan.value(), env.bed->optimizer().context()));
+  }
+}
+BENCHMARK(BM_AnnotatePlan);
+
+static void BM_OptimizerPrepare(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    auto plan = workload::BuildQuery(1, 2);
+    plan::Plan p = std::move(plan).value();
+    benchmark::DoNotOptimize(env.bed->optimizer().Prepare(&p));
+  }
+}
+BENCHMARK(BM_OptimizerPrepare);
+
+static void BM_Fingerprint(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan::Fingerprint(env.query.root()));
+  }
+}
+BENCHMARK(BM_Fingerprint);
+
+static void BM_FullBfRewrite(benchmark::State& state) {
+  Env& env = GetEnv();
+  for (auto _ : state) {
+    auto plan = workload::BuildQuery(1, 2);
+    plan::Plan p = std::move(plan).value();
+    auto outcome = env.bed->bfr().Rewrite(&p);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_FullBfRewrite)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Storage budget exploration: what retaining opportunistic views costs, and
+// what a trivial reclamation policy does to rewrite quality.
+//
+//   $ ./build/examples/storage_budget
+//
+// The paper (Section 10) reports that retaining *every* view for the whole
+// workload cost only ~2x the base data, because queries project narrow
+// slices of wide logs. This example measures that ratio on the synthetic
+// workload, then drops the largest half of the views (a trivial reclamation
+// policy) and shows the rewriter still finds useful rewrites.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "workload/scenarios.h"
+
+using namespace opd;  // NOLINT
+
+int main() {
+  workload::TestBedConfig config;
+  config.data.n_tweets = 6000;
+  config.data.n_checkins = 3500;
+  auto bed_result = workload::TestBed::Create(config);
+  if (!bed_result.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 bed_result.status().ToString().c_str());
+    return 1;
+  }
+  auto& bed = *bed_result.value();
+
+  std::printf("== Opportunistic view storage cost (paper Section 10) ==\n\n");
+
+  // Run the full first-version workload.
+  for (int analyst = 1; analyst <= workload::kNumAnalysts; ++analyst) {
+    for (int version = 1; version <= 2; ++version) {
+      auto run = bed.RunOriginal(analyst, version);
+      if (!run.ok()) {
+        std::fprintf(stderr, "A%dv%d failed: %s\n", analyst, version,
+                     run.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  uint64_t base_bytes = 0;
+  for (const auto& name : bed.catalog().Names()) {
+    auto entry = bed.catalog().Find(name);
+    base_bytes += static_cast<uint64_t>((*entry)->stats.TotalBytes());
+  }
+  uint64_t view_bytes = bed.views().TotalBytes();
+  std::printf("base data:           %10.2f MB\n", base_bytes / 1048576.0);
+  std::printf("views (%3zu retained): %10.2f MB  (%.2fx the base data; "
+              "paper saw ~2x)\n\n",
+              bed.views().size(), view_bytes / 1048576.0,
+              static_cast<double>(view_bytes) / base_bytes);
+
+  // Trivial reclamation: drop the largest half of the views.
+  std::vector<const catalog::ViewDefinition*> views = bed.views().All();
+  std::sort(views.begin(), views.end(),
+            [](const auto* a, const auto* b) { return a->bytes > b->bytes; });
+  std::vector<catalog::ViewId> to_drop;
+  for (size_t i = 0; i < views.size() / 2; ++i) {
+    to_drop.push_back(views[i]->id);
+  }
+  for (catalog::ViewId id : to_drop) (void)bed.views().Drop(id);
+  std::printf("after dropping the largest %zu views: %.2f MB retained\n\n",
+              to_drop.size(), bed.views().TotalBytes() / 1048576.0);
+
+  // The rewriter still finds good rewrites for the next versions.
+  double total_impr = 0;
+  int counted = 0;
+  for (int analyst = 1; analyst <= workload::kNumAnalysts; ++analyst) {
+    auto q = workload::BuildQuery(analyst, 3);
+    if (!q.ok()) continue;
+    plan::Plan p = std::move(q).value();
+    auto outcome = bed.bfr().Rewrite(&p);
+    if (!outcome.ok()) continue;
+    double impr = outcome->original_cost <= 0
+                      ? 0
+                      : 100.0 * (outcome->original_cost - outcome->est_cost) /
+                            outcome->original_cost;
+    std::printf("A%dv3 estimated improvement with half the views gone: "
+                "%5.1f%%\n",
+                analyst, impr);
+    total_impr += impr;
+    ++counted;
+  }
+  std::printf("\naverage: %.1f%% — the rewriter degrades gracefully under "
+              "storage reclamation.\n",
+              counted ? total_impr / counted : 0.0);
+  return 0;
+}

@@ -1,0 +1,279 @@
+#include "afk/afk.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+
+namespace opd::afk {
+
+KeySet::KeySet(std::vector<Attribute> keys, int agg_depth)
+    : keys_(std::move(keys)), agg_depth_(agg_depth) {
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+}
+
+bool KeySet::HasKey(const Attribute& a) const {
+  return std::binary_search(keys_.begin(), keys_.end(), a);
+}
+
+std::string KeySet::ToString() const {
+  std::string out = "K{";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += keys_[i].signature();
+  }
+  out += "}@" + std::to_string(agg_depth_);
+  return out;
+}
+
+Afk::Afk(std::vector<Attribute> attrs, FilterSet filters, KeySet keys)
+    : attrs_(std::move(attrs)),
+      filters_(std::move(filters)),
+      keys_(std::move(keys)) {
+  SortAttrs();
+}
+
+void Afk::SortAttrs() {
+  std::sort(attrs_.begin(), attrs_.end());
+  attrs_.erase(std::unique(attrs_.begin(), attrs_.end()), attrs_.end());
+}
+
+Afk Afk::ForBaseRelation(const std::string& relation,
+                         const std::vector<Attribute>& attrs,
+                         const std::vector<std::string>& key_names) {
+  std::vector<Attribute> keys;
+  for (const Attribute& a : attrs) {
+    for (const std::string& k : key_names) {
+      if (a.name() == k && a.relation() == relation) keys.push_back(a);
+    }
+  }
+  return Afk(attrs, FilterSet(), KeySet(std::move(keys), 0));
+}
+
+bool Afk::HasAttr(const Attribute& a) const {
+  return std::binary_search(attrs_.begin(), attrs_.end(), a);
+}
+
+std::optional<Attribute> Afk::FindByName(const std::string& name) const {
+  for (const Attribute& a : attrs_) {
+    if (a.name() == name) return a;
+  }
+  return std::nullopt;
+}
+
+bool Afk::operator==(const Afk& other) const {
+  return attrs_ == other.attrs_ && keys_ == other.keys_ &&
+         filters_.EquivalentTo(other.filters_);
+}
+
+std::string Afk::ContextString() const {
+  return filters_.ToString() + ";" + keys_.ToString();
+}
+
+std::string Afk::CanonicalString() const {
+  std::string out = "A{";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += attrs_[i].signature();
+  }
+  out += "};F" + filters_.ToString() + ";" + keys_.ToString();
+  return out;
+}
+
+uint64_t Afk::Hash() const { return HashString(CanonicalString()); }
+
+Result<Afk> Afk::Project(const std::vector<Attribute>& keep) const {
+  std::vector<Attribute> new_attrs;
+  new_attrs.reserve(keep.size());
+  for (const Attribute& a : keep) {
+    if (!HasAttr(a)) {
+      return Status::InvalidArgument("project of absent attribute: " +
+                                     a.ToString());
+    }
+    new_attrs.push_back(a);
+  }
+  // K describes how the data is physically grouped; dropping a column does
+  // not regroup anything, so the keying is preserved even when the key
+  // column itself is projected away. This is what makes a UDF applied to two
+  // different projections of the same log produce the same output attribute.
+  return Afk(std::move(new_attrs), filters_, keys_);
+}
+
+Result<Afk> Afk::ApplyFilter(const Predicate& p) const {
+  for (const Attribute& a : p.args()) {
+    if (!HasAttr(a)) {
+      return Status::InvalidArgument("filter on absent attribute: " +
+                                     a.ToString());
+    }
+  }
+  FilterSet f = filters_;
+  f.Add(p);
+  return Afk(attrs_, std::move(f), keys_);
+}
+
+Result<Afk> Afk::GroupBy(const std::vector<Attribute>& group_keys,
+                         const std::vector<Attribute>& aggregates) const {
+  for (const Attribute& k : group_keys) {
+    if (!HasAttr(k)) {
+      return Status::InvalidArgument("group key absent: " + k.ToString());
+    }
+  }
+  for (const Attribute& agg : aggregates) {
+    for (const Attribute& dep : agg.inputs()) {
+      if (!HasAttr(dep)) {
+        return Status::InvalidArgument("aggregate input absent: " +
+                                       dep.ToString());
+      }
+    }
+  }
+  // Output attributes: the keys plus the new aggregates. Everything else is
+  // consumed by the grouping.
+  std::vector<Attribute> out = group_keys;
+  out.insert(out.end(), aggregates.begin(), aggregates.end());
+  return Afk(std::move(out), filters_,
+             KeySet(group_keys, keys_.agg_depth() + 1));
+}
+
+Result<Afk> Afk::AddAttributes(const std::vector<Attribute>& new_attrs) const {
+  for (const Attribute& a : new_attrs) {
+    for (const Attribute& dep : a.inputs()) {
+      if (!HasAttr(dep)) {
+        return Status::InvalidArgument("attribute input absent: " +
+                                       dep.ToString());
+      }
+    }
+  }
+  std::vector<Attribute> out = attrs_;
+  out.insert(out.end(), new_attrs.begin(), new_attrs.end());
+  return Afk(std::move(out), filters_, keys_);
+}
+
+Result<Afk> Afk::Join(
+    const Afk& other,
+    const std::vector<std::pair<Attribute, Attribute>>& join_pairs) const {
+  if (join_pairs.empty()) {
+    return Status::InvalidArgument("join requires at least one attribute pair");
+  }
+  for (const auto& [l, r] : join_pairs) {
+    if (!HasAttr(l)) {
+      return Status::InvalidArgument("left join attr absent: " + l.ToString());
+    }
+    if (!other.HasAttr(r)) {
+      return Status::InvalidArgument("right join attr absent: " +
+                                     r.ToString());
+    }
+  }
+  FilterSet f = FilterSet::Union(filters_, other.filters_);
+  std::set<std::string> join_attr_sigs;
+  // Right-side attributes equated to a differently-named left attribute are
+  // coalesced into the left one (the equi-join makes their values equal);
+  // this mirrors the physical schema, which keeps a single column.
+  std::set<std::string> coalesced_right;
+  for (const auto& [l, r] : join_pairs) {
+    if (l == r) {
+      // Shared lineage (the common case for opportunistic views): the join
+      // condition is a tautology on the shared attribute; record identity via
+      // the key intersection below, not as a predicate.
+    } else {
+      f.Add(Predicate::JoinEq(l, r));
+      coalesced_right.insert(r.signature());
+    }
+    join_attr_sigs.insert(l.signature());
+    join_attr_sigs.insert(r.signature());
+  }
+
+  std::vector<Attribute> out = attrs_;
+  for (const Attribute& a : other.attrs_) {
+    if (!coalesced_right.count(a.signature())) out.push_back(a);
+  }
+
+  // K_J = (K_1 ∪ K_2) ∩ join attributes, with coalesced right keys
+  // represented by their left counterpart.
+  std::vector<Attribute> new_keys;
+  for (const Attribute& k : keys_.keys()) {
+    if (join_attr_sigs.count(k.signature())) new_keys.push_back(k);
+  }
+  for (const Attribute& k : other.keys_.keys()) {
+    if (!join_attr_sigs.count(k.signature())) continue;
+    if (coalesced_right.count(k.signature())) {
+      for (const auto& [l, r] : join_pairs) {
+        if (r == k) new_keys.push_back(l);
+      }
+    } else {
+      new_keys.push_back(k);
+    }
+  }
+  int depth = std::max(keys_.agg_depth(), other.keys_.agg_depth());
+  return Afk(std::move(out), std::move(f), KeySet(std::move(new_keys), depth));
+}
+
+std::string Afk::ToString() const { return CanonicalString(); }
+
+int Fix::NumOpTypes() const {
+  int n = 0;
+  if (!missing_attrs.empty()) ++n;
+  if (!missing_filters.empty()) ++n;
+  if (rekey_needed) ++n;
+  if (!extra_attrs.empty() && n == 0) ++n;  // pure projection still costs one
+  return n;
+}
+
+Fix ComputeFix(const Afk& q, const Afk& v) {
+  Fix fix;
+  for (const Attribute& a : q.attrs()) {
+    if (!v.HasAttr(a)) fix.missing_attrs.push_back(a);
+  }
+  for (const Attribute& a : v.attrs()) {
+    if (!q.HasAttr(a)) fix.extra_attrs.push_back(a);
+  }
+  fix.missing_filters = q.filters().MissingFrom(v.filters());
+  fix.rekey_needed = !(q.keys() == v.keys());
+  return fix;
+}
+
+std::vector<Attribute> ProducibleClosure(const Afk& q, const Afk& v) {
+  // Candidate derivations: q's attributes plus every transitive input
+  // dependency (intermediate attributes a compensation chain may produce on
+  // the way, e.g. lat/lon between geo and tile_id).
+  std::vector<Attribute> candidates;
+  {
+    std::set<std::string> seen;
+    std::vector<Attribute> stack = q.attrs();
+    while (!stack.empty()) {
+      Attribute a = stack.back();
+      stack.pop_back();
+      if (!seen.insert(a.signature()).second) continue;
+      candidates.push_back(a);
+      for (const Attribute& dep : a.inputs()) stack.push_back(dep);
+    }
+  }
+
+  std::vector<Attribute> closure = v.attrs();
+  std::set<std::string> sigs;
+  for (const Attribute& a : closure) sigs.insert(a.signature());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Attribute& a : candidates) {
+      if (sigs.count(a.signature())) continue;
+      if (a.is_base()) continue;  // base attrs cannot be synthesized
+      bool all_inputs = true;
+      for (const Attribute& dep : a.inputs()) {
+        if (!sigs.count(dep.signature())) {
+          all_inputs = false;
+          break;
+        }
+      }
+      if (all_inputs) {
+        closure.push_back(a);
+        sigs.insert(a.signature());
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace opd::afk

@@ -1,0 +1,149 @@
+// The (A, F, K) annotation — the paper's gray-box semantic state — and the
+// symbolic application of the three operation types (Section 3.1):
+//   (1) discard/add attributes, (2) discard tuples by filters,
+//   (3) group tuples on a common key.
+//
+// Every plan node carries an Afk; a query target and a view are *equivalent*
+// iff their Afk annotations are identical (Section 4.1). The rewriter applies
+// compensations symbolically through these same operations.
+
+#ifndef OPD_AFK_AFK_H_
+#define OPD_AFK_AFK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "afk/attribute.h"
+#include "afk/predicate.h"
+#include "common/status.h"
+
+namespace opd::afk {
+
+/// \brief The grouping state K: the key attributes of the data plus the
+/// number of grouping operations applied so far ("aggregation depth").
+///
+/// Raw logs start at depth 0 keyed on their natural key (e.g. tweet_id).
+/// Each group-by (or grouping UDF stage) re-keys and increments the depth;
+/// "v is less aggregated than q" (GUESSCOMPLETE condition iii) compares
+/// depths and key producibility.
+class KeySet {
+ public:
+  KeySet() = default;
+  KeySet(std::vector<Attribute> keys, int agg_depth);
+
+  const std::vector<Attribute>& keys() const { return keys_; }
+  int agg_depth() const { return agg_depth_; }
+  bool HasKey(const Attribute& a) const;
+
+  bool operator==(const KeySet& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> keys_;  // sorted by signature
+  int agg_depth_ = 0;
+};
+
+/// \brief The full (A, F, K) annotation of a dataset / plan node.
+class Afk {
+ public:
+  Afk() = default;
+  Afk(std::vector<Attribute> attrs, FilterSet filters, KeySet keys);
+
+  /// The annotation of a base relation: all attributes, no filters, keyed on
+  /// `key_names` at aggregation depth 0.
+  static Afk ForBaseRelation(const std::string& relation,
+                             const std::vector<Attribute>& attrs,
+                             const std::vector<std::string>& key_names);
+
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+  const FilterSet& filters() const { return filters_; }
+  const KeySet& keys() const { return keys_; }
+
+  bool HasAttr(const Attribute& a) const;
+  /// Looks up an attribute by display name (names are unique per annotation).
+  std::optional<Attribute> FindByName(const std::string& name) const;
+
+  /// Exact model equivalence (Section 4.1): identical A, F and K.
+  bool operator==(const Afk& other) const;
+
+  /// Canonical string of (F, K) — the creation context recorded in derived
+  /// attribute signatures.
+  std::string ContextString() const;
+
+  /// Canonical string of the whole annotation (identity for dedup).
+  std::string CanonicalString() const;
+  uint64_t Hash() const;
+
+  // --- Symbolic operation types ------------------------------------------
+
+  /// Operation type 1 (discard attributes): keep exactly `keep`; keys are
+  /// intersected with the surviving attributes.
+  Result<Afk> Project(const std::vector<Attribute>& keep) const;
+
+  /// Operation type 2: add a filter. The predicate's attributes must exist.
+  Result<Afk> ApplyFilter(const Predicate& p) const;
+
+  /// Operation type 3: group on `keys`; `aggregates` are the new derived
+  /// attributes (their inputs must exist). All non-key, non-aggregate
+  /// attributes are dropped — this is what makes GUESSCOMPLETE optimistic
+  /// guesses falsifiable, as in the paper's Figure 5 discussion.
+  Result<Afk> GroupBy(const std::vector<Attribute>& group_keys,
+                      const std::vector<Attribute>& aggregates) const;
+
+  /// Adds derived attributes without re-keying (a map-side "add attributes"
+  /// operation). Inputs of each new attribute must exist.
+  Result<Afk> AddAttributes(const std::vector<Attribute>& new_attrs) const;
+
+  /// Equi-join with `other` on pairs of attributes (Section 3.1 multi-input
+  /// rule): A = A1 ∪ A2, F = F1 ∧ F2 ∧ join conditions,
+  /// K = (K1 ∪ K2) ∩ join attributes, depth = max of the two.
+  Result<Afk> Join(const Afk& other,
+                   const std::vector<std::pair<Attribute, Attribute>>&
+                       join_pairs) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attrs_;  // sorted by signature
+  FilterSet filters_;
+  KeySet keys_;
+
+  void SortAttrs();
+};
+
+/// \brief The "fix" between a view and a query (Section 4.3): the operations
+/// that, applied to v, would produce q — used to synthesize the hypothetical
+/// single-local-function UDF whose cost is the OPTCOST lower bound.
+struct Fix {
+  /// Attributes of q missing from v (to be produced or unobtainable).
+  std::vector<Attribute> missing_attrs;
+  /// Predicates of F_q not implied by F_v (to be applied).
+  std::vector<Predicate> missing_filters;
+  /// Attributes of v not in q (to be projected away).
+  std::vector<Attribute> extra_attrs;
+  /// True if K differs and a re-grouping is required.
+  bool rekey_needed = false;
+
+  bool empty() const {
+    return missing_attrs.empty() && missing_filters.empty() &&
+           extra_attrs.empty() && !rekey_needed;
+  }
+  /// Number of distinct operation types the fix requires (for the
+  /// non-subsumable cheapest-op bound).
+  int NumOpTypes() const;
+};
+
+/// Computes the fix of `v` with respect to `q`.
+Fix ComputeFix(const Afk& q, const Afk& v);
+
+/// \brief Attribute-producibility closure: starting from v's attributes,
+/// repeatedly adds any attribute of q whose producer inputs are all in the
+/// closure. Returns the closure as signatures. Used by GUESSCOMPLETE
+/// condition (i) — optimistic, ignores grouping losses.
+std::vector<Attribute> ProducibleClosure(const Afk& q, const Afk& v);
+
+}  // namespace opd::afk
+
+#endif  // OPD_AFK_AFK_H_

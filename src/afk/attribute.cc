@@ -1,0 +1,50 @@
+#include "afk/attribute.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace opd::afk {
+
+Attribute Attribute::Base(const std::string& relation, const std::string& name,
+                          storage::DataType type) {
+  auto data = std::make_shared<Data>();
+  data->name = name;
+  data->relation = relation;
+  data->type = type;
+  data->signature = "base:" + relation + "." + name;
+  data->sig_hash = HashString(data->signature);
+  return Attribute(std::move(data));
+}
+
+Attribute Attribute::Derived(const std::string& name,
+                             const std::string& producer,
+                             std::vector<Attribute> inputs,
+                             const std::string& context,
+                             const std::string& params,
+                             storage::DataType type) {
+  auto data = std::make_shared<Data>();
+  data->name = name;
+  data->producer = producer;
+  data->type = type;
+  // Canonicalize input order so dependency-set identity is order-insensitive.
+  std::sort(inputs.begin(), inputs.end());
+  data->inputs = std::move(inputs);
+  std::string sig = "drv:" + producer + "#" + name + "(";
+  for (size_t i = 0; i < data->inputs.size(); ++i) {
+    if (i > 0) sig += ",";
+    sig += data->inputs[i].signature();
+  }
+  sig += ")|ctx{" + context + "}|p{" + params + "}";
+  data->signature = std::move(sig);
+  data->sig_hash = HashString(data->signature);
+  return Attribute(std::move(data));
+}
+
+std::string Attribute::ToString() const {
+  if (!valid()) return "<invalid>";
+  if (is_base()) return data_->relation + "." + data_->name;
+  return data_->producer + "->" + data_->name;
+}
+
+}  // namespace opd::afk

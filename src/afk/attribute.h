@@ -1,0 +1,92 @@
+// Attribute identity with provenance signatures (paper Section 3.1).
+//
+// A *base* attribute is identified by (relation, name). A *derived* attribute
+// — produced by a UDF or an aggregate — is identified by its signature: the
+// producer name, the signatures of the input attributes it depends on, the
+// filter/key context it was created under, and any value-affecting parameters.
+// Two plans that compute `sent_sum` via UDF_FOODIES over the same inputs in
+// the same context therefore yield *equal* attributes, which is what makes
+// semantic view reuse possible.
+
+#ifndef OPD_AFK_ATTRIBUTE_H_
+#define OPD_AFK_ATTRIBUTE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace opd::afk {
+
+/// \brief An immutable attribute with structural identity.
+///
+/// Cheap to copy (shared internal representation). Equality and ordering are
+/// by canonical signature string, never by display name alone.
+class Attribute {
+ public:
+  Attribute() = default;
+
+  /// Creates a base attribute belonging to `relation`.
+  static Attribute Base(const std::string& relation, const std::string& name,
+                        storage::DataType type);
+
+  /// Creates a derived attribute.
+  ///
+  /// \param name      display name in the output schema
+  /// \param producer  unique producer name, e.g. "UDF_FOODIES" or "agg:SUM"
+  /// \param inputs    the attributes the value depends on
+  /// \param context   canonicalized (F, K) context at creation time — callers
+  ///                  pass `Afk::ContextString()`; kept opaque here
+  /// \param params    value-affecting parameters (canonical string, may be "")
+  static Attribute Derived(const std::string& name, const std::string& producer,
+                           std::vector<Attribute> inputs,
+                           const std::string& context,
+                           const std::string& params, storage::DataType type);
+
+  bool valid() const { return data_ != nullptr; }
+  const std::string& name() const { return data_->name; }
+  storage::DataType type() const { return data_->type; }
+  bool is_base() const { return data_->producer.empty(); }
+  /// Empty for base attributes.
+  const std::string& producer() const { return data_->producer; }
+  /// Source relation for base attributes; empty for derived.
+  const std::string& relation() const { return data_->relation; }
+  /// Input dependencies (empty for base attributes).
+  const std::vector<Attribute>& inputs() const { return data_->inputs; }
+
+  /// Canonical signature string; the unit of identity.
+  const std::string& signature() const { return data_->signature; }
+  uint64_t signature_hash() const { return data_->sig_hash; }
+
+  bool operator==(const Attribute& other) const {
+    return signature_hash() == other.signature_hash() &&
+           signature() == other.signature();
+  }
+  bool operator<(const Attribute& other) const {
+    return signature() < other.signature();
+  }
+
+  /// Short human-readable description for debugging.
+  std::string ToString() const;
+
+ private:
+  struct Data {
+    std::string name;
+    std::string relation;  // base only
+    std::string producer;  // derived only
+    std::vector<Attribute> inputs;
+    std::string signature;
+    uint64_t sig_hash = 0;
+    storage::DataType type = storage::DataType::kNull;
+  };
+
+  explicit Attribute(std::shared_ptr<const Data> data)
+      : data_(std::move(data)) {}
+
+  std::shared_ptr<const Data> data_;
+};
+
+}  // namespace opd::afk
+
+#endif  // OPD_AFK_ATTRIBUTE_H_

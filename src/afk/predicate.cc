@@ -1,0 +1,205 @@
+#include "afk/predicate.h"
+
+#include <algorithm>
+
+namespace opd::afk {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool EvalCmp(const storage::Value& lhs, CmpOp op, const storage::Value& rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case CmpOp::kGt:
+      return rhs < lhs;
+    case CmpOp::kGe:
+      return rhs < lhs || lhs == rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return !(lhs == rhs);
+  }
+  return false;
+}
+
+Predicate Predicate::Compare(Attribute attr, CmpOp op, storage::Value literal) {
+  Predicate p;
+  p.kind_ = Kind::kCompare;
+  p.args_ = {std::move(attr)};
+  p.op_ = op;
+  p.literal_ = std::move(literal);
+  p.BuildCanonical();
+  return p;
+}
+
+Predicate Predicate::Opaque(std::string fn_name, std::vector<Attribute> args,
+                            std::string params) {
+  Predicate p;
+  p.kind_ = Kind::kOpaque;
+  p.fn_name_ = std::move(fn_name);
+  std::sort(args.begin(), args.end());
+  p.args_ = std::move(args);
+  p.literal_ = storage::Value(std::move(params));
+  p.BuildCanonical();
+  return p;
+}
+
+Predicate Predicate::JoinEq(Attribute a, Attribute b) {
+  Predicate p;
+  p.kind_ = Kind::kJoinEq;
+  if (b < a) std::swap(a, b);
+  p.args_ = {std::move(a), std::move(b)};
+  p.BuildCanonical();
+  return p;
+}
+
+void Predicate::BuildCanonical() {
+  switch (kind_) {
+    case Kind::kCompare:
+      canonical_ = "cmp(" + args_[0].signature() + " " + CmpOpName(op_) + " " +
+                   literal_.ToString() + ")";
+      break;
+    case Kind::kOpaque: {
+      canonical_ = "fn:" + fn_name_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) canonical_ += ",";
+        canonical_ += args_[i].signature();
+      }
+      canonical_ += ")|p{" + literal_.ToString() + "}";
+      break;
+    }
+    case Kind::kJoinEq:
+      canonical_ =
+          "join(" + args_[0].signature() + "=" + args_[1].signature() + ")";
+      break;
+    case Kind::kInvalid:
+      canonical_ = "<invalid>";
+      break;
+  }
+}
+
+namespace {
+
+// Interval implication for comparisons on the same attribute.
+// `s` (stronger) implies `w` (weaker)?
+bool CmpImplies(CmpOp s_op, const storage::Value& s_lit, CmpOp w_op,
+                const storage::Value& w_lit) {
+  auto le = [](const storage::Value& a, const storage::Value& b) {
+    return a < b || a == b;
+  };
+  auto lt = [](const storage::Value& a, const storage::Value& b) {
+    return a < b;
+  };
+  switch (w_op) {
+    case CmpOp::kLt:
+      // need: s forces attr < w_lit
+      if (s_op == CmpOp::kLt) return le(s_lit, w_lit);
+      if (s_op == CmpOp::kLe) return lt(s_lit, w_lit);
+      if (s_op == CmpOp::kEq) return lt(s_lit, w_lit);
+      return false;
+    case CmpOp::kLe:
+      if (s_op == CmpOp::kLt) return le(s_lit, w_lit);
+      if (s_op == CmpOp::kLe) return le(s_lit, w_lit);
+      if (s_op == CmpOp::kEq) return le(s_lit, w_lit);
+      return false;
+    case CmpOp::kGt:
+      if (s_op == CmpOp::kGt) return le(w_lit, s_lit);
+      if (s_op == CmpOp::kGe) return lt(w_lit, s_lit);
+      if (s_op == CmpOp::kEq) return lt(w_lit, s_lit);
+      return false;
+    case CmpOp::kGe:
+      if (s_op == CmpOp::kGt) return le(w_lit, s_lit);
+      if (s_op == CmpOp::kGe) return le(w_lit, s_lit);
+      if (s_op == CmpOp::kEq) return le(w_lit, s_lit);
+      return false;
+    case CmpOp::kEq:
+      return s_op == CmpOp::kEq && s_lit == w_lit;
+    case CmpOp::kNe:
+      if (s_op == CmpOp::kNe) return s_lit == w_lit;
+      if (s_op == CmpOp::kEq) return !(s_lit == w_lit);
+      // attr < s_lit implies attr != w_lit whenever s_lit <= w_lit.
+      if (s_op == CmpOp::kLt) return le(s_lit, w_lit);
+      if (s_op == CmpOp::kGt) return le(w_lit, s_lit);
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Predicate::Implies(const Predicate& weaker) const {
+  if (canonical_ == weaker.canonical_) return true;
+  if (kind_ == Kind::kCompare && weaker.kind_ == Kind::kCompare &&
+      args_[0] == weaker.args_[0]) {
+    return CmpImplies(op_, literal_, weaker.op_, weaker.literal_);
+  }
+  return false;
+}
+
+void FilterSet::Add(const Predicate& p) {
+  auto it = std::lower_bound(preds_.begin(), preds_.end(), p);
+  if (it != preds_.end() && *it == p) return;
+  preds_.insert(it, p);
+}
+
+bool FilterSet::Contains(const Predicate& p) const {
+  return std::binary_search(preds_.begin(), preds_.end(), p);
+}
+
+bool FilterSet::ImpliesPred(const Predicate& p) const {
+  for (const Predicate& mine : preds_) {
+    if (mine.Implies(p)) return true;
+  }
+  return false;
+}
+
+bool FilterSet::ImpliesAll(const FilterSet& other) const {
+  for (const Predicate& p : other.preds_) {
+    if (!ImpliesPred(p)) return false;
+  }
+  return true;
+}
+
+std::vector<Predicate> FilterSet::MissingFrom(const FilterSet& other) const {
+  std::vector<Predicate> missing;
+  for (const Predicate& p : preds_) {
+    if (!other.ImpliesPred(p)) missing.push_back(p);
+  }
+  return missing;
+}
+
+FilterSet FilterSet::Union(const FilterSet& a, const FilterSet& b) {
+  FilterSet out = a;
+  for (const Predicate& p : b.preds_) out.Add(p);
+  return out;
+}
+
+std::string FilterSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    if (i > 0) out += " && ";
+    out += preds_[i].canonical();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace opd::afk

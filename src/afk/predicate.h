@@ -1,0 +1,131 @@
+// Filter predicates with implication testing (the F component of the model).
+//
+// Two predicate families:
+//  * comparison: <attribute> <op> <literal>, which supports implication
+//    (e.g. `d < 5` implies `d < 10`), used by GUESSCOMPLETE condition (ii);
+//  * opaque: a named black-box boolean function over attributes (arbitrary
+//    user code in the paper), where implication degrades to equality.
+
+#ifndef OPD_AFK_PREDICATE_H_
+#define OPD_AFK_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "afk/attribute.h"
+#include "storage/value.h"
+
+namespace opd::afk {
+
+/// Comparison operators for predicate literals.
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* CmpOpName(CmpOp op);
+
+/// Evaluates `lhs op rhs`.
+bool EvalCmp(const storage::Value& lhs, CmpOp op, const storage::Value& rhs);
+
+/// \brief A canonical filter predicate.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// attr `op` literal.
+  static Predicate Compare(Attribute attr, CmpOp op, storage::Value literal);
+
+  /// Named black-box predicate over attributes with a parameter string.
+  static Predicate Opaque(std::string fn_name, std::vector<Attribute> args,
+                          std::string params);
+
+  /// Join equality between two attributes (attrA = attrB); canonicalized so
+  /// that the smaller signature comes first.
+  static Predicate JoinEq(Attribute a, Attribute b);
+
+  enum class Kind { kInvalid, kCompare, kOpaque, kJoinEq };
+
+  Kind kind() const { return kind_; }
+  const Attribute& attr() const { return args_[0]; }
+  const Attribute& rhs_attr() const { return args_[1]; }
+  const std::vector<Attribute>& args() const { return args_; }
+  CmpOp op() const { return op_; }
+  const storage::Value& literal() const { return literal_; }
+  const std::string& fn_name() const { return fn_name_; }
+
+  /// Canonical string; the unit of identity and set membership.
+  const std::string& canonical() const { return canonical_; }
+
+  bool operator==(const Predicate& other) const {
+    return canonical_ == other.canonical_;
+  }
+  bool operator<(const Predicate& other) const {
+    return canonical_ < other.canonical_;
+  }
+
+  /// \brief True if *this* predicate logically implies `weaker`.
+  ///
+  /// Sound but not complete: comparisons on the same attribute use interval
+  /// reasoning; anything else requires canonical equality.
+  bool Implies(const Predicate& weaker) const;
+
+  std::string ToString() const { return canonical_; }
+
+ private:
+  Kind kind_ = Kind::kInvalid;
+  std::vector<Attribute> args_;
+  CmpOp op_ = CmpOp::kEq;
+  storage::Value literal_;
+  std::string fn_name_;
+  std::string canonical_;
+
+  void BuildCanonical();
+};
+
+/// \brief An immutable, canonical set of conjunctive predicates.
+class FilterSet {
+ public:
+  FilterSet() = default;
+
+  /// Adds a predicate (idempotent).
+  void Add(const Predicate& p);
+
+  bool Contains(const Predicate& p) const;
+  bool empty() const { return preds_.empty(); }
+  size_t size() const { return preds_.size(); }
+  const std::vector<Predicate>& preds() const { return preds_; }
+
+  /// True if the conjunction of this set implies predicate `p`.
+  bool ImpliesPred(const Predicate& p) const;
+
+  /// True if this conjunction implies every predicate in `other`
+  /// (i.e. `other` is weaker-or-equal). GUESSCOMPLETE condition (ii) checks
+  /// `F_q.ImpliesAll(F_v)`.
+  bool ImpliesAll(const FilterSet& other) const;
+
+  /// Predicates in `*this` not implied by `other` — the filter part of the
+  /// "fix" (Section 4.3).
+  std::vector<Predicate> MissingFrom(const FilterSet& other) const;
+
+  /// Semantic equivalence: each conjunction implies the other. This is the
+  /// equality used by model equivalence, so that {a<5} and {a<10, a<5}
+  /// compare equal.
+  bool EquivalentTo(const FilterSet& other) const {
+    return ImpliesAll(other) && other.ImpliesAll(*this);
+  }
+
+  /// Union of the two sets.
+  static FilterSet Union(const FilterSet& a, const FilterSet& b);
+
+  /// Canonical rendering "{p1 && p2 && ...}".
+  std::string ToString() const;
+
+  bool operator==(const FilterSet& other) const {
+    return preds_ == other.preds_;
+  }
+
+ private:
+  std::vector<Predicate> preds_;  // kept sorted by canonical string
+};
+
+}  // namespace opd::afk
+
+#endif  // OPD_AFK_PREDICATE_H_

@@ -1,0 +1,69 @@
+// Catalog of base relations: schemas, natural keys, base AFK annotations,
+// DFS locations, and data statistics.
+
+#ifndef OPD_CATALOG_CATALOG_H_
+#define OPD_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "afk/afk.h"
+#include "common/status.h"
+#include "storage/dfs.h"
+#include "storage/schema.h"
+
+namespace opd::catalog {
+
+/// Optimizer-facing statistics for a table or view.
+struct TableStats {
+  double rows = 0;
+  double avg_row_bytes = 0;
+  /// Estimated distinct-value count per column name.
+  std::map<std::string, double> distinct;
+  /// Average serialized width per column name, in bytes.
+  std::map<std::string, double> col_bytes;
+
+  double TotalBytes() const { return rows * avg_row_bytes; }
+  /// Distinct count for `column`, defaulting to `fallback` when unknown.
+  double DistinctOr(const std::string& column, double fallback) const;
+  /// Column width for `column`, defaulting to `fallback` when unknown.
+  double ColBytesOr(const std::string& column, double fallback) const;
+};
+
+/// Computes exact statistics by scanning a table (used for base tables; views
+/// use the sampling StatsCollector).
+TableStats ComputeExactStats(const storage::Table& table);
+
+/// A registered base relation.
+struct BaseTableEntry {
+  std::string name;
+  storage::Schema schema;
+  /// Attribute objects aligned 1:1 with schema columns.
+  std::vector<afk::Attribute> attrs;
+  afk::Afk afk;
+  std::string dfs_path;
+  TableStats stats;
+};
+
+/// \brief Name -> base relation registry. Base data lives in the Dfs under
+/// "base/<name>"; registering writes it there.
+class Catalog {
+ public:
+  /// Registers `table` as a base relation keyed on `key_columns`, writing its
+  /// data to `dfs` and computing exact statistics.
+  Status RegisterBase(const storage::TablePtr& table,
+                      const std::vector<std::string>& key_columns,
+                      storage::Dfs* dfs);
+
+  Result<const BaseTableEntry*> Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, BaseTableEntry> tables_;
+};
+
+}  // namespace opd::catalog
+
+#endif  // OPD_CATALOG_CATALOG_H_

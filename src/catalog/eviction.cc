@@ -1,0 +1,100 @@
+#include "catalog/eviction.h"
+
+#include <algorithm>
+#include <set>
+
+namespace opd::catalog {
+
+Status RecordPlanAccesses(ViewStore* store, const plan::Plan& plan,
+                          double benefit_s) {
+  std::set<ViewId> used;
+  for (const plan::OpNodePtr& node : plan.TopoOrder()) {
+    if (node->kind == plan::OpKind::kScan && node->view_id >= 0) {
+      used.insert(node->view_id);
+    }
+  }
+  if (used.empty()) return Status::OK();
+  const double share = benefit_s / static_cast<double>(used.size());
+  for (ViewId id : used) {
+    if (!store->Has(id)) continue;
+    OPD_RETURN_NOT_OK(store->RecordAccess(id, share));
+  }
+  return Status::OK();
+}
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "LRU";
+    case EvictionPolicy::kLfu:
+      return "LFU";
+    case EvictionPolicy::kLargestFirst:
+      return "LARGEST";
+    case EvictionPolicy::kCostBenefit:
+      return "COST-BENEFIT";
+    case EvictionPolicy::kFifo:
+      return "FIFO";
+  }
+  return "?";
+}
+
+bool ViewRetention::OverBudget() const {
+  return config_.budget_bytes != 0 &&
+         store_->TotalBytes() > config_.budget_bytes;
+}
+
+double ViewRetention::Score(const ViewDefinition& def) const {
+  switch (config_.policy) {
+    case EvictionPolicy::kLru:
+      // Never-accessed views rank below accessed ones by last_access = 0.
+      return static_cast<double>(def.last_access);
+    case EvictionPolicy::kLfu:
+      return static_cast<double>(def.access_count);
+    case EvictionPolicy::kLargestFirst:
+      // Larger = evicted earlier = lower score.
+      return -static_cast<double>(def.bytes);
+    case EvictionPolicy::kCostBenefit:
+      // Benefit per byte; unaccessed views score 0.
+      return def.cumulative_benefit_s /
+             static_cast<double>(std::max<uint64_t>(def.bytes, 1));
+    case EvictionPolicy::kFifo:
+      return static_cast<double>(def.created_at);
+  }
+  return 0;
+}
+
+std::vector<ViewId> ViewRetention::EvictionOrder() const {
+  std::vector<const ViewDefinition*> views = store_->All();
+  std::stable_sort(views.begin(), views.end(),
+                   [this](const ViewDefinition* a, const ViewDefinition* b) {
+                     double sa = Score(*a), sb = Score(*b);
+                     if (sa != sb) return sa < sb;
+                     return a->id < b->id;  // deterministic tie-break
+                   });
+  std::vector<ViewId> order;
+  order.reserve(views.size());
+  for (const ViewDefinition* def : views) order.push_back(def->id);
+  return order;
+}
+
+Result<EvictionReport> ViewRetention::Enforce() {
+  EvictionReport report;
+  if (config_.budget_bytes == 0) return report;
+  if (!OverBudget()) return report;
+  for (ViewId id : EvictionOrder()) {
+    if (!OverBudget()) break;
+    OPD_ASSIGN_OR_RETURN(const ViewDefinition* def, store_->Find(id));
+    const uint64_t bytes = def->bytes;
+    const std::string path = def->dfs_path;
+    OPD_RETURN_NOT_OK(store_->Drop(id));
+    if (dfs_ != nullptr && dfs_->Exists(path)) {
+      OPD_RETURN_NOT_OK(dfs_->Delete(path));
+    }
+    report.views_evicted += 1;
+    report.bytes_reclaimed += bytes;
+    report.evicted.push_back(id);
+  }
+  return report;
+}
+
+}  // namespace opd::catalog

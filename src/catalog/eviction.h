@@ -1,0 +1,92 @@
+// View retention under a storage budget (paper Section 10): "retaining
+// opportunistic views within a limited storage space budget requires
+// navigating the tradeoff between storage cost and query performance, which
+// is equivalent to the view selection problem. One could consider
+// access-based policies such as LRU and LFU, or cost-benefit based policies."
+//
+// This module implements those policies over the ViewStore: when the total
+// retained bytes exceed the budget, views are evicted (metadata dropped and
+// DFS files deleted) in policy order until the budget is met.
+
+#ifndef OPD_CATALOG_EVICTION_H_
+#define OPD_CATALOG_EVICTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/view_store.h"
+#include "common/status.h"
+#include "plan/plan.h"
+#include "storage/dfs.h"
+
+namespace opd::catalog {
+
+/// Credits every distinct view scanned by `plan` with an equal share of
+/// `benefit_s` (the estimated savings of the rewrite that uses them) and
+/// bumps their access clocks. Views no longer in the store are skipped.
+Status RecordPlanAccesses(ViewStore* store, const plan::Plan& plan,
+                          double benefit_s);
+
+enum class EvictionPolicy {
+  /// Evict the least-recently-used view first.
+  kLru,
+  /// Evict the least-frequently-used view first.
+  kLfu,
+  /// Evict the largest view first (pure space reclamation).
+  kLargestFirst,
+  /// Evict the view with the lowest benefit-per-byte first — the
+  /// cost-benefit policy common in physical design tuning.
+  kCostBenefit,
+  /// Evict the oldest view first (FIFO).
+  kFifo,
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+struct RetentionConfig {
+  /// Retained-view byte budget; 0 disables eviction.
+  uint64_t budget_bytes = 0;
+  EvictionPolicy policy = EvictionPolicy::kCostBenefit;
+};
+
+/// What one Enforce() pass did.
+struct EvictionReport {
+  size_t views_evicted = 0;
+  uint64_t bytes_reclaimed = 0;
+  std::vector<ViewId> evicted;
+};
+
+/// \brief Applies a retention policy to a ViewStore.
+class ViewRetention {
+ public:
+  ViewRetention(ViewStore* store, storage::Dfs* dfs, RetentionConfig config)
+      : store_(store), dfs_(dfs), config_(config) {}
+
+  const RetentionConfig& config() const { return config_; }
+  void set_budget(uint64_t bytes) { config_.budget_bytes = bytes; }
+  void set_policy(EvictionPolicy policy) { config_.policy = policy; }
+
+  /// True if the store currently exceeds the budget.
+  bool OverBudget() const;
+
+  /// Evicts views in policy order until the store fits the budget.
+  /// Deleting a view removes both its metadata and its DFS file.
+  Result<EvictionReport> Enforce();
+
+  /// The eviction order the current policy would use (first = evicted
+  /// first). Exposed for tests and ablation benches.
+  std::vector<ViewId> EvictionOrder() const;
+
+ private:
+  /// Policy score: lower = evicted earlier.
+  double Score(const ViewDefinition& def) const;
+
+  ViewStore* store_;
+  storage::Dfs* dfs_;
+  RetentionConfig config_;
+};
+
+}  // namespace opd::catalog
+
+#endif  // OPD_CATALOG_EVICTION_H_

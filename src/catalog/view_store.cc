@@ -1,0 +1,78 @@
+#include "catalog/view_store.h"
+
+namespace opd::catalog {
+
+ViewId ViewStore::Add(ViewDefinition def) {
+  const std::string canonical = def.afk.CanonicalString();
+  auto it = by_canonical_.find(canonical);
+  if (it != by_canonical_.end()) return it->second;
+  ViewId id = next_id_++;
+  def.id = id;
+  def.created_at = ++clock_;
+  by_canonical_[canonical] = id;
+  views_.emplace(id, std::move(def));
+  return id;
+}
+
+Status ViewStore::RecordAccess(ViewId id, double benefit_s) {
+  auto it = views_.find(id);
+  if (it == views_.end()) {
+    return Status::NotFound("no such view: " + std::to_string(id));
+  }
+  it->second.access_count += 1;
+  it->second.last_access = ++clock_;
+  it->second.cumulative_benefit_s += benefit_s;
+  return Status::OK();
+}
+
+Result<const ViewDefinition*> ViewStore::Find(ViewId id) const {
+  auto it = views_.find(id);
+  if (it == views_.end()) {
+    return Status::NotFound("no such view: " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+std::vector<const ViewDefinition*> ViewStore::All() const {
+  std::vector<const ViewDefinition*> out;
+  out.reserve(views_.size());
+  for (const auto& [_, def] : views_) out.push_back(&def);
+  return out;
+}
+
+uint64_t ViewStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, def] : views_) total += def.bytes;
+  return total;
+}
+
+Status ViewStore::Drop(ViewId id) {
+  auto it = views_.find(id);
+  if (it == views_.end()) {
+    return Status::NotFound("no such view: " + std::to_string(id));
+  }
+  by_canonical_.erase(it->second.afk.CanonicalString());
+  views_.erase(it);
+  return Status::OK();
+}
+
+void ViewStore::DropAll() {
+  views_.clear();
+  by_canonical_.clear();
+}
+
+size_t ViewStore::DropIdentical(const afk::Afk& afk) {
+  size_t dropped = 0;
+  for (auto it = views_.begin(); it != views_.end();) {
+    if (it->second.afk == afk) {
+      by_canonical_.erase(it->second.afk.CanonicalString());
+      it = views_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace opd::catalog

@@ -1,0 +1,95 @@
+// The materialized-view metadata store (paper Section 2.1): definitions,
+// AFK annotations, plan fingerprints, and statistics of every opportunistic
+// view currently retained in the system.
+
+#ifndef OPD_CATALOG_VIEW_STORE_H_
+#define OPD_CATALOG_VIEW_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "afk/afk.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace opd::catalog {
+
+using ViewId = int64_t;
+
+/// \brief Metadata for one opportunistic materialized view.
+struct ViewDefinition {
+  ViewId id = -1;
+  /// DFS location of the materialized data.
+  std::string dfs_path;
+  /// Semantic annotation of the view's content.
+  afk::Afk afk;
+  /// Attributes aligned 1:1 with the stored schema columns.
+  std::vector<afk::Attribute> out_attrs;
+  storage::Schema schema;
+  /// Canonical fingerprint of the producing plan subtree (used by the
+  /// syntactic-matching baseline, Section 8.3.4).
+  std::string fingerprint;
+  TableStats stats;
+  uint64_t bytes = 0;
+  /// Free-form description of the producing query, for debugging.
+  std::string producer;
+
+  // --- access bookkeeping (drives the retention policies, paper §10) ---
+  /// Number of times a rewrite has scanned this view.
+  uint64_t access_count = 0;
+  /// Logical clock of the most recent access (0 = never accessed).
+  uint64_t last_access = 0;
+  /// Total estimated execution-time savings attributed to this view.
+  double cumulative_benefit_s = 0;
+  /// Logical clock of creation.
+  uint64_t created_at = 0;
+};
+
+/// \brief The system's view metadata store.
+///
+/// Views are deduplicated by AFK annotation: materializing the same semantic
+/// content twice keeps the first copy (the paper discards duplicate views,
+/// Section 8.3.3).
+class ViewStore {
+ public:
+  /// Adds a view. If a view with an identical AFK annotation exists, returns
+  /// that existing view's id and does not add (deduplication).
+  ViewId Add(ViewDefinition def);
+
+  Result<const ViewDefinition*> Find(ViewId id) const;
+  bool Has(ViewId id) const { return views_.count(id) > 0; }
+
+  /// All current views, ordered by id.
+  std::vector<const ViewDefinition*> All() const;
+  size_t size() const { return views_.size(); }
+
+  /// Total bytes of all retained views.
+  uint64_t TotalBytes() const;
+
+  Status Drop(ViewId id);
+  void DropAll();
+
+  /// Removes every view whose AFK annotation exactly matches `afk`
+  /// (used by the "discard identical views" experiment, Table 2).
+  /// Returns the number removed.
+  size_t DropIdentical(const afk::Afk& afk);
+
+  /// Records that a rewrite used view `id`, attributing `benefit_s` of
+  /// estimated savings. Advances the logical access clock.
+  Status RecordAccess(ViewId id, double benefit_s);
+
+  /// Current value of the logical clock (accesses + additions).
+  uint64_t clock() const { return clock_; }
+
+ private:
+  ViewId next_id_ = 1;
+  uint64_t clock_ = 0;
+  std::map<ViewId, ViewDefinition> views_;
+  std::map<std::string, ViewId> by_canonical_;  // AFK canonical -> id
+};
+
+}  // namespace opd::catalog
+
+#endif  // OPD_CATALOG_VIEW_STORE_H_

@@ -1,0 +1,29 @@
+// Hash-combining helpers (header-only).
+
+#ifndef OPD_COMMON_HASH_H_
+#define OPD_COMMON_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace opd {
+
+/// Combines a hash value into a seed (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(uint64_t* seed, uint64_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+/// FNV-1a over a string.
+inline uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace opd
+
+#endif  // OPD_COMMON_HASH_H_

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// All data generation and sampling in this library must be reproducible, so
+// every randomized component takes an explicit Rng seeded by the caller.
+
+#ifndef OPD_COMMON_RNG_H_
+#define OPD_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// \brief Deterministic 64-bit RNG (splitmix64 / xorshift-based).
+///
+/// Not cryptographic; used for synthetic data generation and sampling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (approximate,
+  /// inverse-CDF over precomputed weights is the caller's job for large n;
+  /// this uses rejection-free cumulative search suitable for small n).
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace opd
+
+#endif  // OPD_COMMON_RNG_H_

@@ -1,0 +1,139 @@
+// Status / Result error-handling primitives, in the style of RocksDB/Arrow.
+//
+// Library code returns Status (or Result<T>) instead of throwing across module
+// boundaries. A Status is cheap to copy in the OK case (empty message).
+
+#ifndef OPD_COMMON_STATUS_H_
+#define OPD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace opd {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotSupported,
+  kInternal,
+};
+
+/// \brief Outcome of an operation: OK or an error code plus message.
+///
+/// Use the static constructors (`Status::OK()`, `Status::InvalidArgument(...)`)
+/// rather than the raw constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-error container, analogous to arrow::Result.
+///
+/// Either holds a T (when `ok()`) or an error Status. Accessing the value of
+/// an errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_t;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace opd
+
+/// Propagates a non-OK Status to the caller (RocksDB idiom).
+#define OPD_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::opd::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define OPD_ASSIGN_OR_RETURN(lhs, rexpr)    \
+  auto OPD_CONCAT_(_res_, __LINE__) = (rexpr); \
+  if (!OPD_CONCAT_(_res_, __LINE__).ok())   \
+    return OPD_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(OPD_CONCAT_(_res_, __LINE__)).value()
+
+#define OPD_CONCAT_IMPL_(a, b) a##b
+#define OPD_CONCAT_(a, b) OPD_CONCAT_IMPL_(a, b)
+
+#endif  // OPD_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+
+#ifndef OPD_COMMON_STRING_UTIL_H_
+#define OPD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opd {
+
+/// Splits `s` on the delimiter character. Empty tokens are kept.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins the strings with `sep` between elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Lower-cases ASCII characters in place and returns the result.
+std::string ToLowerAscii(std::string_view s);
+
+/// Tokenizes text into lower-case alphanumeric words (punctuation-separated).
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace opd
+
+#endif  // OPD_COMMON_STRING_UTIL_H_

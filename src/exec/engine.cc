@@ -1,0 +1,330 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "exec/udf_exec.h"
+#include "plan/fingerprint.h"
+
+namespace opd::exec {
+
+using plan::OpKind;
+using plan::OpNode;
+using plan::OpNodePtr;
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+namespace {
+
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  }
+};
+
+// Aggregation state for one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool has = false;
+  Value min, max;
+
+  void Update(const Value& v) {
+    ++count;
+    sum += v.ToDouble();
+    if (!has || v < min) min = v;
+    if (!has || max < v) max = v;
+    has = true;
+  }
+};
+
+Value FinishAgg(const plan::AggSpec& spec, const AggState& s,
+                storage::DataType out_type) {
+  switch (spec.fn) {
+    case plan::AggFn::kCount:
+      return Value(s.count);
+    case plan::AggFn::kSum:
+      return out_type == storage::DataType::kInt64
+                 ? Value(static_cast<int64_t>(s.sum))
+                 : Value(s.sum);
+    case plan::AggFn::kAvg:
+      return s.count == 0 ? Value::Null()
+                          : Value(s.sum / static_cast<double>(s.count));
+    case plan::AggFn::kMin:
+      return s.has ? s.min : Value::Null();
+    case plan::AggFn::kMax:
+      return s.has ? s.max : Value::Null();
+  }
+  return Value::Null();
+}
+
+// Column resolver returning Status-checked indices.
+Result<size_t> ColIndex(const Schema& schema, const std::string& name) {
+  auto idx = schema.IndexOf(name);
+  if (!idx) return Status::NotFound("column not found at exec: " + name);
+  return *idx;
+}
+
+}  // namespace
+
+Result<ExecResult> Engine::Execute(plan::Plan* plan) {
+  OPD_RETURN_NOT_OK(optimizer_->Prepare(plan));
+  const int run_id = run_counter_++;
+  const auto& ctx = optimizer_->context();
+  const auto& model = optimizer_->cost_model();
+
+  ExecMetrics metrics;
+  std::map<const OpNode*, TablePtr> results;
+  int job_counter = 0;
+
+  for (const OpNodePtr& node_ptr : plan->TopoOrder()) {
+    OpNode* node = node_ptr.get();
+
+    if (node->kind == OpKind::kScan) {
+      std::string path;
+      if (node->view_id >= 0) {
+        OPD_ASSIGN_OR_RETURN(const catalog::ViewDefinition* def,
+                             ctx.views->Find(node->view_id));
+        path = def->dfs_path;
+      } else {
+        OPD_ASSIGN_OR_RETURN(const catalog::BaseTableEntry* entry,
+                             ctx.catalog->Find(node->table));
+        path = entry->dfs_path;
+      }
+      OPD_ASSIGN_OR_RETURN(TablePtr table, dfs_->Read(path));
+      results[node] = table;
+      // Scan bytes are accounted in the consuming job's read phase below.
+      continue;
+    }
+
+    // Gather inputs.
+    std::vector<TablePtr> inputs;
+    uint64_t in_bytes = 0;
+    for (const OpNodePtr& child : node->children) {
+      auto it = results.find(child.get());
+      if (it == results.end()) {
+        return Status::Internal("missing child result for " +
+                                node->DisplayName());
+      }
+      inputs.push_back(it->second);
+      in_bytes += it->second->ByteSize();
+    }
+
+    Table out("", node->out_schema);
+    uint64_t shuffle_bytes = 0;
+    bool has_shuffle = false;
+    double map_scalar = 1.0, reduce_scalar = 1.0;
+
+    switch (node->kind) {
+      case OpKind::kScan:
+        break;  // handled above
+      case OpKind::kProject: {
+        const Table& in = *inputs[0];
+        std::vector<size_t> idx;
+        for (const std::string& name : node->project) {
+          OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), name));
+          idx.push_back(i);
+        }
+        for (const Row& row : in.rows()) {
+          Row r;
+          r.reserve(idx.size());
+          for (size_t i : idx) r.push_back(row[i]);
+          OPD_RETURN_NOT_OK(out.AppendRow(std::move(r)));
+        }
+        break;
+      }
+      case OpKind::kFilter: {
+        const Table& in = *inputs[0];
+        const plan::FilterCond& cond = node->filter;
+        if (cond.kind == plan::FilterCond::Kind::kCompare) {
+          OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), cond.column));
+          for (const Row& row : in.rows()) {
+            if (afk::EvalCmp(row[i], cond.op, cond.literal)) {
+              OPD_RETURN_NOT_OK(out.AppendRow(row));
+            }
+          }
+        } else {
+          OPD_ASSIGN_OR_RETURN(const udf::PredicateFn* fn,
+                               ctx.udfs->FindPredicate(cond.fn_name));
+          std::vector<size_t> idx;
+          for (const std::string& name : cond.arg_columns) {
+            OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), name));
+            idx.push_back(i);
+          }
+          udf::Params params;  // opaque predicate params are pre-bound strings
+          if (!cond.params.empty()) params["params"] = Value(cond.params);
+          for (const Row& row : in.rows()) {
+            std::vector<Value> args;
+            args.reserve(idx.size());
+            for (size_t i : idx) args.push_back(row[i]);
+            if ((*fn)(args, params)) {
+              OPD_RETURN_NOT_OK(out.AppendRow(row));
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kJoin: {
+        const Table& left = *inputs[0];
+        const Table& right = *inputs[1];
+        has_shuffle = true;
+        shuffle_bytes = in_bytes;  // both sides are re-partitioned by key
+        std::vector<size_t> lkeys, rkeys;
+        for (const auto& [lname, rname] : node->join.pairs) {
+          OPD_ASSIGN_OR_RETURN(size_t li, ColIndex(left.schema(), lname));
+          OPD_ASSIGN_OR_RETURN(size_t ri, ColIndex(right.schema(), rname));
+          lkeys.push_back(li);
+          rkeys.push_back(ri);
+        }
+        // Output column mapping: (from_left, index).
+        std::vector<std::pair<bool, size_t>> out_map;
+        for (const auto& col : node->out_schema.columns()) {
+          if (auto li = left.schema().IndexOf(col.name)) {
+            out_map.emplace_back(true, *li);
+          } else {
+            OPD_ASSIGN_OR_RETURN(size_t ri,
+                                 ColIndex(right.schema(), col.name));
+            out_map.emplace_back(false, ri);
+          }
+        }
+        // Build on the right side.
+        std::map<Row, std::vector<const Row*>, RowLess> build;
+        for (const Row& row : right.rows()) {
+          Row key;
+          for (size_t i : rkeys) key.push_back(row[i]);
+          build[std::move(key)].push_back(&row);
+        }
+        for (const Row& lrow : left.rows()) {
+          Row key;
+          for (size_t i : lkeys) key.push_back(lrow[i]);
+          auto it = build.find(key);
+          if (it == build.end()) continue;
+          for (const Row* rrow : it->second) {
+            Row r;
+            r.reserve(out_map.size());
+            for (const auto& [from_left, idx] : out_map) {
+              r.push_back(from_left ? lrow[idx] : (*rrow)[idx]);
+            }
+            OPD_RETURN_NOT_OK(out.AppendRow(std::move(r)));
+          }
+        }
+        break;
+      }
+      case OpKind::kGroupByAgg: {
+        const Table& in = *inputs[0];
+        has_shuffle = true;
+        shuffle_bytes = in_bytes;
+        std::vector<size_t> key_idx;
+        for (const std::string& key : node->group.keys) {
+          OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), key));
+          key_idx.push_back(i);
+        }
+        std::vector<std::optional<size_t>> agg_idx;
+        for (const auto& spec : node->group.aggs) {
+          if (spec.input.empty()) {
+            agg_idx.push_back(std::nullopt);
+          } else {
+            OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), spec.input));
+            agg_idx.push_back(i);
+          }
+        }
+        std::map<Row, std::vector<AggState>, RowLess> groups;
+        for (const Row& row : in.rows()) {
+          Row key;
+          for (size_t i : key_idx) key.push_back(row[i]);
+          auto& states = groups[std::move(key)];
+          if (states.empty()) states.resize(node->group.aggs.size());
+          for (size_t a = 0; a < states.size(); ++a) {
+            states[a].Update(agg_idx[a] ? row[*agg_idx[a]]
+                                        : Value(int64_t{1}));
+          }
+        }
+        const auto& out_cols = node->out_schema.columns();
+        for (const auto& [key, states] : groups) {
+          Row r = key;
+          for (size_t a = 0; a < states.size(); ++a) {
+            r.push_back(FinishAgg(node->group.aggs[a], states[a],
+                                  out_cols[key.size() + a].type));
+          }
+          OPD_RETURN_NOT_OK(out.AppendRow(std::move(r)));
+        }
+        break;
+      }
+      case OpKind::kUdf: {
+        OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* def,
+                             ctx.udfs->Find(node->udf.udf_name));
+        std::vector<LfStageRun> stage_runs;
+        OPD_RETURN_NOT_OK(RunLocalFunctions(*def, *inputs[0],
+                                            node->udf.params, &out,
+                                            &stage_runs));
+        has_shuffle = def->HasShuffle();
+        map_scalar = def->map_scalar;
+        reduce_scalar = def->reduce_scalar;
+        // Shuffle bytes: output of the last map stage before the first
+        // reduce (the data that actually crosses the network).
+        for (const LfStageRun& run : stage_runs) {
+          if (run.kind == udf::LfKind::kReduce) {
+            shuffle_bytes = run.in_bytes;
+            break;
+          }
+        }
+        break;
+      }
+    }
+
+    const uint64_t out_bytes = out.ByteSize();
+    plan::JobCostInfo jc = model.JobCost(
+        static_cast<double>(in_bytes), static_cast<double>(shuffle_bytes),
+        static_cast<double>(out_bytes), map_scalar, reduce_scalar,
+        has_shuffle);
+    metrics.sim_time_s += jc.total_s;
+    metrics.bytes_read += in_bytes;
+    metrics.bytes_shuffled += shuffle_bytes;
+    metrics.bytes_written += out_bytes;
+    metrics.jobs += 1;
+
+    // Materialize the job output to the DFS (Hive materializes every job).
+    const std::string path = "views/run" + std::to_string(run_id) + "/job" +
+                             std::to_string(job_counter++);
+    out.set_name(path);
+    auto table = std::make_shared<const Table>(std::move(out));
+    OPD_RETURN_NOT_OK(dfs_->Write(path, table));
+    results[node] = table;
+
+    if (options_.retain_views) {
+      catalog::ViewDefinition def;
+      def.dfs_path = path;
+      def.afk = node->afk;
+      def.out_attrs = node->out_attrs;
+      def.schema = node->out_schema;
+      def.fingerprint = plan::Fingerprint(node_ptr);
+      def.bytes = out_bytes;
+      def.producer = plan->name();
+      if (options_.collect_stats) {
+        def.stats = stats_.Collect(*table);
+        metrics.stats_time_s += stats_.JobTime(*table, model);
+      } else {
+        def.stats.rows = static_cast<double>(table->num_rows());
+        def.stats.avg_row_bytes = table->AvgRowBytes();
+      }
+      size_t before = views_->size();
+      views_->Add(std::move(def));
+      if (views_->size() > before) metrics.views_created += 1;
+    }
+  }
+
+  auto sink = results.find(plan->root().get());
+  if (sink == results.end()) {
+    return Status::Internal("plan produced no sink result");
+  }
+  return ExecResult{sink->second, metrics};
+}
+
+}  // namespace opd::exec

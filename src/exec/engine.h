@@ -1,0 +1,75 @@
+// The MapReduce execution simulator.
+//
+// Executes an annotated plan job by job: every non-scan operator runs as one
+// MR job over real rows, materializes its output to the simulated DFS, and —
+// as in Hive — that materialization is retained as an opportunistic view
+// (with its AFK annotation, plan fingerprint, and sampled statistics) in the
+// ViewStore. Modeled cluster time is computed by applying the cost model to
+// the *observed* byte counts of each job.
+
+#ifndef OPD_EXEC_ENGINE_H_
+#define OPD_EXEC_ENGINE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/view_store.h"
+#include "common/status.h"
+#include "exec/metrics.h"
+#include "exec/stats_collector.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+#include "storage/dfs.h"
+#include "udf/udf_registry.h"
+
+namespace opd::exec {
+
+/// Execution knobs.
+struct EngineOptions {
+  /// Retain job outputs as opportunistic views (Section 2.1). Always true in
+  /// the paper's system; switchable for ablation.
+  bool retain_views = true;
+  /// Run the sampling stats job for each retained view.
+  bool collect_stats = true;
+  double stats_sample_fraction = 0.05;
+  uint64_t stats_seed = 42;
+};
+
+/// Result of executing one plan.
+struct ExecResult {
+  storage::TablePtr table;
+  ExecMetrics metrics;
+};
+
+/// \brief Executes plans over the simulated cluster.
+class Engine {
+ public:
+  Engine(storage::Dfs* dfs, catalog::ViewStore* views,
+         const optimizer::Optimizer* optimizer, EngineOptions options = {})
+      : dfs_(dfs),
+        views_(views),
+        optimizer_(optimizer),
+        options_(options),
+        stats_(options.stats_sample_fraction, options.stats_seed) {}
+
+  /// Prepares (annotates/costs) and executes `plan`. The sink's output table
+  /// and the run's metrics are returned; intermediate materializations are
+  /// registered as opportunistic views when retention is on.
+  Result<ExecResult> Execute(plan::Plan* plan);
+
+  const EngineOptions& options() const { return options_; }
+  /// Number of Execute calls so far (used to build unique DFS paths).
+  int runs() const { return run_counter_; }
+
+ private:
+  storage::Dfs* dfs_;
+  catalog::ViewStore* views_;
+  const optimizer::Optimizer* optimizer_;
+  EngineOptions options_;
+  StatsCollector stats_;
+  int run_counter_ = 0;
+};
+
+}  // namespace opd::exec
+
+#endif  // OPD_EXEC_ENGINE_H_

@@ -1,0 +1,26 @@
+#include "exec/metrics.h"
+
+#include <sstream>
+
+namespace opd::exec {
+
+ExecMetrics& ExecMetrics::operator+=(const ExecMetrics& other) {
+  sim_time_s += other.sim_time_s;
+  stats_time_s += other.stats_time_s;
+  bytes_read += other.bytes_read;
+  bytes_shuffled += other.bytes_shuffled;
+  bytes_written += other.bytes_written;
+  jobs += other.jobs;
+  views_created += other.views_created;
+  return *this;
+}
+
+std::string ExecMetrics::ToString() const {
+  std::ostringstream os;
+  os << "time=" << sim_time_s << "s (+stats " << stats_time_s << "s), jobs="
+     << jobs << ", read=" << bytes_read << "B, shuffled=" << bytes_shuffled
+     << "B, written=" << bytes_written << "B, views=" << views_created;
+  return os.str();
+}
+
+}  // namespace opd::exec

@@ -1,0 +1,40 @@
+// Execution metrics reported by the MR simulator.
+
+#ifndef OPD_EXEC_METRICS_H_
+#define OPD_EXEC_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace opd::exec {
+
+/// \brief What one plan execution cost, in modeled cluster time and actual
+/// data movement (the paper's Figures 7-8 metrics).
+struct ExecMetrics {
+  /// Modeled cluster execution time (cost model applied to observed bytes).
+  double sim_time_s = 0;
+  /// Statistics-collection overhead (the lightweight sampling Map jobs).
+  double stats_time_s = 0;
+  /// Actual bytes read from the DFS across all jobs.
+  uint64_t bytes_read = 0;
+  /// Actual bytes sorted/transferred in shuffles.
+  uint64_t bytes_shuffled = 0;
+  /// Actual bytes written to the DFS.
+  uint64_t bytes_written = 0;
+  int jobs = 0;
+  int views_created = 0;
+
+  /// Total "data manipulated" (read + shuffled + written), Figure 8(b).
+  uint64_t BytesManipulated() const {
+    return bytes_read + bytes_shuffled + bytes_written;
+  }
+  /// Total reported time including statistics collection.
+  double TotalTime() const { return sim_time_s + stats_time_s; }
+
+  ExecMetrics& operator+=(const ExecMetrics& other);
+  std::string ToString() const;
+};
+
+}  // namespace opd::exec
+
+#endif  // OPD_EXEC_METRICS_H_

@@ -1,0 +1,63 @@
+#include "exec/stats_collector.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace opd::exec {
+
+catalog::TableStats StatsCollector::Collect(const storage::Table& table) const {
+  catalog::TableStats stats;
+  // Exact from job counters.
+  stats.rows = static_cast<double>(table.num_rows());
+  stats.avg_row_bytes = table.AvgRowBytes();
+  if (table.num_rows() == 0) return stats;
+
+  Rng rng(seed_ ^ table.num_rows());
+  const auto& schema = table.schema();
+  std::vector<std::set<uint64_t>> hashes(schema.num_columns());
+  std::vector<double> widths(schema.num_columns(), 0);
+  size_t sampled = 0;
+  for (const auto& row : table.rows()) {
+    if (!rng.Bernoulli(fraction_)) continue;
+    ++sampled;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      hashes[c].insert(row[c].Hash());
+      widths[c] += static_cast<double>(row[c].ByteSize());
+    }
+  }
+  if (sampled == 0) {
+    // Degenerate sample: fall back to scanning the first row only.
+    sampled = 1;
+    const auto& row = table.row(0);
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      hashes[c].insert(row[c].Hash());
+      widths[c] += static_cast<double>(row[c].ByteSize());
+    }
+  }
+  const double n = stats.rows;
+  const double sn = static_cast<double>(sampled);
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const std::string& name = schema.column(c).name;
+    const double ds = static_cast<double>(hashes[c].size());
+    // Saturation heuristic: if the sample looks mostly-unique, scale to the
+    // full table; if it saturated at few values, take it as the cardinality.
+    double est = ds >= 0.6 * sn ? ds * (n / sn) : ds;
+    stats.distinct[name] = std::min(est, n);
+    stats.col_bytes[name] = widths[c] / sn;
+  }
+  return stats;
+}
+
+double StatsCollector::JobTime(const storage::Table& table,
+                               const optimizer::CostModel& model) const {
+  // A map-only pass over the sampled fraction of the data; no shuffle, a
+  // metadata-sized output. As a lightweight piggybacked task it pays only a
+  // fraction of a full MR job's startup latency.
+  const double bytes = static_cast<double>(table.ByteSize()) * fraction_;
+  plan::JobCostInfo cost = model.JobCost(bytes, 0.0, 1024.0, 1.0, 1.0, false);
+  return cost.total_s - 0.875 * cost.latency_s;
+}
+
+}  // namespace opd::exec

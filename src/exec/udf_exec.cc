@@ -1,0 +1,110 @@
+#include "exec/udf_exec.h"
+
+#include <chrono>
+#include <map>
+
+namespace opd::exec {
+
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+
+namespace {
+
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    // Lexicographic; arities are equal within one grouping.
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+Status RunLocalFunctions(const udf::UdfDefinition& udf,
+                         const storage::Table& input,
+                         const udf::Params& params, storage::Table* output,
+                         std::vector<LfStageRun>* stages) {
+  if (udf.local_functions.empty()) {
+    return Status::InvalidArgument("UDF has no local functions: " + udf.name);
+  }
+  Schema cur_schema = input.schema();
+  std::vector<Row> cur_rows = input.rows();
+
+  for (const udf::LocalFunction& lf : udf.local_functions) {
+    OPD_ASSIGN_OR_RETURN(Schema out_schema, lf.out_schema(cur_schema, params));
+    udf::LfContext ctx;
+    ctx.in_schema = &cur_schema;
+    ctx.out_schema = &out_schema;
+    ctx.params = &params;
+
+    LfStageRun run;
+    run.lf_name = lf.name;
+    run.kind = lf.kind;
+    run.in_rows = cur_rows.size();
+    for (const Row& r : cur_rows) run.in_bytes += storage::RowByteSize(r);
+
+    std::vector<Row> next_rows;
+    auto start = std::chrono::steady_clock::now();
+    if (lf.kind == udf::LfKind::kMap) {
+      if (!lf.map_fn) {
+        return Status::Internal("map local function missing body: " + lf.name);
+      }
+      for (const Row& row : cur_rows) lf.map_fn(row, ctx, &next_rows);
+    } else {
+      if (!lf.reduce_fn) {
+        return Status::Internal("reduce local function missing body: " +
+                                lf.name);
+      }
+      // Shuffle: group by the key columns, deterministically ordered.
+      std::vector<size_t> key_idx;
+      for (const std::string& key : lf.group_keys) {
+        auto idx = cur_schema.IndexOf(key);
+        if (!idx) {
+          return Status::InvalidArgument("reduce key not in schema: " + key);
+        }
+        key_idx.push_back(*idx);
+      }
+      std::map<Row, std::vector<Row>, RowLess> groups;
+      for (Row& row : cur_rows) {
+        Row key;
+        key.reserve(key_idx.size());
+        for (size_t i : key_idx) key.push_back(row[i]);
+        groups[std::move(key)].push_back(std::move(row));
+      }
+      for (const auto& [_, group] : groups) {
+        lf.reduce_fn(group, ctx, &next_rows);
+      }
+    }
+    auto end = std::chrono::steady_clock::now();
+    run.wall_seconds = std::chrono::duration<double>(end - start).count();
+
+    // Validate arity of produced rows (cheap sanity check on user code).
+    for (const Row& r : next_rows) {
+      if (r.size() != out_schema.num_columns()) {
+        return Status::Internal("local function " + lf.name +
+                                " emitted row of arity " +
+                                std::to_string(r.size()) + ", schema has " +
+                                std::to_string(out_schema.num_columns()));
+      }
+    }
+    run.out_rows = next_rows.size();
+    for (const Row& r : next_rows) run.out_bytes += storage::RowByteSize(r);
+    if (stages != nullptr) stages->push_back(run);
+
+    cur_schema = std::move(out_schema);
+    cur_rows = std::move(next_rows);
+  }
+
+  Table result("", cur_schema);
+  for (Row& row : cur_rows) {
+    OPD_RETURN_NOT_OK(result.AppendRow(std::move(row)));
+  }
+  *output = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace opd::exec

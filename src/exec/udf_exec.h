@@ -1,0 +1,38 @@
+// Executes a UDF's local-function pipeline over real rows, mirroring the MR
+// runtime: map functions stream per tuple; reduce functions receive one key
+// group at a time.
+
+#ifndef OPD_EXEC_UDF_EXEC_H_
+#define OPD_EXEC_UDF_EXEC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "udf/udf.h"
+
+namespace opd::exec {
+
+/// Per-stage execution record (used for calibration and shuffle accounting).
+struct LfStageRun {
+  std::string lf_name;
+  udf::LfKind kind = udf::LfKind::kMap;
+  uint64_t in_bytes = 0;
+  uint64_t out_bytes = 0;
+  uint64_t in_rows = 0;
+  uint64_t out_rows = 0;
+  double wall_seconds = 0;  // real CPU wall time of the user code
+};
+
+/// \brief Runs all local functions of `udf` over `input`.
+///
+/// \param[out] output  the final stage's output table (named later by caller)
+/// \param[out] stages  optional per-stage accounting
+Status RunLocalFunctions(const udf::UdfDefinition& udf,
+                         const storage::Table& input,
+                         const udf::Params& params, storage::Table* output,
+                         std::vector<LfStageRun>* stages = nullptr);
+
+}  // namespace opd::exec
+
+#endif  // OPD_EXEC_UDF_EXEC_H_

@@ -1,0 +1,38 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+
+namespace opd::optimizer {
+
+plan::JobCostInfo CostModel::JobCost(double in_bytes, double shuffle_bytes,
+                                     double out_bytes, double map_cpu_scalar,
+                                     double reduce_cpu_scalar,
+                                     bool has_shuffle) const {
+  plan::JobCostInfo c;
+  const double in_mb = Scaled(in_bytes) / kMB;
+  const double shuf_mb = Scaled(shuffle_bytes) / kMB;
+  const double out_mb = Scaled(out_bytes) / kMB;
+
+  c.read_s = in_mb / params_.read_MBps;
+  c.cpu_s = map_cpu_scalar * in_mb / params_.cpu_MBps;
+  if (has_shuffle) {
+    c.shuffle_s = shuf_mb / params_.sort_MBps + shuf_mb / params_.net_MBps;
+    c.cpu_s += reduce_cpu_scalar * shuf_mb / params_.cpu_MBps;
+  }
+  c.write_s = out_mb / params_.write_MBps;
+  c.latency_s = params_.job_latency_s;
+  c.total_s = c.read_s + c.cpu_s + c.shuffle_s + c.write_s + c.latency_s;
+  return c;
+}
+
+double CostModel::ReadCost(double bytes) const {
+  return Scaled(bytes) / kMB / params_.read_MBps;
+}
+
+double CostModel::CheapestOpCpu(double bytes) const {
+  // All three operation types share the baseline per-byte CPU rate before
+  // calibration; the cheapest operation is therefore one baseline pass.
+  return Scaled(bytes) / kMB / params_.cpu_MBps;
+}
+
+}  // namespace opd::optimizer

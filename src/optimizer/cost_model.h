@@ -1,0 +1,75 @@
+// The MRShare-style "data" cost model (Nykiel et al. [21]) extended with
+// computational scalars for UDF local functions (paper Section 4.2).
+//
+// The cost of one MR job is Cm + Cs + Ct + Cr + Cw:
+//   Cm: read input + apply map task        Cs: sort and copy
+//   Ct: transfer (shuffle) over network    Cr: aggregate + apply reduce task
+//   Cw: materialize output (with replication)
+// plus a fixed per-job startup latency, which is what makes saved jobs
+// valuable.
+//
+// All byte quantities are *actual* simulator bytes; `data_scale` maps them to
+// modeled-cluster bytes (the synthetic logs are laptop-sized stand-ins for
+// the paper's 1 TB+ datasets).
+
+#ifndef OPD_OPTIMIZER_COST_MODEL_H_
+#define OPD_OPTIMIZER_COST_MODEL_H_
+
+#include "plan/operator.h"
+
+namespace opd::optimizer {
+
+/// Cluster model parameters. Defaults loosely model the paper's 20-node
+/// Hadoop 0.20 cluster.
+struct CostParams {
+  double read_MBps = 1000.0;    // aggregate HDFS read bandwidth
+  double write_MBps = 500.0;    // aggregate HDFS write (3x replication)
+  double sort_MBps = 800.0;     // map-side sort + spill
+  double net_MBps = 400.0;      // cross-rack shuffle bandwidth
+  double cpu_MBps = 2000.0;     // baseline per-operation processing rate
+  double job_latency_s = 8.0;   // MR job startup/teardown
+  double data_scale = 1.0;      // modeled bytes per actual simulator byte
+};
+
+/// \brief Produces per-job cost estimates.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostParams params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+  void set_data_scale(double scale) { params_.data_scale = scale; }
+
+  /// Cost of one MR job.
+  ///
+  /// \param in_bytes       bytes read from the DFS (map input)
+  /// \param shuffle_bytes  map-output bytes sorted/transferred (0 for
+  ///                       map-only jobs)
+  /// \param out_bytes      bytes written to the DFS
+  /// \param map_cpu_scalar  calibrated multiplier for the map computation
+  /// \param reduce_cpu_scalar calibrated multiplier for the reduce
+  /// \param has_shuffle    whether the job has a reduce phase
+  plan::JobCostInfo JobCost(double in_bytes, double shuffle_bytes,
+                            double out_bytes, double map_cpu_scalar,
+                            double reduce_cpu_scalar, bool has_shuffle) const;
+
+  /// Time to read `bytes` from the DFS (the mandatory part of any job that
+  /// consumes a view).
+  double ReadCost(double bytes) const;
+
+  /// CPU time of the *cheapest* single operation type over `bytes` — the
+  /// non-subsumable cost property bound (Definition 1) used by OPTCOST.
+  double CheapestOpCpu(double bytes) const;
+
+  double job_latency() const { return params_.job_latency_s; }
+
+ private:
+  double Scaled(double bytes) const { return bytes * params_.data_scale; }
+  static constexpr double kMB = 1024.0 * 1024.0;
+
+  CostParams params_;
+};
+
+}  // namespace opd::optimizer
+
+#endif  // OPD_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,183 @@
+#include "oql/lexer.h"
+
+#include <cctype>
+
+namespace opd::oql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemi:
+      return "';'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kCmp:
+      return "comparison";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  std::string out = TokenKindName(kind);
+  if (!text.empty() && kind != TokenKind::kEnd) out += " '" + text + "'";
+  out += " at line " + std::to_string(line) + ":" + std::to_string(column);
+  return out;
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, int col) {
+    tokens.push_back(Token{kind, std::move(text), line, col});
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    int start_col = column;
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) {
+        ++i;
+        ++column;
+      }
+      push(TokenKind::kIdent, source.substr(start, i - start), start_col);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      ++i;
+      ++column;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              source[i] == '.')) {
+        ++i;
+        ++column;
+      }
+      push(TokenKind::kNumber, source.substr(start, i - start), start_col);
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      ++column;
+      while (i < source.size() && source[i] != '"' && source[i] != '\n') {
+        ++i;
+        ++column;
+      }
+      if (i >= source.size() || source[i] != '"') {
+        return Status::InvalidArgument(
+            "unterminated string literal at line " + std::to_string(line));
+      }
+      push(TokenKind::kString, source.substr(start, i - start), start_col);
+      ++i;
+      ++column;
+      continue;
+    }
+    // Operators and punctuation.
+    switch (c) {
+      case '|':
+        push(TokenKind::kPipe, "|", start_col);
+        break;
+      case ',':
+        push(TokenKind::kComma, ",", start_col);
+        break;
+      case ';':
+        push(TokenKind::kSemi, ";", start_col);
+        break;
+      case '(':
+        push(TokenKind::kLParen, "(", start_col);
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", start_col);
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", start_col);
+        break;
+      case '<':
+      case '>': {
+        std::string op(1, c);
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          op += '=';
+          ++i;
+          ++column;
+        }
+        push(TokenKind::kCmp, op, start_col);
+        break;
+      }
+      case '!':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kCmp, "!=", start_col);
+          ++i;
+          ++column;
+        } else {
+          return Status::InvalidArgument("unexpected '!' at line " +
+                                         std::to_string(line));
+        }
+        break;
+      case '=':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kCmp, "==", start_col);
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::kAssign, "=", start_col);
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at line " +
+            std::to_string(line) + ":" + std::to_string(column));
+    }
+    ++i;
+    ++column;
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", line, column});
+  return tokens;
+}
+
+}  // namespace opd::oql

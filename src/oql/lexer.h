@@ -1,0 +1,52 @@
+// Lexer for OQL, the small declarative pipeline language that plays the role
+// HiveQL plays in the paper (Section 2.1): analysts express queries as text;
+// the system parses them into plans, annotates, optimizes, and rewrites.
+//
+//   foodies = scan TWTR
+//           | project tweet_id, user_id, tweet_text
+//           | udf UDF_CLASSIFY_FOOD_SCORE(threshold = 0.5);
+//   counts  = scan TWTR | groupby user_id count(*) as n | filter n > 100;
+//   result  = join foodies counts on user_id = user_id;
+
+#ifndef OPD_OQL_LEXER_H_
+#define OPD_OQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace opd::oql {
+
+enum class TokenKind {
+  kIdent,    // table / column / udf names and keywords
+  kNumber,   // 123, -4.5
+  kString,   // "wine_bar"
+  kPipe,     // |
+  kComma,    // ,
+  kSemi,     // ;
+  kAssign,   // =
+  kLParen,   // (
+  kRParen,   // )
+  kStar,     // *
+  kCmp,      // < <= > >= == !=
+  kEnd,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier / literal / operator spelling
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+/// \brief Tokenizes OQL source. `#` starts a to-end-of-line comment.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace opd::oql
+
+#endif  // OPD_OQL_LEXER_H_

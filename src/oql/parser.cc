@@ -1,0 +1,289 @@
+#include "oql/parser.h"
+
+#include <cstdlib>
+
+#include "oql/lexer.h"
+#include "storage/value.h"
+
+namespace opd::oql {
+
+namespace {
+
+using plan::OpNodePtr;
+using storage::Value;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Run() {
+    Program program;
+    while (!At(TokenKind::kEnd)) {
+      OPD_RETURN_NOT_OK(ParseStatement(&program));
+    }
+    if (program.bindings.empty()) {
+      return Status::InvalidArgument("empty OQL program");
+    }
+    return program;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  bool AtIdent(const char* word) const {
+    return At(TokenKind::kIdent) && Cur().text == word;
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Fail(const std::string& expected) const {
+    return Status::InvalidArgument("expected " + expected + ", found " +
+                                   Cur().Describe());
+  }
+
+  Status Expect(TokenKind kind, std::string* text = nullptr) {
+    if (!At(kind)) return Fail(TokenKindName(kind));
+    if (text != nullptr) *text = Cur().text;
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectWord(const char* word) {
+    if (!AtIdent(word)) return Fail(std::string("'") + word + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  // stmt := IDENT '=' pipeline ';'
+  Status ParseStatement(Program* program) {
+    std::string name;
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &name));
+    if (program->bindings.count(name)) {
+      return Status::InvalidArgument("binding redefined: " + name);
+    }
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kAssign));
+    OPD_ASSIGN_OR_RETURN(OpNodePtr node, ParsePipeline(*program));
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kSemi));
+    program->bindings[name] = std::move(node);
+    program->result_name = name;
+    return Status::OK();
+  }
+
+  Result<OpNodePtr> ParsePipeline(const Program& program) {
+    OPD_ASSIGN_OR_RETURN(OpNodePtr node, ParseSource(program));
+    while (At(TokenKind::kPipe)) {
+      Advance();
+      OPD_ASSIGN_OR_RETURN(node, ParseStage(std::move(node)));
+    }
+    return node;
+  }
+
+  Result<OpNodePtr> ParseSource(const Program& program) {
+    if (AtIdent("scan")) {
+      Advance();
+      std::string table;
+      OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &table));
+      return plan::Scan(table);
+    }
+    if (AtIdent("view")) {
+      Advance();
+      std::string number;
+      OPD_RETURN_NOT_OK(Expect(TokenKind::kNumber, &number));
+      return plan::ScanView(std::atoll(number.c_str()));
+    }
+    if (AtIdent("join")) {
+      Advance();
+      OPD_ASSIGN_OR_RETURN(OpNodePtr left, ParseRef(program));
+      OPD_ASSIGN_OR_RETURN(OpNodePtr right, ParseRef(program));
+      OPD_RETURN_NOT_OK(ExpectWord("on"));
+      std::vector<std::pair<std::string, std::string>> pairs;
+      while (true) {
+        std::string l, r;
+        OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &l));
+        OPD_RETURN_NOT_OK(Expect(TokenKind::kAssign, nullptr));
+        OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &r));
+        pairs.emplace_back(std::move(l), std::move(r));
+        if (!At(TokenKind::kComma)) break;
+        Advance();
+      }
+      return plan::Join(std::move(left), std::move(right), std::move(pairs));
+    }
+    return ParseRef(program);
+  }
+
+  // A reference to an earlier binding.
+  Result<OpNodePtr> ParseRef(const Program& program) {
+    std::string name;
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &name));
+    auto it = program.bindings.find(name);
+    if (it == program.bindings.end()) {
+      return Status::NotFound("unknown binding: " + name);
+    }
+    return it->second;
+  }
+
+  Result<OpNodePtr> ParseStage(OpNodePtr input) {
+    if (AtIdent("project")) {
+      Advance();
+      std::vector<std::string> columns;
+      OPD_RETURN_NOT_OK(ParseIdentList(&columns));
+      return plan::Project(std::move(input), std::move(columns));
+    }
+    if (AtIdent("filter")) {
+      Advance();
+      std::string name;
+      OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &name));
+      if (At(TokenKind::kLParen)) {  // opaque predicate
+        Advance();
+        std::vector<std::string> args;
+        OPD_RETURN_NOT_OK(ParseIdentList(&args));
+        OPD_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        return plan::Filter(std::move(input),
+                            plan::FilterCond::Opaque(name, std::move(args)));
+      }
+      std::string op_text;
+      OPD_RETURN_NOT_OK(Expect(TokenKind::kCmp, &op_text));
+      OPD_ASSIGN_OR_RETURN(afk::CmpOp op, ParseCmpOp(op_text));
+      OPD_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+      return plan::Filter(std::move(input), plan::FilterCond::Compare(
+                                                name, op, std::move(literal)));
+    }
+    if (AtIdent("groupby")) {
+      Advance();
+      std::vector<std::string> keys;
+      std::vector<plan::AggSpec> aggs;
+      // Keys until the first aggregate keyword.
+      while (At(TokenKind::kIdent) && !AtAggKeyword()) {
+        keys.push_back(Cur().text);
+        Advance();
+        if (At(TokenKind::kComma)) Advance();
+      }
+      if (keys.empty()) return Fail("group key");
+      while (AtAggKeyword()) {
+        OPD_ASSIGN_OR_RETURN(plan::AggSpec agg, ParseAgg());
+        aggs.push_back(std::move(agg));
+        if (At(TokenKind::kComma)) Advance();
+      }
+      if (aggs.empty()) return Fail("aggregate (count/sum/avg/min/max)");
+      return plan::GroupBy(std::move(input), std::move(keys),
+                           std::move(aggs));
+    }
+    if (AtIdent("udf")) {
+      Advance();
+      std::string name;
+      OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &name));
+      udf::Params params;
+      if (At(TokenKind::kLParen)) {
+        Advance();
+        while (!At(TokenKind::kRParen)) {
+          std::string key;
+          OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &key));
+          OPD_RETURN_NOT_OK(Expect(TokenKind::kAssign));
+          OPD_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+          params[key] = std::move(literal);
+          if (At(TokenKind::kComma)) Advance();
+        }
+        OPD_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      }
+      return plan::Udf(std::move(input), name, std::move(params));
+    }
+    return Fail("stage (project/filter/groupby/udf)");
+  }
+
+  bool AtAggKeyword() const {
+    if (!At(TokenKind::kIdent)) return false;
+    const std::string& w = Cur().text;
+    return w == "count" || w == "sum" || w == "avg" || w == "min" ||
+           w == "max";
+  }
+
+  Result<plan::AggSpec> ParseAgg() {
+    plan::AggSpec agg;
+    const std::string fn = Cur().text;
+    Advance();
+    if (fn == "count") {
+      agg.fn = plan::AggFn::kCount;
+    } else if (fn == "sum") {
+      agg.fn = plan::AggFn::kSum;
+    } else if (fn == "avg") {
+      agg.fn = plan::AggFn::kAvg;
+    } else if (fn == "min") {
+      agg.fn = plan::AggFn::kMin;
+    } else {
+      agg.fn = plan::AggFn::kMax;
+    }
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    if (At(TokenKind::kStar)) {
+      Advance();
+    } else if (At(TokenKind::kIdent)) {
+      agg.input = Cur().text;
+      Advance();
+    }
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    OPD_RETURN_NOT_OK(ExpectWord("as"));
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &agg.output));
+    if (agg.input.empty() && agg.fn != plan::AggFn::kCount) {
+      return Status::InvalidArgument("only count may aggregate '*'");
+    }
+    return agg;
+  }
+
+  Result<afk::CmpOp> ParseCmpOp(const std::string& text) {
+    if (text == "<") return afk::CmpOp::kLt;
+    if (text == "<=") return afk::CmpOp::kLe;
+    if (text == ">") return afk::CmpOp::kGt;
+    if (text == ">=") return afk::CmpOp::kGe;
+    if (text == "==") return afk::CmpOp::kEq;
+    if (text == "!=") return afk::CmpOp::kNe;
+    return Status::InvalidArgument("unknown comparison: " + text);
+  }
+
+  Result<Value> ParseLiteral() {
+    if (At(TokenKind::kNumber)) {
+      std::string text = Cur().text;
+      Advance();
+      return Value(std::atof(text.c_str()));
+    }
+    if (At(TokenKind::kString)) {
+      std::string text = Cur().text;
+      Advance();
+      return Value(std::move(text));
+    }
+    return Status::InvalidArgument("expected literal, found " +
+                                   Cur().Describe());
+  }
+
+  Status ParseIdentList(std::vector<std::string>* out) {
+    std::string first;
+    OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &first));
+    out->push_back(std::move(first));
+    while (At(TokenKind::kComma)) {
+      Advance();
+      std::string next;
+      OPD_RETURN_NOT_OK(Expect(TokenKind::kIdent, &next));
+      out->push_back(std::move(next));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(const std::string& source) {
+  OPD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+Result<plan::Plan> ParseQuery(const std::string& source) {
+  OPD_ASSIGN_OR_RETURN(Program program, Parse(source));
+  plan::Plan plan = program.ToPlan();
+  if (plan.empty()) return Status::Internal("program produced no plan");
+  return plan;
+}
+
+}  // namespace opd::oql

@@ -1,0 +1,58 @@
+// OQL parser: turns pipeline programs into plan DAGs.
+//
+// Grammar (see lexer.h for an example):
+//
+//   program  := stmt+
+//   stmt     := IDENT '=' pipeline ';'
+//   pipeline := source ('|' stage)*
+//   source   := 'scan' IDENT
+//             | 'view' NUMBER
+//             | 'join' ref ref 'on' IDENT '=' IDENT (',' IDENT '=' IDENT)*
+//             | IDENT                         (reference to earlier binding)
+//   stage    := 'project' IDENT (',' IDENT)*
+//             | 'filter' IDENT CMP literal
+//             | 'filter' IDENT '(' IDENT (',' IDENT)* ')'    (opaque)
+//             | 'groupby' keys agg (',' agg)*
+//             | 'udf' IDENT ('(' IDENT '=' literal (',' ...)* ')')?
+//   agg      := ('count'|'sum'|'avg'|'min'|'max') '(' IDENT? | '*' ')'
+//               'as' IDENT
+//
+// Keywords are contextual (scan/view/join/on/project/filter/groupby/udf/as
+// and the aggregate names); anything else is an identifier. The program's
+// value is its last binding. Statements may reference earlier bindings,
+// which become shared subplans (materialization points), exactly like the
+// multi-stage HiveQL scripts of the paper's workload.
+
+#ifndef OPD_OQL_PARSER_H_
+#define OPD_OQL_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace opd::oql {
+
+/// A parsed program: named pipelines plus the result binding.
+struct Program {
+  std::map<std::string, plan::OpNodePtr> bindings;
+  std::string result_name;
+
+  /// The plan computing the final binding.
+  plan::Plan ToPlan() const {
+    auto it = bindings.find(result_name);
+    return plan::Plan(it == bindings.end() ? nullptr : it->second,
+                      result_name);
+  }
+};
+
+/// Parses an OQL program. Errors carry line/column positions.
+Result<Program> Parse(const std::string& source);
+
+/// Convenience: parse and return the result plan directly.
+Result<plan::Plan> ParseQuery(const std::string& source);
+
+}  // namespace opd::oql
+
+#endif  // OPD_OQL_PARSER_H_

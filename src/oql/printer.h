@@ -1,0 +1,23 @@
+// OQL printer: renders a plan DAG back into OQL text (the inverse of the
+// parser). Shared subtrees become named bindings, reproducing the
+// multi-statement structure of the original program.
+//
+// Round-trip property: ParseQuery(Print(plan)) produces a plan with the same
+// fingerprint (modulo binding names).
+
+#ifndef OPD_OQL_PRINTER_H_
+#define OPD_OQL_PRINTER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace opd::oql {
+
+/// Renders `plan` as an OQL program whose last binding computes the result.
+Result<std::string> Print(const plan::Plan& plan);
+
+}  // namespace opd::oql
+
+#endif  // OPD_OQL_PRINTER_H_

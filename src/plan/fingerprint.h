@@ -1,0 +1,21 @@
+// Canonical syntactic fingerprints of plan subtrees, used by the
+// BFR-SYNTACTIC caching baseline (Section 8.3.4): two computations match
+// only if their plans are syntactically identical.
+
+#ifndef OPD_PLAN_FINGERPRINT_H_
+#define OPD_PLAN_FINGERPRINT_H_
+
+#include <string>
+
+#include "plan/operator.h"
+
+namespace opd::plan {
+
+/// Canonical string of the operator subtree rooted at `node`. Includes every
+/// parameter (thresholds too), so a revised threshold breaks syntactic
+/// matching — exactly the limitation the paper demonstrates.
+std::string Fingerprint(const OpNodePtr& node);
+
+}  // namespace opd::plan
+
+#endif  // OPD_PLAN_FINGERPRINT_H_

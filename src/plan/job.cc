@@ -1,0 +1,53 @@
+#include "plan/job.h"
+
+#include <map>
+#include <set>
+
+namespace opd::plan {
+
+Result<JobDag> JobDag::Build(const Plan& plan) {
+  if (plan.empty()) return Status::InvalidArgument("empty plan");
+  JobDag dag;
+  std::map<const OpNode*, int> index;
+  for (const OpNodePtr& node : plan.TopoOrder()) {
+    if (node->kind == OpKind::kScan) continue;
+    if (!node->annotated) {
+      return Status::InvalidArgument("plan must be annotated before Build");
+    }
+    Job job;
+    job.op = node;
+    for (const OpNodePtr& child : node->children) {
+      if (child->kind == OpKind::kScan) continue;
+      auto it = index.find(child.get());
+      if (it == index.end()) {
+        return Status::Internal("topological order violated in JobDag::Build");
+      }
+      job.producers.push_back(it->second);
+    }
+    int id = static_cast<int>(dag.jobs_.size());
+    index[node.get()] = id;
+    for (int p : job.producers) dag.jobs_[p].consumers.push_back(id);
+    dag.jobs_.push_back(std::move(job));
+  }
+  if (dag.jobs_.empty()) {
+    return Status::InvalidArgument("plan contains only scans");
+  }
+  return dag;
+}
+
+double JobDag::TargetCost(size_t i) const {
+  // Collect job i and all upstream producers.
+  std::set<int> in_target;
+  std::vector<int> stack = {static_cast<int>(i)};
+  while (!stack.empty()) {
+    int j = stack.back();
+    stack.pop_back();
+    if (!in_target.insert(j).second) continue;
+    for (int p : jobs_[j].producers) stack.push_back(p);
+  }
+  double total = 0;
+  for (int j : in_target) total += jobs_[j].op->cost.total_s;
+  return total;
+}
+
+}  // namespace opd::plan

@@ -1,0 +1,49 @@
+// The MR job DAG W (Section 2.2): each non-scan plan node is one MR job that
+// materializes its output; the prefix sub-graph ending at job i is the
+// rewritable target W_i.
+
+#ifndef OPD_PLAN_JOB_H_
+#define OPD_PLAN_JOB_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace opd::plan {
+
+/// One MR job (a non-scan operator node) and its DAG neighborhood.
+struct Job {
+  OpNodePtr op;
+  /// Indices (into JobDag) of the jobs producing this job's inputs. A scan
+  /// child contributes no producer (it reads base data directly).
+  std::vector<int> producers;
+  /// Indices of the jobs consuming this job's output.
+  std::vector<int> consumers;
+};
+
+/// \brief The job DAG of a plan, topologically ordered (producers first).
+/// The sink (job n) computes the query result.
+class JobDag {
+ public:
+  /// Builds the DAG from an *annotated* plan.
+  static Result<JobDag> Build(const Plan& plan);
+
+  size_t size() const { return jobs_.size(); }
+  const Job& job(size_t i) const { return jobs_[i]; }
+  int sink() const { return static_cast<int>(jobs_.size()) - 1; }
+
+  /// The plan computing target W_i (the job's operator subtree).
+  Plan TargetPlan(size_t i) const { return Plan(jobs_[i].op); }
+
+  /// COST(W_i): sum of the optimizer cost of job i and all its upstream jobs
+  /// (requires the plan to have been costed).
+  double TargetCost(size_t i) const;
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace opd::plan
+
+#endif  // OPD_PLAN_JOB_H_

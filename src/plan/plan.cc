@@ -1,0 +1,97 @@
+#include "plan/plan.h"
+
+#include <set>
+
+namespace opd::plan {
+
+namespace {
+void TopoVisit(const OpNodePtr& node, std::set<const OpNode*>* seen,
+               std::vector<OpNodePtr>* out) {
+  if (node == nullptr || seen->count(node.get())) return;
+  seen->insert(node.get());
+  for (const OpNodePtr& child : node->children) TopoVisit(child, seen, out);
+  out->push_back(node);
+}
+
+void Render(const OpNodePtr& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node->DisplayName());
+  out->push_back('\n');
+  for (const OpNodePtr& child : node->children) Render(child, depth + 1, out);
+}
+}  // namespace
+
+std::vector<OpNodePtr> Plan::TopoOrder() const {
+  std::vector<OpNodePtr> out;
+  std::set<const OpNode*> seen;
+  TopoVisit(root_, &seen, &out);
+  return out;
+}
+
+std::string Plan::ToString() const {
+  if (root_ == nullptr) return "<empty>";
+  std::string out;
+  Render(root_, 0, &out);
+  return out;
+}
+
+OpNodePtr Scan(const std::string& table) {
+  auto n = std::make_shared<OpNode>();
+  n->kind = OpKind::kScan;
+  n->table = table;
+  return n;
+}
+
+OpNodePtr ScanView(catalog::ViewId id) {
+  auto n = std::make_shared<OpNode>();
+  n->kind = OpKind::kScan;
+  n->view_id = id;
+  return n;
+}
+
+OpNodePtr Project(OpNodePtr child, std::vector<std::string> columns) {
+  auto n = std::make_shared<OpNode>();
+  n->kind = OpKind::kProject;
+  n->children = {std::move(child)};
+  n->project = std::move(columns);
+  return n;
+}
+
+OpNodePtr Filter(OpNodePtr child, FilterCond cond) {
+  auto n = std::make_shared<OpNode>();
+  n->kind = OpKind::kFilter;
+  n->children = {std::move(child)};
+  n->filter = std::move(cond);
+  return n;
+}
+
+OpNodePtr Join(OpNodePtr left, OpNodePtr right,
+               std::vector<std::pair<std::string, std::string>> pairs) {
+  auto n = std::make_shared<OpNode>();
+  n->kind = OpKind::kJoin;
+  n->children = {std::move(left), std::move(right)};
+  n->join.pairs = std::move(pairs);
+  return n;
+}
+
+OpNodePtr GroupBy(OpNodePtr child, std::vector<std::string> keys,
+                  std::vector<AggSpec> aggs) {
+  auto n = std::make_shared<OpNode>();
+  n->kind = OpKind::kGroupByAgg;
+  n->children = {std::move(child)};
+  n->group.keys = std::move(keys);
+  n->group.aggs = std::move(aggs);
+  return n;
+}
+
+OpNodePtr Udf(OpNodePtr child, const std::string& udf_name,
+              udf::Params params) {
+  auto n = std::make_shared<OpNode>();
+  n->kind = OpKind::kUdf;
+  n->children = {std::move(child)};
+  n->udf.udf_name = udf_name;
+  n->udf.params = std::move(params);
+  return n;
+}
+
+}  // namespace opd::plan

@@ -1,0 +1,57 @@
+// Plan container and builder functions.
+
+#ifndef OPD_PLAN_PLAN_H_
+#define OPD_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/operator.h"
+
+namespace opd::plan {
+
+/// \brief A query plan: a DAG of operators with a single sink.
+///
+/// Shared subtrees (the same OpNodePtr reachable via multiple parents) are
+/// permitted and treated as a DAG: topological traversal visits each node
+/// once, matching the paper's plan model.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(OpNodePtr root, std::string name = "")
+      : root_(std::move(root)), name_(std::move(name)) {}
+
+  const OpNodePtr& root() const { return root_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Nodes in topological (children-before-parents) order, each exactly once.
+  std::vector<OpNodePtr> TopoOrder() const;
+
+  /// Indented multi-line rendering for debugging.
+  std::string ToString() const;
+
+ private:
+  OpNodePtr root_;
+  std::string name_;
+};
+
+// --- Builder helpers --------------------------------------------------------
+
+/// Scan of a base table.
+OpNodePtr Scan(const std::string& table);
+/// Scan of a materialized view.
+OpNodePtr ScanView(catalog::ViewId id);
+OpNodePtr Project(OpNodePtr child, std::vector<std::string> columns);
+OpNodePtr Filter(OpNodePtr child, FilterCond cond);
+OpNodePtr Join(OpNodePtr left, OpNodePtr right,
+               std::vector<std::pair<std::string, std::string>> pairs);
+OpNodePtr GroupBy(OpNodePtr child, std::vector<std::string> keys,
+                  std::vector<AggSpec> aggs);
+OpNodePtr Udf(OpNodePtr child, const std::string& udf_name,
+              udf::Params params = {});
+
+}  // namespace opd::plan
+
+#endif  // OPD_PLAN_PLAN_H_

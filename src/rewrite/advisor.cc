@@ -1,0 +1,81 @@
+#include "rewrite/advisor.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "rewrite/bf_rewrite.h"
+
+namespace opd::rewrite {
+
+std::string AdvisorReport::ToString(const catalog::ViewStore& store) const {
+  std::ostringstream os;
+  os << "workload: " << queries_improved << "/" << queries_total
+     << " queries improved, total estimated savings "
+     << static_cast<long>(total_benefit_s) << "s\n";
+  os << "view ranking (benefit desc):\n";
+  for (const ViewScore& score : ranking) {
+    os << "  view " << score.id << ": " << static_cast<long>(
+        score.total_benefit_s)
+       << "s across " << score.queries_helped << " queries, " << score.bytes
+       << " bytes";
+    auto def = store.Find(score.id);
+    if (def.ok()) os << "  [" << (*def)->producer << "]";
+    os << "\n";
+  }
+  os << unused.size() << " views unused by this workload\n";
+  return os.str();
+}
+
+Result<AdvisorReport> ViewAdvisor::Analyze(
+    std::vector<plan::Plan>* workload) const {
+  AdvisorReport report;
+  report.queries_total = static_cast<int>(workload->size());
+
+  std::map<catalog::ViewId, ViewScore> scores;
+  BfRewriter rewriter(optimizer_, views_, options_);
+
+  for (plan::Plan& query : *workload) {
+    OPD_ASSIGN_OR_RETURN(RewriteOutcome outcome, rewriter.Rewrite(&query));
+    if (!outcome.improved) continue;
+    report.queries_improved += 1;
+    const double benefit =
+        std::max(outcome.original_cost - outcome.est_cost, 0.0);
+    report.total_benefit_s += benefit;
+
+    std::set<catalog::ViewId> used;
+    for (const plan::OpNodePtr& node : outcome.plan.TopoOrder()) {
+      if (node->kind == plan::OpKind::kScan && node->view_id >= 0) {
+        used.insert(node->view_id);
+      }
+    }
+    if (used.empty()) continue;
+    const double share = benefit / static_cast<double>(used.size());
+    for (catalog::ViewId id : used) {
+      ViewScore& score = scores[id];
+      score.id = id;
+      score.total_benefit_s += share;
+      score.queries_helped += 1;
+    }
+  }
+
+  for (const catalog::ViewDefinition* def : views_->All()) {
+    auto it = scores.find(def->id);
+    if (it == scores.end()) {
+      report.unused.push_back(def->id);
+    } else {
+      it->second.bytes = def->bytes;
+      report.ranking.push_back(it->second);
+    }
+  }
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [](const ViewScore& a, const ViewScore& b) {
+              if (a.total_benefit_s != b.total_benefit_s) {
+                return a.total_benefit_s > b.total_benefit_s;
+              }
+              return a.id < b.id;
+            });
+  return report;
+}
+
+}  // namespace opd::rewrite

@@ -1,0 +1,166 @@
+#include "rewrite/bf_rewrite.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "plan/job.h"
+#include "rewrite/view_finder.h"
+
+namespace opd::rewrite {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Per-run search state (Algorithms 1-3 operate over this).
+struct SearchState {
+  const plan::JobDag* dag = nullptr;
+  std::vector<plan::OpNodePtr> best_plan;
+  std::vector<double> best_cost;
+  std::vector<ViewFinder> finders;
+  RewriteStats* stats = nullptr;
+  std::chrono::steady_clock::time_point start;
+
+  double Elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  /// Composes a plan for job i from its original operator and the current
+  /// best plans of its producers (used by PROPBESTREWRITE).
+  plan::OpNodePtr Compose(int i) const {
+    const plan::Job& job = dag->job(i);
+    auto node = std::make_shared<plan::OpNode>();
+    const plan::OpNode& orig = *job.op;
+    node->kind = orig.kind;
+    node->table = orig.table;
+    node->view_id = orig.view_id;
+    node->project = orig.project;
+    node->filter = orig.filter;
+    node->join = orig.join;
+    node->group = orig.group;
+    node->udf = orig.udf;
+    size_t producer_idx = 0;
+    for (const plan::OpNodePtr& child : orig.children) {
+      if (child->kind == plan::OpKind::kScan) {
+        node->children.push_back(child);
+      } else {
+        node->children.push_back(best_plan[job.producers[producer_idx++]]);
+      }
+    }
+    return node;
+  }
+
+  double ComposedCost(int i) const {
+    const plan::Job& job = dag->job(i);
+    double cost = job.op->cost.total_s;
+    for (int p : job.producers) cost += best_cost[p];
+    return cost;
+  }
+
+  void RecordSinkImprovement() {
+    stats->convergence.emplace_back(Elapsed(), best_cost[dag->sink()]);
+  }
+
+  // Algorithm 3: PROPBESTREWRITE.
+  void PropBestRewrite(int i) {
+    double cost = ComposedCost(i);
+    if (cost + kEps < best_cost[i]) {
+      best_cost[i] = cost;
+      best_plan[i] = Compose(i);
+      if (i == dag->sink()) RecordSinkImprovement();
+      for (int k : dag->job(i).consumers) PropBestRewrite(k);
+    }
+  }
+
+  // Algorithm 2: REFINETARGET.
+  Status RefineTarget(int i) {
+    auto result = finders[i].Refine();
+    OPD_RETURN_NOT_OK(finders[i].status());
+    if (result.has_value() && result->cost + kEps < best_cost[i]) {
+      best_cost[i] = result->cost;
+      best_plan[i] = result->plan.root();
+      if (i == dag->sink()) RecordSinkImprovement();
+      for (int k : dag->job(i).consumers) PropBestRewrite(k);
+    }
+    return Status::OK();
+  }
+
+  // Algorithm 2: FINDNEXTMINTARGET. Returns (target index or -1, bound d).
+  std::pair<int, double> FindNextMinTarget(int i) {
+    double d_prime = 0;
+    int w_min = -1;
+    double d_min = std::numeric_limits<double>::infinity();
+    for (int j : dag->job(i).producers) {
+      auto [k, d] = FindNextMinTarget(j);
+      d_prime += d;
+      if (d < d_min && k != -1) {
+        w_min = k;
+        d_min = d;
+      }
+    }
+    d_prime += dag->job(i).op->cost.total_s;
+    const double d_i = finders[i].Peek();
+    if (std::min(d_prime, d_i) >= best_cost[i] - kEps) {
+      return {-1, best_cost[i]};
+    }
+    if (d_prime < d_i) {
+      // With eager propagation, d' < BESTPLANCOST_i implies some producer
+      // target is refinable; the defensive -1 covers numeric edge cases.
+      return {w_min, d_prime};
+    }
+    return {i, d_i};
+  }
+};
+
+}  // namespace
+
+Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan) const {
+  OPD_RETURN_NOT_OK(optimizer_->Prepare(plan));
+  OPD_ASSIGN_OR_RETURN(plan::JobDag dag, plan::JobDag::Build(*plan));
+  const size_t n = dag.size();
+
+  RewriteOutcome outcome;
+  SearchState state;
+  state.dag = &dag;
+  state.stats = &outcome.stats;
+  state.start = std::chrono::steady_clock::now();
+
+  EnumDeps deps;
+  deps.optimizer = optimizer_;
+  deps.views = views_;
+  deps.udfs = optimizer_->context().udfs;
+  deps.options = options_;
+
+  const auto all_views = views_->All();
+  state.best_plan.resize(n);
+  state.best_cost.resize(n);
+  state.finders.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    state.best_plan[i] = dag.job(i).op;
+    state.best_cost[i] = dag.TargetCost(i);
+    state.finders[i].Init(MakeTargetContext(dag.job(i).op, options_), deps,
+                          all_views, &outcome.stats);
+  }
+  outcome.original_cost = state.best_cost[dag.sink()];
+  outcome.stats.convergence.emplace_back(0.0, outcome.original_cost);
+
+  // Algorithm 1: main loop.
+  constexpr size_t kMaxIterations = 10'000'000;
+  for (size_t iter = 0; iter < kMaxIterations; ++iter) {
+    auto [target, d] = state.FindNextMinTarget(dag.sink());
+    (void)d;
+    if (target == -1) break;
+    OPD_RETURN_NOT_OK(state.RefineTarget(target));
+  }
+
+  outcome.plan = plan::Plan(state.best_plan[dag.sink()], plan->name());
+  outcome.est_cost = state.best_cost[dag.sink()];
+  outcome.improved = outcome.est_cost + kEps < outcome.original_cost;
+  outcome.stats.runtime_s = state.Elapsed();
+  return outcome;
+}
+
+}  // namespace opd::rewrite

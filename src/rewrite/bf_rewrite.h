@@ -1,0 +1,43 @@
+// BFREWRITE (Section 6, Algorithms 1-3): best-first search for the
+// minimum-cost rewrite of a whole plan W.
+//
+// Every job i in W is a rewritable target W_i with its own ViewFinder.
+// FINDNEXTMINTARGET recursively picks the target whose next candidate has
+// the lowest OPTCOST; REFINETARGET refines it; PROPBESTREWRITE propagates an
+// improved rewrite downstream by composing it with the consuming jobs.
+// Terminates when no target can possibly improve BESTPLAN_n.
+
+#ifndef OPD_REWRITE_BF_REWRITE_H_
+#define OPD_REWRITE_BF_REWRITE_H_
+
+#include "catalog/view_store.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+#include "rewrite/rewriter.h"
+
+namespace opd::rewrite {
+
+/// \brief The paper's rewriter.
+class BfRewriter {
+ public:
+  BfRewriter(const optimizer::Optimizer* optimizer,
+             const catalog::ViewStore* views, RewriteOptions options = {})
+      : optimizer_(optimizer), views_(views), options_(std::move(options)) {}
+
+  /// Finds the minimum-cost rewrite of `plan` using the current views.
+  /// `plan` is prepared (annotated + costed) in place; the returned outcome
+  /// contains the best plan (possibly the original) and search statistics.
+  Result<RewriteOutcome> Rewrite(plan::Plan* plan) const;
+
+  const RewriteOptions& options() const { return options_; }
+
+ private:
+  const optimizer::Optimizer* optimizer_;
+  const catalog::ViewStore* views_;
+  RewriteOptions options_;
+};
+
+}  // namespace opd::rewrite
+
+#endif  // OPD_REWRITE_BF_REWRITE_H_

@@ -1,0 +1,38 @@
+// The dynamic-programming baseline (Section 5, Section 8.2 "DP"): searches
+// exhaustively for the best rewrite at every target independently — fully
+// exploding the merged-candidate space up-front, with no OPTCOST ordering
+// and no early termination — then composes the optimal whole-plan rewrite
+// with dynamic programming over the job DAG.
+//
+// Produces the same r* as BFREWRITE but does far more work; safety budgets
+// (candidate count / wall time) exist because the space is exponential.
+
+#ifndef OPD_REWRITE_DP_REWRITE_H_
+#define OPD_REWRITE_DP_REWRITE_H_
+
+#include "catalog/view_store.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+#include "rewrite/rewriter.h"
+
+namespace opd::rewrite {
+
+/// \brief Exhaustive DP rewriter (the paper's comparison baseline).
+class DpRewriter {
+ public:
+  DpRewriter(const optimizer::Optimizer* optimizer,
+             const catalog::ViewStore* views, RewriteOptions options = {})
+      : optimizer_(optimizer), views_(views), options_(std::move(options)) {}
+
+  Result<RewriteOutcome> Rewrite(plan::Plan* plan) const;
+
+ private:
+  const optimizer::Optimizer* optimizer_;
+  const catalog::ViewStore* views_;
+  RewriteOptions options_;
+};
+
+}  // namespace opd::rewrite
+
+#endif  // OPD_REWRITE_DP_REWRITE_H_

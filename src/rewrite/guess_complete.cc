@@ -1,0 +1,38 @@
+#include "rewrite/guess_complete.h"
+
+#include <set>
+
+namespace opd::rewrite {
+
+bool GuessComplete(const afk::Afk& q, const afk::Afk& v) {
+  // (iii) depth: v must not be more aggregated than q.
+  const int dv = v.keys().agg_depth();
+  const int dq = q.keys().agg_depth();
+  if (dv > dq) return false;
+  // Same depth requires identical keying (no regrouping budget left).
+  if (dv == dq && !(v.keys() == q.keys())) return false;
+
+  // (ii) every filter of v must be implied by q's filters.
+  if (!q.filters().ImpliesAll(v.filters())) return false;
+
+  // (i) attribute producibility closure.
+  std::set<std::string> closure;
+  for (const afk::Attribute& a : ProducibleClosure(q, v)) {
+    closure.insert(a.signature());
+  }
+  for (const afk::Attribute& a : q.attrs()) {
+    if (!closure.count(a.signature())) return false;
+  }
+  // (iii) continued: when the compensation must re-group (v is strictly less
+  // aggregated), the attributes q groups on must be obtainable. When the
+  // depths already match, K_v == K_q was checked above — the key may be a
+  // projected-out column (K survives projection) and need not be producible.
+  if (dv < dq) {
+    for (const afk::Attribute& k : q.keys().keys()) {
+      if (!closure.count(k.signature())) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace opd::rewrite

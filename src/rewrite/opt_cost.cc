@@ -1,0 +1,29 @@
+#include "rewrite/opt_cost.h"
+
+#include <limits>
+
+#include "rewrite/guess_complete.h"
+
+namespace opd::rewrite {
+
+double OptCost(const afk::Afk& q, const CandidateView& candidate,
+               const optimizer::CostModel& model) {
+  if (GuessComplete(q, candidate.afk)) {
+    const afk::Fix fix = ComputeFix(q, candidate.afk);
+    if (fix.empty() && candidate.NumParts() == 1) {
+      // Exact match: the rewrite is a scan of the already-materialized view.
+      return 0.0;
+    }
+  }
+  // Any rewrite that *uses* this candidate — directly or after further
+  // merging — runs at least one MR job that reads every constituent view and
+  // applies at least the cheapest fix operation (non-subsumable cost
+  // property). Partial candidates therefore carry this same bound: it prices
+  // their potential to participate in a merged rewrite.
+  double bound = model.job_latency();
+  bound += model.ReadCost(candidate.total_bytes);
+  bound += model.CheapestOpCpu(candidate.total_bytes);
+  return bound;
+}
+
+}  // namespace opd::rewrite

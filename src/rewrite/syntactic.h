@@ -1,0 +1,34 @@
+// BFR-SYNTACTIC (Section 8.3.4): the caching-style baseline that reuses a
+// view only when the view's producing plan is syntactically identical to a
+// target's plan (same fingerprint), representing methods like ReStore.
+
+#ifndef OPD_REWRITE_SYNTACTIC_H_
+#define OPD_REWRITE_SYNTACTIC_H_
+
+#include "catalog/view_store.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+#include "rewrite/rewriter.h"
+
+namespace opd::rewrite {
+
+/// \brief Syntactic-matching rewriter.
+class SyntacticRewriter {
+ public:
+  SyntacticRewriter(const optimizer::Optimizer* optimizer,
+                    const catalog::ViewStore* views)
+      : optimizer_(optimizer), views_(views) {}
+
+  /// Replaces every target whose plan fingerprint exactly matches a stored
+  /// view with a scan of that view; composes the best combination downstream.
+  Result<RewriteOutcome> Rewrite(plan::Plan* plan) const;
+
+ private:
+  const optimizer::Optimizer* optimizer_;
+  const catalog::ViewStore* views_;
+};
+
+}  // namespace opd::rewrite
+
+#endif  // OPD_REWRITE_SYNTACTIC_H_

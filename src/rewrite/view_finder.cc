@@ -1,0 +1,103 @@
+#include "rewrite/view_finder.h"
+
+#include <algorithm>
+
+#include "rewrite/guess_complete.h"
+#include "rewrite/merge.h"
+#include "rewrite/opt_cost.h"
+
+namespace opd::rewrite {
+
+namespace {
+
+struct HeapGreater {
+  bool operator()(const CandidateView& a, const CandidateView& b) const {
+    if (a.opt_cost != b.opt_cost) return a.opt_cost > b.opt_cost;
+    return a.parts > b.parts;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+void ViewFinder::Init(TargetContext target, EnumDeps deps,
+                      const std::vector<const catalog::ViewDefinition*>& views,
+                      RewriteStats* stats) {
+  target_ = std::move(target);
+  deps_ = std::move(deps);
+  stats_ = stats;
+  useful_sigs_ = UsefulSignatures(target_.afk);
+  heap_.clear();
+  seen_.clear();
+  enqueued_.clear();
+  for (const catalog::ViewDefinition* def : views) {
+    if (!IsRelevant(def->afk, useful_sigs_)) continue;
+    CandidateView c = MakeBaseCandidate(*def);
+    c.coverage = ComputeCoverage(c.afk, useful_sigs_);
+    Push(std::move(c), 0.0);
+  }
+}
+
+void ViewFinder::Push(CandidateView candidate, double floor_cost) {
+  const std::string id = candidate.Id();
+  if (!enqueued_.insert(id).second) return;
+  if (deps_.options.use_optcost_ordering) {
+    candidate.opt_cost = std::max(
+        OptCost(target_.afk, candidate, deps_.optimizer->cost_model()),
+        floor_cost);
+  } else {
+    // Ablation: FIFO order, no cost-based pruning signal.
+    candidate.opt_cost = static_cast<double>(fifo_counter_++) * 1e-9;
+  }
+  heap_.push_back(std::move(candidate));
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+}
+
+double ViewFinder::Peek() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.front().opt_cost;
+}
+
+std::optional<EnumResult> ViewFinder::Refine() {
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  CandidateView v = std::move(heap_.back());
+  heap_.pop_back();
+  if (stats_ != nullptr) stats_->candidates_considered += 1;
+
+  // Grow the space: merge v with every previously-seen candidate. MiniCon-
+  // style pruning: a merge is only created when each side contributes a
+  // useful attribute the other lacks (otherwise the merged candidate can
+  // never enable a rewrite its parts could not). New candidates inherit v's
+  // OPTCOST as a floor, preserving the monotone exploration order
+  // Algorithm 4 relies on.
+  for (const CandidateView& s : seen_) {
+    Coverage combined = CoverageUnion(v.coverage, s.coverage);
+    if (CoverageEqual(combined, v.coverage) ||
+        CoverageEqual(combined, s.coverage)) {
+      continue;  // one side subsumes the other's contribution
+    }
+    auto merged = MergeCandidates(v, s, deps_.options.max_views_per_rewrite);
+    if (merged.has_value()) {
+      merged->coverage = std::move(combined);
+      Push(std::move(*merged), v.opt_cost);
+    }
+  }
+  seen_.push_back(v);
+
+  if (deps_.options.use_guess_complete_filter &&
+      !GuessComplete(target_.afk, v.afk)) {
+    return std::nullopt;
+  }
+  if (stats_ != nullptr) stats_->rewrite_attempts += 1;
+  auto result = RewriteEnum(target_, v, deps_);
+  if (!result.ok()) {
+    status_ = result.status();
+    return std::nullopt;
+  }
+  if (result.value().has_value() && stats_ != nullptr) {
+    stats_->rewrites_found += result.value()->rewrites_found;
+  }
+  return std::move(result).value();
+}
+
+}  // namespace opd::rewrite

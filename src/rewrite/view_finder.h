@@ -1,0 +1,72 @@
+// VIEWFINDER (Section 7, Algorithm 4): the stateful per-target searcher.
+// Maintains a priority queue of candidate views ordered by OPTCOST,
+// incrementally grows the candidate space by merging popped candidates with
+// previously-seen ones, and attempts REWRITEENUM only on candidates that
+// pass GUESSCOMPLETE.
+//
+// One deliberate refinement over the paper's text: a *partial* candidate
+// (GUESSCOMPLETE false) is prioritized by its read-cost bound rather than ∞,
+// so that partial solutions can surface and merge incrementally — this is
+// the behaviour the paper's Figure 11 narrative describes ("since they
+// failed to produce a rewrite, BFREWRITE begins merging them with views
+// that have the next lowest OPTCOST"). Truly irrelevant views (sharing no
+// useful attribute with the target) are excluded at INIT.
+
+#ifndef OPD_REWRITE_VIEW_FINDER_H_
+#define OPD_REWRITE_VIEW_FINDER_H_
+
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rewrite/candidate.h"
+#include "rewrite/rewrite_enum.h"
+#include "rewrite/rewriter.h"
+
+namespace opd::rewrite {
+
+/// \brief Incremental best-first searcher for rewrites of one target.
+class ViewFinder {
+ public:
+  ViewFinder() = default;
+
+  /// INIT: seeds the queue with every relevant view in `views`, ordered by
+  /// OPTCOST w.r.t. the target.
+  void Init(TargetContext target, EnumDeps deps,
+            const std::vector<const catalog::ViewDefinition*>& views,
+            RewriteStats* stats);
+
+  /// PEEK: the OPTCOST of the next candidate, or +inf when exhausted.
+  double Peek() const;
+
+  /// REFINE: pops the next candidate, grows the space by merging it with the
+  /// Seen set, and attempts a rewrite if the candidate passes GUESSCOMPLETE.
+  /// Returns a valid rewrite when one is found, nullopt otherwise. Errors are
+  /// recorded in `status()`.
+  std::optional<EnumResult> Refine();
+
+  const Status& status() const { return status_; }
+  bool exhausted() const { return heap_.empty(); }
+  size_t seen_size() const { return seen_.size(); }
+
+ private:
+  void Push(CandidateView candidate, double floor_cost);
+
+  TargetContext target_;
+  EnumDeps deps_;
+  RewriteStats* stats_ = nullptr;
+  Status status_;
+  std::vector<std::string> useful_sigs_;
+
+  // Min-heap by (opt_cost, Id) for determinism.
+  std::vector<CandidateView> heap_;
+  std::vector<CandidateView> seen_;
+  std::set<std::string> enqueued_;
+  uint64_t fifo_counter_ = 0;  // ablation ordering
+};
+
+}  // namespace opd::rewrite
+
+#endif  // OPD_REWRITE_VIEW_FINDER_H_

@@ -1,0 +1,38 @@
+// CSV import/export for tables — the practical on-ramp for users bringing
+// their own logs into the system (the paper's analysts pointed Hive at raw
+// log files; this is the equivalent for the simulator).
+
+#ifndef OPD_STORAGE_CSV_H_
+#define OPD_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace opd::storage {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Emit / expect a header row of column names.
+  bool header = true;
+  /// The spelling of NULL cells.
+  std::string null_token = "";
+};
+
+/// Serializes `table` to CSV text. Strings containing the delimiter, quotes
+/// or newlines are double-quoted with "" escaping.
+std::string ToCsv(const Table& table, const CsvOptions& options = {});
+
+/// \brief Parses CSV text into a table with the given schema.
+///
+/// With `options.header`, the first row must name exactly the schema's
+/// columns (in order). Cells are converted to the column type; conversion
+/// failures are errors with row numbers.
+Result<Table> FromCsv(const std::string& text, const Schema& schema,
+                      const std::string& table_name,
+                      const CsvOptions& options = {});
+
+}  // namespace opd::storage
+
+#endif  // OPD_STORAGE_CSV_H_

@@ -1,0 +1,73 @@
+#include "storage/dfs.h"
+
+#include "common/string_util.h"
+
+namespace opd::storage {
+
+Status Dfs::Write(const std::string& path, TablePtr table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot write null table to " + path);
+  }
+  if (files_.count(path) > 0) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  uint64_t size = table->ByteSize();
+  if (capacity_ != 0 && used_ + size > capacity_) {
+    return Status::OutOfRange("dfs capacity exceeded writing " + path);
+  }
+  files_[path] = std::move(table);
+  used_ += size;
+  metrics_.bytes_written += size;
+  metrics_.files_written += 1;
+  return Status::OK();
+}
+
+Result<TablePtr> Dfs::Read(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  metrics_.bytes_read += it->second->ByteSize();
+  return it->second;
+}
+
+Result<TablePtr> Dfs::Peek(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status Dfs::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  used_ -= it->second->ByteSize();
+  files_.erase(it);
+  metrics_.files_deleted += 1;
+  return Status::OK();
+}
+
+size_t Dfs::DeletePrefix(const std::string& prefix) {
+  size_t count = 0;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (StartsWith(it->first, prefix)) {
+      used_ -= it->second->ByteSize();
+      it = files_.erase(it);
+      metrics_.files_deleted += 1;
+      ++count;
+    } else {
+      ++it;
+    }
+  }
+  return count;
+}
+
+std::vector<std::string> Dfs::ListPaths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+}  // namespace opd::storage

@@ -1,0 +1,70 @@
+// Simulated distributed file system.
+//
+// Plays the role HDFS plays in the paper: every MR job's output is
+// materialized here, reads/writes are metered in bytes, and a configurable
+// capacity budget models the "storage permitting" retention of opportunistic
+// views (Section 2.1).
+
+#ifndef OPD_STORAGE_DFS_H_
+#define OPD_STORAGE_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace opd::storage {
+
+/// Cumulative I/O counters for the simulated file system.
+struct DfsMetrics {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t files_written = 0;
+  uint64_t files_deleted = 0;
+};
+
+/// \brief A path -> table store with byte accounting and a capacity budget.
+class Dfs {
+ public:
+  /// `capacity_bytes` of 0 means unlimited.
+  explicit Dfs(uint64_t capacity_bytes = 0) : capacity_(capacity_bytes) {}
+
+  /// Writes (or fails if present) a table at `path`, metering bytes.
+  /// Returns kOutOfRange if the write would exceed capacity.
+  Status Write(const std::string& path, TablePtr table);
+
+  /// Reads the table at `path`, metering bytes.
+  Result<TablePtr> Read(const std::string& path);
+
+  /// Looks up without metering (metadata access).
+  Result<TablePtr> Peek(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+
+  /// Removes a file, reclaiming its space.
+  Status Delete(const std::string& path);
+
+  /// Removes every file whose path starts with `prefix`; returns the count.
+  size_t DeletePrefix(const std::string& prefix);
+
+  /// All stored paths in lexicographic order.
+  std::vector<std::string> ListPaths() const;
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+  const DfsMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_ = DfsMetrics{}; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::map<std::string, TablePtr> files_;
+  DfsMetrics metrics_;
+};
+
+}  // namespace opd::storage
+
+#endif  // OPD_STORAGE_DFS_H_

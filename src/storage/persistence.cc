@@ -1,0 +1,106 @@
+#include "storage/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace opd::storage {
+
+namespace fs = std::filesystem;
+
+std::string SchemaSpec(const Schema& schema) {
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += schema.column(c).name;
+    out += ":";
+    out += DataTypeName(schema.column(c).type);
+  }
+  return out;
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  Schema schema;
+  if (spec.empty()) return schema;
+  for (const std::string& part : SplitString(spec, ',')) {
+    auto kv = SplitString(part, ':');
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("bad schema spec entry: " + part);
+    }
+    DataType type;
+    if (kv[1] == "int64") {
+      type = DataType::kInt64;
+    } else if (kv[1] == "double") {
+      type = DataType::kDouble;
+    } else if (kv[1] == "string") {
+      type = DataType::kString;
+    } else if (kv[1] == "bool") {
+      type = DataType::kBool;
+    } else if (kv[1] == "null") {
+      type = DataType::kNull;
+    } else {
+      return Status::InvalidArgument("unknown type in schema spec: " + kv[1]);
+    }
+    OPD_RETURN_NOT_OK(schema.AddColumn(Column{kv[0], type}));
+  }
+  return schema;
+}
+
+Status SaveDfs(const Dfs& dfs, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + directory + ": " +
+                            ec.message());
+  }
+  std::ofstream manifest(fs::path(directory) / "MANIFEST");
+  if (!manifest) {
+    return Status::Internal("cannot open manifest in " + directory);
+  }
+  for (const std::string& path : dfs.ListPaths()) {
+    OPD_ASSIGN_OR_RETURN(TablePtr table, dfs.Peek(path));
+    fs::path file = fs::path(directory) / (path + ".csv");
+    fs::create_directories(file.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create " + file.parent_path().string());
+    }
+    std::ofstream out(file);
+    if (!out) return Status::Internal("cannot open " + file.string());
+    out << ToCsv(*table);
+    manifest << path << "|" << table->name() << "|"
+             << SchemaSpec(table->schema()) << "\n";
+  }
+  return Status::OK();
+}
+
+Result<Dfs> LoadDfs(const std::string& directory) {
+  std::ifstream manifest(fs::path(directory) / "MANIFEST");
+  if (!manifest) {
+    return Status::NotFound("no MANIFEST in " + directory);
+  }
+  Dfs dfs;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    auto parts = SplitString(line, '|');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("bad manifest line: " + line);
+    }
+    const std::string& path = parts[0];
+    OPD_ASSIGN_OR_RETURN(Schema schema, ParseSchemaSpec(parts[2]));
+    std::ifstream in(fs::path(directory) / (path + ".csv"));
+    if (!in) return Status::NotFound("missing data file for " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    OPD_ASSIGN_OR_RETURN(Table table, FromCsv(buffer.str(), schema, parts[1]));
+    OPD_RETURN_NOT_OK(
+        dfs.Write(path, std::make_shared<const Table>(std::move(table))));
+  }
+  dfs.ResetMetrics();
+  return dfs;
+}
+
+}  // namespace opd::storage

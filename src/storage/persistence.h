@@ -1,0 +1,31 @@
+// DFS persistence: saves/loads the simulated file system to a real directory
+// tree (one CSV per file plus a manifest with schemas), so long experiment
+// setups — generated logs, accumulated opportunistic views — survive across
+// process runs.
+
+#ifndef OPD_STORAGE_PERSISTENCE_H_
+#define OPD_STORAGE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/dfs.h"
+
+namespace opd::storage {
+
+/// Writes every DFS file as `<directory>/<path>.csv` plus
+/// `<directory>/MANIFEST` (one line per file: path|table name|schema).
+/// The directory is created; existing contents are overwritten.
+Status SaveDfs(const Dfs& dfs, const std::string& directory);
+
+/// Reconstructs a Dfs from a directory written by SaveDfs. I/O metrics start
+/// fresh; capacity is unlimited.
+Result<Dfs> LoadDfs(const std::string& directory);
+
+/// Serializes a schema as "name:type,name:type". Inverse of ParseSchemaSpec.
+std::string SchemaSpec(const Schema& schema);
+Result<Schema> ParseSchemaSpec(const std::string& spec);
+
+}  // namespace opd::storage
+
+#endif  // OPD_STORAGE_PERSISTENCE_H_

@@ -1,0 +1,42 @@
+#include "storage/schema.h"
+
+namespace opd::storage {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::AddColumn(Column col) {
+  if (Has(col.name)) {
+    return Status::AlreadyExists("column already exists: " + col.name);
+  }
+  columns_.push_back(std::move(col));
+  return Status::OK();
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const std::string& n : names) {
+    auto idx = IndexOf(n);
+    if (!idx) return Status::NotFound("no such column: " + n);
+    cols.push_back(columns_[*idx]);
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace opd::storage

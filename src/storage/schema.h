@@ -1,0 +1,57 @@
+// Relational schema: ordered, named, typed columns.
+
+#ifndef OPD_STORAGE_SCHEMA_H_
+#define OPD_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace opd::storage {
+
+/// A single named, typed column.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Column& other) const = default;
+};
+
+/// \brief An ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// True if a column with this name exists.
+  bool Has(const std::string& name) const { return IndexOf(name).has_value(); }
+
+  /// Appends a column; fails if the name already exists.
+  Status AddColumn(Column col);
+
+  /// Returns a schema restricted to `names` in the given order; fails on a
+  /// missing name.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// "name:type, name:type, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace opd::storage
+
+#endif  // OPD_STORAGE_SCHEMA_H_

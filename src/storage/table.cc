@@ -1,0 +1,40 @@
+#include "storage/table.h"
+
+namespace opd::storage {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " + name_);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+size_t Table::ByteSize() const {
+  if (cached_bytes_rows_ == rows_.size() && !rows_.empty()) {
+    return cached_bytes_;
+  }
+  size_t total = 0;
+  for (const Row& r : rows_) total += RowByteSize(r);
+  cached_bytes_ = total;
+  cached_bytes_rows_ = rows_.size();
+  return total;
+}
+
+double Table::AvgRowBytes() const {
+  if (rows_.empty()) return 0.0;
+  return static_cast<double>(ByteSize()) / static_cast<double>(rows_.size());
+}
+
+Result<Value> Table::Get(size_t row_idx, const std::string& column) const {
+  if (row_idx >= rows_.size()) {
+    return Status::OutOfRange("row index out of range");
+  }
+  auto idx = schema_.IndexOf(column);
+  if (!idx) return Status::NotFound("no such column: " + column);
+  return rows_[row_idx][*idx];
+}
+
+}  // namespace opd::storage

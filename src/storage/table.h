@@ -1,0 +1,59 @@
+// In-memory table: schema plus rows. The unit of data the MR simulator
+// reads, shuffles, and materializes.
+
+#ifndef OPD_STORAGE_TABLE_H_
+#define OPD_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace opd::storage {
+
+/// \brief A named, schema-ful collection of rows.
+///
+/// Tables are immutable once handed to the Dfs; producers build them with
+/// AppendRow and then store them.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; fails if the arity does not match the schema.
+  Status AppendRow(Row row);
+
+  /// Total approximate serialized size of all rows, in bytes.
+  size_t ByteSize() const;
+
+  /// Average row width in bytes (0 when empty).
+  double AvgRowBytes() const;
+
+  /// Cell accessor by column name; fails on missing column or row index.
+  Result<Value> Get(size_t row_idx, const std::string& column) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  mutable size_t cached_bytes_ = 0;
+  mutable size_t cached_bytes_rows_ = 0;  // row count the cache was taken at
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace opd::storage
+
+#endif  // OPD_STORAGE_TABLE_H_

@@ -1,0 +1,145 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace opd::storage {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0.0;
+    case DataType::kBool:
+      return as_bool() ? 1.0 : 0.0;
+    case DataType::kInt64:
+      return static_cast<double>(as_int64());
+    case DataType::kDouble:
+      return as_double();
+    case DataType::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return as_bool() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(as_int64());
+    case DataType::kDouble: {
+      std::string s = std::to_string(as_double());
+      return s;
+    }
+    case DataType::kString:
+      return as_string();
+  }
+  return "NULL";
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 1;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return as_string().size() + 4;  // length prefix
+  }
+  return 1;
+}
+
+namespace {
+// Numeric comparison when both sides are int64/double/bool.
+bool IsNumeric(DataType t) {
+  return t == DataType::kBool || t == DataType::kInt64 ||
+         t == DataType::kDouble;
+}
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  DataType a = type(), b = other.type();
+  if (IsNumeric(a) && IsNumeric(b)) {
+    return ToDouble() == other.ToDouble();
+  }
+  return v_ == other.v_;
+}
+
+bool Value::operator<(const Value& other) const {
+  DataType a = type(), b = other.type();
+  if (IsNumeric(a) && IsNumeric(b)) {
+    return ToDouble() < other.ToDouble();
+  }
+  if (a != b) return static_cast<int>(a) < static_cast<int>(b);
+  return v_ < other.v_;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x6e756c6cULL;
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Hash through the numeric value so 1 == 1.0 hash-equal.
+      double d = ToDouble();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      uint64_t h = 0x123456789abcdefULL;
+      HashCombine(&h, bits);
+      return h;
+    }
+    case DataType::kString:
+      return HashString(as_string());
+  }
+  return 0;
+}
+
+size_t RowByteSize(const Row& row) {
+  size_t total = 0;
+  for (const Value& v : row) total += v.ByteSize();
+  return total;
+}
+
+}  // namespace opd::storage

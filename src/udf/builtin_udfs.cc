@@ -1,0 +1,650 @@
+#include "udf/builtin_udfs.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace opd::udf {
+
+using storage::Column;
+using storage::DataType;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+
+namespace {
+
+const std::map<std::string, double>& Lexicon(const std::string& name) {
+  static const std::map<std::string, double> kWine = {
+      {"wine", 0.30},    {"merlot", 0.35},   {"cabernet", 0.35},
+      {"pinot", 0.30},   {"chardonnay", 0.30}, {"vineyard", 0.25},
+      {"tannin", 0.20},  {"sommelier", 0.40}, {"rose", 0.15},
+      {"riesling", 0.30}, {"corked", -0.20},  {"vinegar", -0.25},
+  };
+  static const std::map<std::string, double> kFood = {
+      {"delicious", 0.35}, {"tasty", 0.30},  {"yummy", 0.30},
+      {"brunch", 0.20},    {"foodie", 0.40}, {"pasta", 0.20},
+      {"ramen", 0.25},     {"dessert", 0.25}, {"savory", 0.25},
+      {"bland", -0.30},    {"stale", -0.35}, {"burnt", -0.25},
+  };
+  static const std::map<std::string, double> kLuxury = {
+      {"yacht", 0.45},    {"penthouse", 0.40}, {"champagne", 0.35},
+      {"caviar", 0.40},   {"firstclass", 0.35}, {"designer", 0.25},
+      {"chauffeur", 0.35}, {"resort", 0.20},   {"golf", 0.15},
+      {"thrift", -0.20},  {"coupon", -0.15},
+  };
+  static const std::map<std::string, double> kEmpty = {};
+  if (name == "wine") return kWine;
+  if (name == "food") return kFood;
+  if (name == "luxury") return kLuxury;
+  return kEmpty;
+}
+
+}  // namespace
+
+double LexiconScore(std::string_view text, const std::string& lexicon) {
+  const auto& lex = Lexicon(lexicon);
+  double score = 0;
+  for (const std::string& word : TokenizeWords(text)) {
+    auto it = lex.find(word);
+    if (it != lex.end()) score += it->second;
+  }
+  return score;
+}
+
+double JaccardSimilarity(std::string_view a, std::string_view b) {
+  auto wa = TokenizeWords(a);
+  auto wb = TokenizeWords(b);
+  std::set<std::string> sa(wa.begin(), wa.end());
+  std::set<std::string> sb(wb.begin(), wb.end());
+  if (sa.empty() && sb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& w : sa) inter += sb.count(w);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+int64_t GeoTileId(double lat, double lon, double tile_size) {
+  if (tile_size <= 0) tile_size = 1.0;
+  int64_t r = static_cast<int64_t>(std::floor((lat + 90.0) / tile_size));
+  int64_t c = static_cast<int64_t>(std::floor((lon + 180.0) / tile_size));
+  return r * 1000000 + c;
+}
+
+bool ParseLatLon(std::string_view geo, double* lat, double* lon) {
+  size_t comma = geo.find(',');
+  if (comma == std::string_view::npos) return false;
+  try {
+    *lat = std::stod(std::string(geo.substr(0, comma)));
+    *lon = std::stod(std::string(geo.substr(comma + 1)));
+  } catch (...) {
+    return false;
+  }
+  return *lat >= -90.0 && *lat <= 90.0 && *lon >= -180.0 && *lon <= 180.0;
+}
+
+void ParseLogMeta(std::string_view meta, std::string* lang,
+                  std::string* device) {
+  *lang = "unknown";
+  *device = "unknown";
+  for (const std::string& field : SplitString(meta, ';')) {
+    auto kv = SplitString(field, '=');
+    if (kv.size() != 2) continue;
+    if (kv[0] == "lang") *lang = kv[1];
+    if (kv[0] == "dev") *device = kv[1];
+  }
+}
+
+namespace {
+
+Schema TwoColSchema(const std::string& a, DataType ta, const std::string& b,
+                    DataType tb) {
+  return Schema({Column{a, ta}, Column{b, tb}});
+}
+
+// A per-user "score tweets then aggregate then threshold" UDF: the shape of
+// the paper's UDF_FOODIES (Figure 3). `mean` switches sum vs. mean reduce.
+UdfDefinition MakeUserScoreUdf(const std::string& udf_name,
+                               const std::string& lexicon,
+                               const std::string& out_attr,
+                               const std::string& threshold_key,
+                               double default_threshold, bool mean) {
+  UdfDefinition udf;
+  udf.name = udf_name;
+  udf.model.consumed = {"user_id", "tweet_text"};
+  udf.model.kept = {"user_id"};
+  udf.model.outputs = {
+      {out_attr, DataType::kDouble, {"user_id", "tweet_text"}, {}}};
+  udf.model.filters = {
+      {out_attr, afk::CmpOp::kGt, threshold_key, default_threshold}};
+  udf.model.rekey = std::vector<std::string>{"user_id"};
+  udf.model.rekey_groups = true;
+  udf.model.expansion_hint = 0.05;
+
+  LocalFunction lf1;
+  lf1.name = udf_name + "-lf1-score";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    auto uid = in.IndexOf("user_id");
+    auto txt = in.IndexOf("tweet_text");
+    if (!uid || !txt) {
+      return Status::InvalidArgument("scorer needs user_id, tweet_text");
+    }
+    return TwoColSchema("user_id", DataType::kInt64, "_score",
+                        DataType::kDouble);
+  };
+  lf1.map_fn = [lexicon](const Row& row, const LfContext& ctx,
+                         std::vector<Row>* out) {
+    const Value& uid = row[ctx.In("user_id")];
+    const Value& text = row[ctx.In("tweet_text")];
+    double s = text.is_null() ? 0.0 : LexiconScore(text.as_string(), lexicon);
+    out->push_back(Row{uid, Value(s)});
+  };
+  udf.local_functions.push_back(std::move(lf1));
+
+  LocalFunction lf2;
+  lf2.name = udf_name + "-lf2-aggregate";
+  lf2.kind = LfKind::kReduce;
+  lf2.op_types = kOpGroup | kOpAttrs | kOpFilter;
+  lf2.group_keys = {"user_id"};
+  lf2.out_schema = [out_attr](const Schema&, const Params&) -> Result<Schema> {
+    return TwoColSchema("user_id", DataType::kInt64, out_attr,
+                        DataType::kDouble);
+  };
+  lf2.reduce_fn = [threshold_key, default_threshold, mean](
+                      const std::vector<Row>& group, const LfContext& ctx,
+                      std::vector<Row>* out) {
+    double sum = 0;
+    for (const Row& r : group) sum += r[ctx.In("_score")].ToDouble();
+    double score = mean && !group.empty()
+                       ? sum / static_cast<double>(group.size())
+                       : sum;
+    double threshold =
+        ParamDouble(*ctx.params, threshold_key, default_threshold);
+    if (score > threshold) {
+      out->push_back(Row{group.front()[ctx.In("user_id")], Value(score)});
+    }
+  };
+  udf.local_functions.push_back(std::move(lf2));
+  return udf;
+}
+
+}  // namespace
+
+UdfDefinition MakeClassifyWineScoreUdf() {
+  return MakeUserScoreUdf("UDF_CLASSIFY_WINE_SCORE", "wine", "wine_score",
+                          "threshold", 0.5, /*mean=*/false);
+}
+
+UdfDefinition MakeClassifyFoodScoreUdf() {
+  return MakeUserScoreUdf("UDF_CLASSIFY_FOOD_SCORE", "food", "sent_sum",
+                          "threshold", 0.5, /*mean=*/false);
+}
+
+UdfDefinition MakeClassifyAffluentUdf() {
+  return MakeUserScoreUdf("UDAF_CLASSIFY_AFFLUENT", "luxury", "affluence",
+                          "min_affluence", 0.05, /*mean=*/true);
+}
+
+UdfDefinition MakeFriendshipStrengthUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_FRIENDSHIP_STRENGTH";
+  udf.model.consumed = {"user_id", "mention_user"};
+  udf.model.kept = {};
+  udf.model.outputs = {
+      {"user_a", DataType::kInt64, {"user_id", "mention_user"}, {}},
+      {"user_b", DataType::kInt64, {"user_id", "mention_user"}, {}},
+      {"strength", DataType::kDouble, {"user_id", "mention_user"}, {}},
+  };
+  udf.model.filters = {{"strength", afk::CmpOp::kGt, "min_strength", 1.0}};
+  udf.model.rekey = std::vector<std::string>{"user_a", "user_b"};
+  udf.model.expansion_hint = 0.02;
+
+  LocalFunction lf1;
+  lf1.name = "friendship-lf1-pairs";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs | kOpFilter;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("user_id") || !in.Has("mention_user")) {
+      return Status::InvalidArgument(
+          "friendship needs user_id and mention_user");
+    }
+    return Schema({Column{"user_a", DataType::kInt64},
+                   Column{"user_b", DataType::kInt64}});
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    const Value& u = row[ctx.In("user_id")];
+    const Value& m = row[ctx.In("mention_user")];
+    if (u.is_null() || m.is_null()) return;
+    int64_t a = u.as_int64(), b = m.as_int64();
+    if (b < 0 || a == b) return;  // no mention / self mention
+    out->push_back(Row{Value(std::min(a, b)), Value(std::max(a, b))});
+  };
+  udf.local_functions.push_back(std::move(lf1));
+
+  LocalFunction lf2;
+  lf2.name = "friendship-lf2-strength";
+  lf2.kind = LfKind::kReduce;
+  lf2.op_types = kOpGroup | kOpAttrs | kOpFilter;
+  lf2.group_keys = {"user_a", "user_b"};
+  lf2.out_schema = [](const Schema&, const Params&) -> Result<Schema> {
+    return Schema({Column{"user_a", DataType::kInt64},
+                   Column{"user_b", DataType::kInt64},
+                   Column{"strength", DataType::kDouble}});
+  };
+  lf2.reduce_fn = [](const std::vector<Row>& group, const LfContext& ctx,
+                     std::vector<Row>* out) {
+    double strength = static_cast<double>(group.size());
+    double min_strength = ParamDouble(*ctx.params, "min_strength", 1.0);
+    if (strength > min_strength) {
+      out->push_back(Row{group.front()[ctx.In("user_a")],
+                         group.front()[ctx.In("user_b")], Value(strength)});
+    }
+  };
+  udf.local_functions.push_back(std::move(lf2));
+  return udf;
+}
+
+UdfDefinition MakeNetworkInfluenceUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_NETWORK_INFLUENCE";
+  udf.model.consumed = {"user_a", "user_b", "strength"};
+  udf.model.kept = {};
+  udf.model.outputs = {
+      {"inf_user", DataType::kInt64, {"user_a", "user_b"}, {}},
+      {"influence", DataType::kDouble, {"user_a", "user_b", "strength"}, {}},
+  };
+  udf.model.filters = {{"influence", afk::CmpOp::kGt, "min_influence", 0.0}};
+  udf.model.rekey = std::vector<std::string>{"inf_user"};
+  udf.model.expansion_hint = 0.8;
+
+  LocalFunction lf1;
+  lf1.name = "influence-lf1-emit";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("user_a") || !in.Has("user_b") || !in.Has("strength")) {
+      return Status::InvalidArgument(
+          "influence needs user_a, user_b, strength");
+    }
+    return TwoColSchema("inf_user", DataType::kInt64, "_s", DataType::kDouble);
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    const Value& s = row[ctx.In("strength")];
+    out->push_back(Row{row[ctx.In("user_a")], s});
+    out->push_back(Row{row[ctx.In("user_b")], s});
+  };
+  udf.local_functions.push_back(std::move(lf1));
+
+  LocalFunction lf2;
+  lf2.name = "influence-lf2-sum";
+  lf2.kind = LfKind::kReduce;
+  lf2.op_types = kOpGroup | kOpAttrs | kOpFilter;
+  lf2.group_keys = {"inf_user"};
+  lf2.out_schema = [](const Schema&, const Params&) -> Result<Schema> {
+    return TwoColSchema("inf_user", DataType::kInt64, "influence",
+                        DataType::kDouble);
+  };
+  lf2.reduce_fn = [](const std::vector<Row>& group, const LfContext& ctx,
+                     std::vector<Row>* out) {
+    double sum = 0;
+    for (const Row& r : group) sum += r[ctx.In("_s")].ToDouble();
+    if (sum > ParamDouble(*ctx.params, "min_influence", 0.0)) {
+      out->push_back(Row{group.front()[ctx.In("inf_user")], Value(sum)});
+    }
+  };
+  udf.local_functions.push_back(std::move(lf2));
+  return udf;
+}
+
+UdfDefinition MakeExtractLatLonUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_EXTRACT_LATLON";
+  udf.model.consumed = {"geo"};
+  udf.model.kept = {"*"};
+  udf.model.outputs = {
+      {"lat", DataType::kDouble, {"geo"}, {}},
+      {"lon", DataType::kDouble, {"geo"}, {}},
+  };
+  UdfFilterSpec valid;
+  valid.attr = "geo";
+  valid.opaque = true;
+  valid.opaque_fn = "valid_geo";
+  udf.model.filters = {valid};
+  udf.model.expansion_hint = 0.6;
+
+  LocalFunction lf1;
+  lf1.name = "latlon-lf1-parse";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs | kOpFilter;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("geo")) return Status::InvalidArgument("needs geo");
+    Schema out = in;
+    OPD_RETURN_NOT_OK(out.AddColumn(Column{"lat", DataType::kDouble}));
+    OPD_RETURN_NOT_OK(out.AddColumn(Column{"lon", DataType::kDouble}));
+    return out;
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    const Value& geo = row[ctx.In("geo")];
+    double lat, lon;
+    if (geo.is_null() || !ParseLatLon(geo.as_string(), &lat, &lon)) return;
+    Row r = row;
+    r.push_back(Value(lat));
+    r.push_back(Value(lon));
+    out->push_back(std::move(r));
+  };
+  udf.local_functions.push_back(std::move(lf1));
+  return udf;
+}
+
+UdfDefinition MakeGeoTileUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_GEO_TILE";
+  udf.model.consumed = {"lat", "lon"};
+  udf.model.kept = {"*"};
+  udf.model.outputs = {
+      {"tile_id", DataType::kInt64, {"lat", "lon"}, {"tile_size"}}};
+  udf.model.expansion_hint = 1.0;
+
+  LocalFunction lf1;
+  lf1.name = "geotile-lf1";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("lat") || !in.Has("lon")) {
+      return Status::InvalidArgument("needs lat, lon");
+    }
+    Schema out = in;
+    OPD_RETURN_NOT_OK(out.AddColumn(Column{"tile_id", DataType::kInt64}));
+    return out;
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    double ts = ParamDouble(*ctx.params, "tile_size", 1.0);
+    Row r = row;
+    r.push_back(Value(GeoTileId(row[ctx.In("lat")].ToDouble(),
+                                row[ctx.In("lon")].ToDouble(), ts)));
+    out->push_back(std::move(r));
+  };
+  udf.local_functions.push_back(std::move(lf1));
+  return udf;
+}
+
+UdfDefinition MakeTokenizeUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_TOKENIZE";
+  udf.model.consumed = {"user_id", "tweet_text"};
+  udf.model.kept = {"user_id"};
+  udf.model.outputs = {{"token", DataType::kString, {"tweet_text"}, {}}};
+  // One-to-many explosion: the output rows are no longer keyed by the
+  // input's key (each tweet yields many token rows), so the model must
+  // clear K. Without this, COUNT-per-user over tokens would be
+  // indistinguishable from COUNT-per-user over tweets.
+  udf.model.rekey = std::vector<std::string>{};
+  udf.model.rekey_groups = false;
+  udf.model.expansion_hint = 8.0;
+
+  LocalFunction lf1;
+  lf1.name = "tokenize-lf1";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("user_id") || !in.Has("tweet_text")) {
+      return Status::InvalidArgument("needs user_id, tweet_text");
+    }
+    return TwoColSchema("user_id", DataType::kInt64, "token",
+                        DataType::kString);
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    const Value& text = row[ctx.In("tweet_text")];
+    if (text.is_null()) return;
+    const Value& uid = row[ctx.In("user_id")];
+    for (std::string& tok : TokenizeWords(text.as_string())) {
+      out->push_back(Row{uid, Value(std::move(tok))});
+    }
+  };
+  udf.local_functions.push_back(std::move(lf1));
+  return udf;
+}
+
+UdfDefinition MakeWordCountUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_WORD_COUNT";
+  udf.model.consumed = {"token"};
+  udf.model.kept = {};
+  udf.model.outputs = {
+      {"word", DataType::kString, {"token"}, {}},
+      {"wcount", DataType::kInt64, {"token"}, {}},
+  };
+  udf.model.filters = {{"wcount", afk::CmpOp::kGt, "min_count", 0.0}};
+  udf.model.rekey = std::vector<std::string>{"word"};
+  udf.model.expansion_hint = 0.01;
+
+  LocalFunction lf1;
+  lf1.name = "wordcount-lf1-emit";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("token")) return Status::InvalidArgument("needs token");
+    return TwoColSchema("word", DataType::kString, "_one", DataType::kInt64);
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    out->push_back(Row{row[ctx.In("token")], Value(int64_t{1})});
+  };
+  udf.local_functions.push_back(std::move(lf1));
+
+  LocalFunction lf2;
+  lf2.name = "wordcount-lf2-count";
+  lf2.kind = LfKind::kReduce;
+  lf2.op_types = kOpGroup | kOpAttrs | kOpFilter;
+  lf2.group_keys = {"word"};
+  lf2.out_schema = [](const Schema&, const Params&) -> Result<Schema> {
+    return TwoColSchema("word", DataType::kString, "wcount", DataType::kInt64);
+  };
+  lf2.reduce_fn = [](const std::vector<Row>& group, const LfContext& ctx,
+                     std::vector<Row>* out) {
+    auto count = static_cast<int64_t>(group.size());
+    if (static_cast<double>(count) >
+        ParamDouble(*ctx.params, "min_count", 0.0)) {
+      out->push_back(Row{group.front()[ctx.In("word")], Value(count)});
+    }
+  };
+  udf.local_functions.push_back(std::move(lf2));
+  return udf;
+}
+
+UdfDefinition MakeMenuSimilarityUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_MENU_SIMILARITY";
+  udf.model.consumed = {"menu_text"};
+  udf.model.kept = {"*"};
+  udf.model.outputs = {
+      {"menu_sim", DataType::kDouble, {"menu_text"}, {"ref_menu"}}};
+  udf.model.filters = {{"menu_sim", afk::CmpOp::kGt, "min_sim", 0.1}};
+  udf.model.expansion_hint = 0.3;
+
+  LocalFunction lf1;
+  lf1.name = "menusim-lf1";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs | kOpFilter;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("menu_text")) {
+      return Status::InvalidArgument("needs menu_text");
+    }
+    Schema out = in;
+    OPD_RETURN_NOT_OK(out.AddColumn(Column{"menu_sim", DataType::kDouble}));
+    return out;
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    const Value& menu = row[ctx.In("menu_text")];
+    std::string ref = ParamString(*ctx.params, "ref_menu", "");
+    double sim =
+        menu.is_null() ? 0.0 : JaccardSimilarity(menu.as_string(), ref);
+    if (sim > ParamDouble(*ctx.params, "min_sim", 0.1)) {
+      Row r = row;
+      r.push_back(Value(sim));
+      out->push_back(std::move(r));
+    }
+  };
+  udf.local_functions.push_back(std::move(lf1));
+  return udf;
+}
+
+UdfDefinition MakeParseLogUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_PARSE_LOG";
+  udf.model.consumed = {"raw_meta"};
+  udf.model.kept = {"*"};
+  udf.model.outputs = {
+      {"lang", DataType::kString, {"raw_meta"}, {}},
+      {"device", DataType::kString, {"raw_meta"}, {}},
+  };
+  udf.model.expansion_hint = 1.0;
+
+  LocalFunction lf1;
+  lf1.name = "parselog-lf1";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("raw_meta")) return Status::InvalidArgument("needs raw_meta");
+    Schema out = in;
+    OPD_RETURN_NOT_OK(out.AddColumn(Column{"lang", DataType::kString}));
+    OPD_RETURN_NOT_OK(out.AddColumn(Column{"device", DataType::kString}));
+    return out;
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    const Value& meta = row[ctx.In("raw_meta")];
+    std::string lang, device;
+    ParseLogMeta(meta.is_null() ? "" : meta.as_string(), &lang, &device);
+    Row r = row;
+    r.push_back(Value(std::move(lang)));
+    r.push_back(Value(std::move(device)));
+    out->push_back(std::move(r));
+  };
+  udf.local_functions.push_back(std::move(lf1));
+  return udf;
+}
+
+UdfDefinition MakeHashtagTrendsUdf() {
+  UdfDefinition udf;
+  udf.name = "UDF_HASHTAG_TRENDS";
+  udf.model.consumed = {"user_id", "tweet_text"};
+  udf.model.kept = {};
+  udf.model.outputs = {
+      {"tag", DataType::kString, {"tweet_text"}, {}},
+      {"tag_users", DataType::kInt64, {"user_id", "tweet_text"}, {}},
+      {"trend_tier", DataType::kString, {"user_id", "tweet_text"},
+       {"min_users"}},
+  };
+  udf.model.filters = {{"tag_users", afk::CmpOp::kGt, "min_users", 2.0}};
+  udf.model.rekey = std::vector<std::string>{"tag"};
+  udf.model.expansion_hint = 0.01;
+
+  LocalFunction lf1;
+  lf1.name = "hashtags-lf1-extract";
+  lf1.kind = LfKind::kMap;
+  lf1.op_types = kOpAttrs | kOpFilter;
+  lf1.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    if (!in.Has("user_id") || !in.Has("tweet_text")) {
+      return Status::InvalidArgument("needs user_id, tweet_text");
+    }
+    return TwoColSchema("tag", DataType::kString, "_user", DataType::kInt64);
+  };
+  lf1.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    const Value& text = row[ctx.In("tweet_text")];
+    if (text.is_null()) return;
+    const std::string& s = text.as_string();
+    const Value& uid = row[ctx.In("user_id")];
+    size_t i = 0;
+    while ((i = s.find('#', i)) != std::string::npos) {
+      size_t j = i + 1;
+      while (j < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[j])) || s[j] == '_')) {
+        ++j;
+      }
+      if (j > i + 1) {
+        out->push_back(Row{Value(ToLowerAscii(s.substr(i + 1, j - i - 1))),
+                           uid});
+      }
+      i = j;
+    }
+  };
+  udf.local_functions.push_back(std::move(lf1));
+
+  LocalFunction lf2;
+  lf2.name = "hashtags-lf2-distinct-users";
+  lf2.kind = LfKind::kReduce;
+  lf2.op_types = kOpGroup | kOpAttrs;
+  lf2.group_keys = {"tag"};
+  lf2.out_schema = [](const Schema&, const Params&) -> Result<Schema> {
+    return TwoColSchema("tag", DataType::kString, "tag_users",
+                        DataType::kInt64);
+  };
+  lf2.reduce_fn = [](const std::vector<Row>& group, const LfContext& ctx,
+                     std::vector<Row>* out) {
+    std::set<int64_t> users;
+    for (const Row& r : group) users.insert(r[ctx.In("_user")].as_int64());
+    out->push_back(Row{group.front()[ctx.In("tag")],
+                       Value(static_cast<int64_t>(users.size()))});
+  };
+  udf.local_functions.push_back(std::move(lf2));
+
+  LocalFunction lf3;
+  lf3.name = "hashtags-lf3-tier";
+  lf3.kind = LfKind::kMap;
+  lf3.op_types = kOpAttrs | kOpFilter;
+  lf3.out_schema = [](const Schema& in, const Params&) -> Result<Schema> {
+    Schema out = in;
+    OPD_RETURN_NOT_OK(out.AddColumn(Column{"trend_tier", DataType::kString}));
+    return out;
+  };
+  lf3.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    double min_users = ParamDouble(*ctx.params, "min_users", 2.0);
+    double users = row[ctx.In("tag_users")].ToDouble();
+    if (users <= min_users) return;
+    Row r = row;
+    r.push_back(Value(users > 4 * min_users ? std::string("hot")
+                                            : std::string("rising")));
+    out->push_back(std::move(r));
+  };
+  udf.local_functions.push_back(std::move(lf3));
+  return udf;
+}
+
+Status RegisterBuiltinUdfs(UdfRegistry* registry) {
+  OPD_RETURN_NOT_OK(registry->Register(MakeHashtagTrendsUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeClassifyWineScoreUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeClassifyFoodScoreUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeClassifyAffluentUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeFriendshipStrengthUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeNetworkInfluenceUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeExtractLatLonUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeGeoTileUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeTokenizeUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeWordCountUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeMenuSimilarityUdf()));
+  OPD_RETURN_NOT_OK(registry->Register(MakeParseLogUdf()));
+  // Opaque predicate: non-empty, parsable geo string.
+  OPD_RETURN_NOT_OK(registry->RegisterPredicate(
+      "valid_geo",
+      [](const std::vector<storage::Value>& args, const Params&) {
+        if (args.empty() || args[0].is_null()) return false;
+        double lat, lon;
+        return ParseLatLon(args[0].as_string(), &lat, &lon);
+      }));
+  return Status::OK();
+}
+
+}  // namespace opd::udf

@@ -1,0 +1,19 @@
+#include "udf/local_function.h"
+
+namespace opd::udf {
+
+double ParamDouble(const Params& params, const std::string& key,
+                   double default_value) {
+  auto it = params.find(key);
+  if (it == params.end()) return default_value;
+  return it->second.ToDouble();
+}
+
+std::string ParamString(const Params& params, const std::string& key,
+                        const std::string& default_value) {
+  auto it = params.find(key);
+  if (it == params.end()) return default_value;
+  return it->second.ToString();
+}
+
+}  // namespace opd::udf

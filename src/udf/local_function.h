@@ -1,0 +1,87 @@
+// Local functions: the map/reduce building blocks of a UDF (Section 3.1).
+//
+// The MR framework makes map/reduce functions stateless over a single tuple
+// (map) or a single key-group (reduce); the paper calls these *local
+// functions*. A local function performs some combination of the three
+// operation types:
+//   (1) discard/add attributes, (2) discard tuples by filters,
+//   (3) group tuples on a common key.
+
+#ifndef OPD_UDF_LOCAL_FUNCTION_H_
+#define OPD_UDF_LOCAL_FUNCTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace opd::udf {
+
+/// UDF invocation parameters (e.g. thresholds, tile sizes).
+using Params = std::map<std::string, storage::Value>;
+
+/// Looks up a numeric parameter with a default.
+double ParamDouble(const Params& params, const std::string& key,
+                   double default_value);
+
+/// Looks up a string parameter with a default.
+std::string ParamString(const Params& params, const std::string& key,
+                        const std::string& default_value);
+
+/// Whether a local function runs as a map task or a reduce task.
+enum class LfKind { kMap, kReduce };
+
+/// Bitmask of the three operation types a local function performs.
+enum OpTypeBits : uint8_t {
+  kOpAttrs = 1 << 0,   // type 1: discard or add attributes
+  kOpFilter = 1 << 1,  // type 2: discard tuples by filters
+  kOpGroup = 1 << 2,   // type 3: group tuples on a common key
+};
+
+/// Runtime context handed to a local function.
+struct LfContext {
+  const storage::Schema* in_schema = nullptr;
+  const storage::Schema* out_schema = nullptr;
+  const Params* params = nullptr;
+
+  /// Index of `name` in the input schema; asserts on absence at runtime via
+  /// Status in the engine (local functions may assume validated schemas).
+  size_t In(const std::string& name) const {
+    return *in_schema->IndexOf(name);
+  }
+};
+
+/// Per-tuple transform: may emit 0..n output rows.
+using MapFn = std::function<void(const storage::Row&, const LfContext&,
+                                 std::vector<storage::Row>*)>;
+
+/// Per-group transform: receives all rows of one key group.
+using ReduceFn = std::function<void(const std::vector<storage::Row>&,
+                                    const LfContext&,
+                                    std::vector<storage::Row>*)>;
+
+/// Computes the local function's output schema from its input schema.
+using SchemaFn =
+    std::function<Result<storage::Schema>(const storage::Schema&,
+                                          const Params&)>;
+
+/// \brief One map or reduce stage inside a UDF.
+struct LocalFunction {
+  std::string name;
+  LfKind kind = LfKind::kMap;
+  uint8_t op_types = 0;  // OpTypeBits mask; used by the cheapest-op bound
+  /// Reduce only: the input columns forming the grouping key.
+  std::vector<std::string> group_keys;
+  SchemaFn out_schema;
+  MapFn map_fn;        // set when kind == kMap
+  ReduceFn reduce_fn;  // set when kind == kReduce
+};
+
+}  // namespace opd::udf
+
+#endif  // OPD_UDF_LOCAL_FUNCTION_H_

@@ -1,0 +1,59 @@
+#include "udf/udf_registry.h"
+
+namespace opd::udf {
+
+Status UdfRegistry::Register(UdfDefinition udf) {
+  if (udfs_.count(udf.name) > 0) {
+    return Status::AlreadyExists("UDF already registered: " + udf.name);
+  }
+  // Model soundness invariant: a UDF expected to emit more rows than it
+  // consumes cannot preserve the input keying — the output rows no longer
+  // respect it, and equivalence reasoning over K would be wrong.
+  if (udf.model.expansion_hint > 1.0 && !udf.model.rekey.has_value()) {
+    return Status::InvalidArgument(
+        "UDF " + udf.name +
+        " has expansion > 1 but preserves the input keying; declare a rekey");
+  }
+  std::string name = udf.name;
+  udfs_.emplace(std::move(name), std::move(udf));
+  return Status::OK();
+}
+
+Result<const UdfDefinition*> UdfRegistry::Find(const std::string& name) const {
+  auto it = udfs_.find(name);
+  if (it == udfs_.end()) return Status::NotFound("no such UDF: " + name);
+  return &it->second;
+}
+
+Result<UdfDefinition*> UdfRegistry::FindMutable(const std::string& name) {
+  auto it = udfs_.find(name);
+  if (it == udfs_.end()) return Status::NotFound("no such UDF: " + name);
+  return &it->second;
+}
+
+std::vector<std::string> UdfRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(udfs_.size());
+  for (const auto& [name, _] : udfs_) names.push_back(name);
+  return names;
+}
+
+Status UdfRegistry::RegisterPredicate(const std::string& name,
+                                      PredicateFn fn) {
+  if (predicates_.count(name) > 0) {
+    return Status::AlreadyExists("predicate already registered: " + name);
+  }
+  predicates_[name] = std::move(fn);
+  return Status::OK();
+}
+
+Result<const PredicateFn*> UdfRegistry::FindPredicate(
+    const std::string& name) const {
+  auto it = predicates_.find(name);
+  if (it == predicates_.end()) {
+    return Status::NotFound("no such predicate: " + name);
+  }
+  return &it->second;
+}
+
+}  // namespace opd::udf

@@ -1,0 +1,52 @@
+// Registry of UDF definitions and opaque predicate functions.
+
+#ifndef OPD_UDF_UDF_REGISTRY_H_
+#define OPD_UDF_UDF_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "udf/udf.h"
+
+namespace opd::udf {
+
+/// An executable boolean predicate over attribute values (the "arbitrary user
+/// code" filter of operation type 2).
+using PredicateFn =
+    std::function<bool(const std::vector<storage::Value>&, const Params&)>;
+
+/// \brief Holds every UDF and opaque predicate known to the system.
+///
+/// The rewriter additionally keeps a *subset* of UDF names registered as
+/// rewrite operators (Section 5); that subset lives in RewriteOptions, not
+/// here.
+class UdfRegistry {
+ public:
+  /// Registers a UDF; fails if the name exists.
+  Status Register(UdfDefinition udf);
+
+  /// Looks up a UDF by name.
+  Result<const UdfDefinition*> Find(const std::string& name) const;
+
+  /// Mutable lookup (used by calibration to set cost scalars).
+  Result<UdfDefinition*> FindMutable(const std::string& name);
+
+  bool Has(const std::string& name) const { return udfs_.count(name) > 0; }
+  std::vector<std::string> Names() const;
+  size_t size() const { return udfs_.size(); }
+
+  /// Registers an opaque predicate function.
+  Status RegisterPredicate(const std::string& name, PredicateFn fn);
+  Result<const PredicateFn*> FindPredicate(const std::string& name) const;
+
+ private:
+  std::map<std::string, UdfDefinition> udfs_;
+  std::map<std::string, PredicateFn> predicates_;
+};
+
+}  // namespace opd::udf
+
+#endif  // OPD_UDF_UDF_REGISTRY_H_

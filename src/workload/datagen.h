@@ -1,0 +1,48 @@
+// Synthetic dataset generators standing in for the paper's real logs
+// (Section 8.2): an 800 GB Twitter log (TWTR), a 250 GB Foursquare check-in
+// log (4SQ), and a 7 GB Landmarks log (LAND). user_id is shared between TWTR
+// and 4SQ; location_id between 4SQ and LAND.
+//
+// The generators plant the structure the rewriter's benefits depend on:
+// wide logs of which queries use a small fraction, per-user topical affinity
+// (so sentiment classifiers produce skewed scores), Zipf-repeated mention
+// pairs (friendship strength), partially-missing geo coordinates, and
+// category-tagged landmarks with menu text.
+
+#ifndef OPD_WORKLOAD_DATAGEN_H_
+#define OPD_WORKLOAD_DATAGEN_H_
+
+#include "storage/table.h"
+
+namespace opd::workload {
+
+struct DataGenConfig {
+  uint64_t seed = 20140622;
+  size_t n_users = 400;
+  size_t n_tweets = 20000;
+  size_t n_checkins = 12000;
+  size_t n_locations = 600;
+  /// Probability a tweet carries parsable geo coordinates.
+  double geo_prob = 0.55;
+  /// Probability a tweet mentions another user.
+  double mention_prob = 0.3;
+};
+
+/// TWTR(tweet_id*, user_id, tweet_text, mention_user, geo, raw_meta, ts,
+///      retweets, favorites, client_ver, payload) — key tweet_id.
+storage::TablePtr GenerateTwitterLog(const DataGenConfig& config);
+
+/// FSQ(checkin_id*, user_id, location_id, ts, checkin_msg, rating)
+/// — key checkin_id.
+storage::TablePtr GenerateFoursquareLog(const DataGenConfig& config);
+
+/// LAND(location_id*, name, category, geo, menu_text, avg_rating)
+/// — key location_id.
+storage::TablePtr GenerateLandmarks(const DataGenConfig& config);
+
+/// The reference menu string used by the workload's menu-similarity queries.
+const char* ReferenceMenu();
+
+}  // namespace opd::workload
+
+#endif  // OPD_WORKLOAD_DATAGEN_H_

@@ -1,0 +1,28 @@
+// The evolutionary-analytics workload (Section 8.1, from LeFevre et al.,
+// DanaC'13 [16]): 8 analysts x 4 query versions over TWTR / 4SQ / LAND.
+// Version j+1 of a query revises version j — changed thresholds, added data
+// sources, extra joins — producing the overlap structure the paper's
+// experiments measure. Every query applies at least one UDF.
+
+#ifndef OPD_WORKLOAD_QUERIES_H_
+#define OPD_WORKLOAD_QUERIES_H_
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace opd::workload {
+
+constexpr int kNumAnalysts = 8;
+constexpr int kNumVersions = 4;
+
+/// Builds query "A<analyst>v<version>" (analyst 1-8, version 1-4) as a fresh
+/// unannotated plan. Deterministic: repeated calls build structurally
+/// identical plans.
+Result<plan::Plan> BuildQuery(int analyst, int version);
+
+/// One-line description of each analyst's exploration topic.
+const char* AnalystTopic(int analyst);
+
+}  // namespace opd::workload
+
+#endif  // OPD_WORKLOAD_QUERIES_H_

@@ -1,0 +1,280 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+
+#include "catalog/eviction.h"
+#include "exec/udf_exec.h"
+#include "plan/fingerprint.h"
+#include "plan/job.h"
+#include "udf/builtin_udfs.h"
+
+namespace opd::workload {
+
+namespace {
+
+constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace
+
+Result<std::unique_ptr<TestBed>> TestBed::Create(TestBedConfig config) {
+  auto bed = std::unique_ptr<TestBed>(new TestBed());
+  bed->config_ = config;
+  bed->dfs_ = std::make_unique<storage::Dfs>();
+  bed->catalog_ = std::make_unique<catalog::Catalog>();
+  bed->views_ = std::make_unique<catalog::ViewStore>();
+  bed->udfs_ = std::make_unique<udf::UdfRegistry>();
+  OPD_RETURN_NOT_OK(udf::RegisterBuiltinUdfs(bed->udfs_.get()));
+
+  storage::TablePtr twtr = GenerateTwitterLog(config.data);
+  storage::TablePtr fsq = GenerateFoursquareLog(config.data);
+  storage::TablePtr land = GenerateLandmarks(config.data);
+  OPD_RETURN_NOT_OK(
+      bed->catalog_->RegisterBase(twtr, {"tweet_id"}, bed->dfs_.get()));
+  OPD_RETURN_NOT_OK(
+      bed->catalog_->RegisterBase(fsq, {"checkin_id"}, bed->dfs_.get()));
+  OPD_RETURN_NOT_OK(
+      bed->catalog_->RegisterBase(land, {"location_id"}, bed->dfs_.get()));
+
+  // Derive the byte scale so the synthetic TWTR log models the paper's
+  // 800 GB Twitter log.
+  optimizer::CostParams cost = config.cost;
+  const double twtr_bytes = static_cast<double>(twtr->ByteSize());
+  if (twtr_bytes > 0) {
+    cost.data_scale = config.modeled_twtr_gb * kGB / twtr_bytes;
+  }
+  plan::AnnotationContext ctx;
+  ctx.catalog = bed->catalog_.get();
+  ctx.views = bed->views_.get();
+  ctx.udfs = bed->udfs_.get();
+  bed->optimizer_ = std::make_unique<optimizer::Optimizer>(
+      ctx, optimizer::CostModel(cost), config.optimizer);
+  bed->engine_ = std::make_unique<exec::Engine>(
+      bed->dfs_.get(), bed->views_.get(), bed->optimizer_.get(),
+      config.engine);
+  bed->bfr_ = std::make_unique<rewrite::BfRewriter>(
+      bed->optimizer_.get(), bed->views_.get(), config.rewrite);
+  bed->dp_ = std::make_unique<rewrite::DpRewriter>(
+      bed->optimizer_.get(), bed->views_.get(), config.rewrite);
+  bed->syntactic_ = std::make_unique<rewrite::SyntacticRewriter>(
+      bed->optimizer_.get(), bed->views_.get());
+
+  if (config.calibrate_udfs) {
+    OPD_RETURN_NOT_OK(bed->Calibrate());
+  }
+  return bed;
+}
+
+Status TestBed::Calibrate() {
+  OPD_ASSIGN_OR_RETURN(const catalog::BaseTableEntry* twtr_entry,
+                       catalog_->Find("TWTR"));
+  OPD_ASSIGN_OR_RETURN(const catalog::BaseTableEntry* land_entry,
+                       catalog_->Find("LAND"));
+  OPD_ASSIGN_OR_RETURN(storage::TablePtr twtr,
+                       dfs_->Peek(twtr_entry->dfs_path));
+  OPD_ASSIGN_OR_RETURN(storage::TablePtr land,
+                       dfs_->Peek(land_entry->dfs_path));
+
+  optimizer::CalibrationOptions copts;
+  auto calibrate = [&](const std::string& name, const storage::Table& input,
+                       const udf::Params& params) -> Status {
+    OPD_ASSIGN_OR_RETURN(udf::UdfDefinition * def,
+                         udfs_->FindMutable(name));
+    return optimizer::CalibrateUdf(def, input, params, copts);
+  };
+
+  // UDFs calibrated directly on the raw logs.
+  OPD_RETURN_NOT_OK(calibrate("UDF_CLASSIFY_WINE_SCORE", *twtr, {}));
+  OPD_RETURN_NOT_OK(calibrate("UDF_CLASSIFY_FOOD_SCORE", *twtr, {}));
+  OPD_RETURN_NOT_OK(calibrate("UDAF_CLASSIFY_AFFLUENT", *twtr, {}));
+  OPD_RETURN_NOT_OK(calibrate("UDF_FRIENDSHIP_STRENGTH", *twtr, {}));
+  OPD_RETURN_NOT_OK(calibrate("UDF_EXTRACT_LATLON", *twtr, {}));
+  OPD_RETURN_NOT_OK(calibrate("UDF_TOKENIZE", *twtr, {}));
+  OPD_RETURN_NOT_OK(calibrate("UDF_PARSE_LOG", *twtr, {}));
+  udf::Params menu_params = {
+      {"ref_menu", storage::Value(ReferenceMenu())},
+      {"min_sim", storage::Value(0.1)}};
+  OPD_RETURN_NOT_OK(calibrate("UDF_MENU_SIMILARITY", *land, menu_params));
+
+  // UDFs whose inputs are other UDFs' outputs: chain the sampled stages.
+  storage::Table sample = optimizer::SampleTable(*twtr, 0.05, copts.seed);
+  OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* latlon,
+                       udfs_->Find("UDF_EXTRACT_LATLON"));
+  storage::Table with_latlon;
+  OPD_RETURN_NOT_OK(
+      exec::RunLocalFunctions(*latlon, sample, {}, &with_latlon));
+  OPD_RETURN_NOT_OK(calibrate("UDF_GEO_TILE", with_latlon,
+                              {{"tile_size", storage::Value(1.0)}}));
+
+  OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* tokenize,
+                       udfs_->Find("UDF_TOKENIZE"));
+  storage::Table tokens;
+  OPD_RETURN_NOT_OK(exec::RunLocalFunctions(*tokenize, sample, {}, &tokens));
+  OPD_RETURN_NOT_OK(calibrate("UDF_WORD_COUNT", tokens, {}));
+
+  OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* friendship,
+                       udfs_->Find("UDF_FRIENDSHIP_STRENGTH"));
+  storage::Table pairs;
+  OPD_RETURN_NOT_OK(exec::RunLocalFunctions(
+      *friendship, *twtr, {{"min_strength", storage::Value(1.0)}}, &pairs));
+  OPD_RETURN_NOT_OK(calibrate("UDF_NETWORK_INFLUENCE", pairs, {}));
+  return Status::OK();
+}
+
+void TestBed::DropAllViews() {
+  views_->DropAll();
+  dfs_->DeletePrefix("views/");
+  dfs_->DeletePrefix("synth/");
+}
+
+Result<exec::ExecResult> TestBed::RunOriginal(int analyst, int version) {
+  OPD_ASSIGN_OR_RETURN(plan::Plan plan, BuildQuery(analyst, version));
+  return engine_->Execute(&plan);
+}
+
+Result<TestBed::RewrittenRun> TestBed::RunRewritten(int analyst,
+                                                    int version) {
+  OPD_ASSIGN_OR_RETURN(plan::Plan plan, BuildQuery(analyst, version));
+  OPD_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome,
+                       bfr_->Rewrite(&plan));
+  // Credit the views the rewrite uses (drives the retention policies).
+  OPD_RETURN_NOT_OK(catalog::RecordPlanAccesses(
+      views_.get(), outcome.plan,
+      std::max(outcome.original_cost - outcome.est_cost, 0.0)));
+  plan::Plan best = outcome.plan;
+  OPD_ASSIGN_OR_RETURN(exec::ExecResult exec, engine_->Execute(&best));
+  return RewrittenRun{std::move(exec), std::move(outcome)};
+}
+
+Status TestBed::RegisterPlanViews(plan::Plan* plan) {
+  OPD_RETURN_NOT_OK(optimizer_->Prepare(plan));
+  static int synth_counter = 0;
+  for (const plan::OpNodePtr& node : plan->TopoOrder()) {
+    if (node->kind == plan::OpKind::kScan) continue;
+    catalog::ViewDefinition def;
+    def.dfs_path = "synth/" + std::to_string(synth_counter++);
+    def.afk = node->afk;
+    def.out_attrs = node->out_attrs;
+    def.schema = node->out_schema;
+    def.fingerprint = plan::Fingerprint(node);
+    def.bytes = static_cast<uint64_t>(node->est_out_bytes);
+    def.producer = plan->name();
+    def.stats.rows = node->est_rows;
+    def.stats.avg_row_bytes =
+        node->est_rows > 0 ? node->est_out_bytes / node->est_rows : 0;
+    def.stats.distinct = node->est_distinct;
+    def.stats.col_bytes = node->est_col_bytes;
+    // A placeholder (empty) table keeps the DFS consistent; the scalability
+    // study never executes these plans.
+    auto placeholder =
+        std::make_shared<const storage::Table>(def.dfs_path, def.schema);
+    OPD_RETURN_NOT_OK(dfs_->Write(def.dfs_path, placeholder));
+    views_->Add(std::move(def));
+  }
+  return Status::OK();
+}
+
+// --- Scenario drivers -------------------------------------------------------
+
+namespace {
+
+ComparisonRow MakeRow(int analyst, int version,
+                      const exec::ExecResult& orig,
+                      const TestBed::RewrittenRun& rewr, double data_scale) {
+  ComparisonRow row;
+  row.analyst = analyst;
+  row.version = version;
+  row.orig_time_s = orig.metrics.sim_time_s;
+  row.rewr_time_s = rewr.TotalTime();
+  row.orig_gb = static_cast<double>(orig.metrics.BytesManipulated()) *
+                data_scale / kGB;
+  row.rewr_gb = static_cast<double>(rewr.exec.metrics.BytesManipulated()) *
+                data_scale / kGB;
+  row.stats = rewr.outcome.stats;
+  return row;
+}
+
+}  // namespace
+
+Result<std::vector<ComparisonRow>> RunQueryEvolution(TestBed* bed) {
+  std::vector<ComparisonRow> rows;
+  const double scale = bed->optimizer().cost_model().params().data_scale;
+  for (int analyst = 1; analyst <= kNumAnalysts; ++analyst) {
+    bed->DropAllViews();
+    for (int version = 1; version <= kNumVersions; ++version) {
+      // Rewrite before this version's own original run creates its views.
+      OPD_ASSIGN_OR_RETURN(TestBed::RewrittenRun rewr,
+                           bed->RunRewritten(analyst, version));
+      OPD_ASSIGN_OR_RETURN(exec::ExecResult orig,
+                           bed->RunOriginal(analyst, version));
+      rows.push_back(MakeRow(analyst, version, orig, rewr, scale));
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<ComparisonRow>> RunUserEvolution(
+    TestBed* bed, bool drop_identical_views) {
+  std::vector<ComparisonRow> rows;
+  const double scale = bed->optimizer().cost_model().params().data_scale;
+  for (int holdout = 1; holdout <= kNumAnalysts; ++holdout) {
+    bed->DropAllViews();
+    for (int analyst = 1; analyst <= kNumAnalysts; ++analyst) {
+      if (analyst == holdout) continue;
+      OPD_ASSIGN_OR_RETURN(exec::ExecResult ignored,
+                           bed->RunOriginal(analyst, 1));
+      (void)ignored;
+    }
+    if (drop_identical_views) {
+      OPD_RETURN_NOT_OK(DropIdenticalViews(bed, holdout, 1));
+    }
+    OPD_ASSIGN_OR_RETURN(TestBed::RewrittenRun rewr,
+                         bed->RunRewritten(holdout, 1));
+    OPD_ASSIGN_OR_RETURN(exec::ExecResult orig,
+                         bed->RunOriginal(holdout, 1));
+    rows.push_back(MakeRow(holdout, 1, orig, rewr, scale));
+  }
+  return rows;
+}
+
+Result<std::vector<double>> RunAnalystAccumulation(TestBed* bed) {
+  bed->DropAllViews();
+  OPD_ASSIGN_OR_RETURN(exec::ExecResult baseline, bed->RunOriginal(5, 3));
+  const double baseline_time = baseline.metrics.sim_time_s;
+  // Remove the baseline run's own views: the re-executions may only benefit
+  // from *other analysts'* views.
+  bed->DropAllViews();
+
+  std::vector<double> improvements = {0.0};  // 1 analyst: A5 alone
+  const int order[] = {1, 2, 3, 4, 6, 7, 8};
+  for (int analyst : order) {
+    for (int version = 1; version <= kNumVersions; ++version) {
+      OPD_ASSIGN_OR_RETURN(exec::ExecResult ignored,
+                           bed->RunOriginal(analyst, version));
+      (void)ignored;
+    }
+    // Measure, then roll back the measurement run's own view contributions.
+    catalog::ViewStore snapshot = bed->views();
+    OPD_ASSIGN_OR_RETURN(TestBed::RewrittenRun rewr, bed->RunRewritten(5, 3));
+    bed->views() = std::move(snapshot);
+    double improvement =
+        baseline_time <= 0
+            ? 0
+            : 100.0 * (baseline_time - rewr.TotalTime()) / baseline_time;
+    improvements.push_back(improvement);
+  }
+  return improvements;
+}
+
+Status DropIdenticalViews(TestBed* bed, int analyst, int version) {
+  OPD_ASSIGN_OR_RETURN(plan::Plan plan, BuildQuery(analyst, version));
+  // Annotation is enough; no costing needed to compare AFK annotations.
+  plan::AnnotationContext ctx = bed->optimizer().context();
+  OPD_RETURN_NOT_OK(plan::AnnotatePlan(plan, ctx));
+  for (const plan::OpNodePtr& node : plan.TopoOrder()) {
+    if (node->kind == plan::OpKind::kScan) continue;
+    bed->views().DropIdentical(node->afk);
+  }
+  return Status::OK();
+}
+
+}  // namespace opd::workload

@@ -1,0 +1,140 @@
+// The experiment environment (TestBed) and the scenario drivers behind the
+// paper's evaluation (Section 8.3): query evolution, user evolution, analyst
+// accumulation, algorithm comparisons, scalability, convergence, and the
+// syntactic-caching comparison.
+
+#ifndef OPD_WORKLOAD_SCENARIOS_H_
+#define OPD_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/view_store.h"
+#include "exec/engine.h"
+#include "optimizer/calibration.h"
+#include "optimizer/optimizer.h"
+#include "rewrite/bf_rewrite.h"
+#include "rewrite/dp_rewrite.h"
+#include "rewrite/syntactic.h"
+#include "storage/dfs.h"
+#include "udf/udf_registry.h"
+#include "workload/datagen.h"
+#include "workload/queries.h"
+
+namespace opd::workload {
+
+struct TestBedConfig {
+  DataGenConfig data;
+  optimizer::CostParams cost;
+  exec::EngineOptions engine;
+  rewrite::RewriteOptions rewrite;
+  optimizer::OptimizerOptions optimizer;
+  /// Calibrate UDF cost scalars on 1% samples at startup (Section 4.2).
+  bool calibrate_udfs = true;
+  /// Modeled size of the TWTR log; data_scale is derived so the synthetic
+  /// table models this many bytes (paper: 800 GB).
+  double modeled_twtr_gb = 800.0;
+};
+
+/// \brief A fully-wired system instance: data, catalog, views, UDFs,
+/// optimizer, engine, and the three rewriters.
+class TestBed {
+ public:
+  static Result<std::unique_ptr<TestBed>> Create(TestBedConfig config = {});
+
+  /// Drops all views (metadata + DFS files). Base tables survive.
+  void DropAllViews();
+
+  /// Executes the original plan of query A<analyst>v<version>, retaining
+  /// opportunistic views.
+  Result<exec::ExecResult> RunOriginal(int analyst, int version);
+
+  /// Rewrites the query with BFREWRITE against current views, then executes
+  /// the best plan. The metrics include statistics collection; the rewrite
+  /// outcome carries the search stats.
+  struct RewrittenRun {
+    exec::ExecResult exec;
+    rewrite::RewriteOutcome outcome;
+    /// Reported REWR time: execution + stats collection + rewrite runtime
+    /// (the paper's REWR metric).
+    double TotalTime() const {
+      return exec.metrics.TotalTime() + outcome.stats.runtime_s;
+    }
+  };
+  Result<RewrittenRun> RunRewritten(int analyst, int version);
+
+  /// Registers every job of the plan as a view *without executing it*, using
+  /// optimizer estimates for statistics (used only by the Figure 10
+  /// scalability study to populate large view stores cheaply).
+  Status RegisterPlanViews(plan::Plan* plan);
+
+  storage::Dfs& dfs() { return *dfs_; }
+  catalog::Catalog& catalog() { return *catalog_; }
+  catalog::ViewStore& views() { return *views_; }
+  udf::UdfRegistry& udfs() { return *udfs_; }
+  const optimizer::Optimizer& optimizer() { return *optimizer_; }
+  exec::Engine& engine() { return *engine_; }
+  const rewrite::BfRewriter& bfr() { return *bfr_; }
+  const rewrite::DpRewriter& dp() { return *dp_; }
+  const rewrite::SyntacticRewriter& syntactic() { return *syntactic_; }
+  const TestBedConfig& config() const { return config_; }
+
+ private:
+  TestBed() = default;
+  Status Calibrate();
+
+  TestBedConfig config_;
+  std::unique_ptr<storage::Dfs> dfs_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<catalog::ViewStore> views_;
+  std::unique_ptr<udf::UdfRegistry> udfs_;
+  std::unique_ptr<optimizer::Optimizer> optimizer_;
+  std::unique_ptr<exec::Engine> engine_;
+  std::unique_ptr<rewrite::BfRewriter> bfr_;
+  std::unique_ptr<rewrite::DpRewriter> dp_;
+  std::unique_ptr<rewrite::SyntacticRewriter> syntactic_;
+};
+
+// --- Scenario drivers -------------------------------------------------------
+
+/// One measured query: ORIG vs REWR.
+struct ComparisonRow {
+  int analyst = 0;
+  int version = 0;
+  double orig_time_s = 0;
+  double rewr_time_s = 0;  // includes rewrite + stats time
+  double orig_gb = 0;      // data manipulated, modeled GB
+  double rewr_gb = 0;
+  rewrite::RewriteStats stats;
+
+  double ImprovementPct() const {
+    return orig_time_s <= 0 ? 0
+                            : 100.0 * (orig_time_s - rewr_time_s) /
+                                  orig_time_s;
+  }
+};
+
+/// Query evolution (Section 8.3.1): per analyst, run v1..v4 in order,
+/// rewriting each version against the views of earlier versions.
+Result<std::vector<ComparisonRow>> RunQueryEvolution(TestBed* bed);
+
+/// User evolution (Section 8.3.2): for each holdout analyst, run every other
+/// analyst's v1, then rewrite/execute the holdout's v1.
+/// `drop_identical_views` reproduces the Table 2 variant.
+Result<std::vector<ComparisonRow>> RunUserEvolution(
+    TestBed* bed, bool drop_identical_views = false);
+
+/// Analyst accumulation (Table 1): improvement of A5v3 as analysts' queries
+/// (all 4 versions each) are added one at a time. Returns improvement % per
+/// number of analysts added (index 0 = 1 analyst = just A5's own v3 baseline
+/// run with no views).
+Result<std::vector<double>> RunAnalystAccumulation(TestBed* bed);
+
+/// Discards from the store every view identical to some target of `plan`.
+Status DropIdenticalViews(TestBed* bed, int analyst, int version);
+
+}  // namespace opd::workload
+
+#endif  // OPD_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,123 @@
+// Unit tests for attribute identity and provenance signatures (Section 3.1).
+
+#include "afk/attribute.h"
+
+#include <gtest/gtest.h>
+
+namespace opd::afk {
+namespace {
+
+using storage::DataType;
+
+TEST(AttributeTest, BaseIdentity) {
+  Attribute a = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute b = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_EQ(a.signature_hash(), b.signature_hash());
+}
+
+TEST(AttributeTest, BaseDifferentRelationDiffers) {
+  Attribute a = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute b = Attribute::Base("FSQ", "user_id", DataType::kInt64);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(AttributeTest, BaseDifferentNameDiffers) {
+  Attribute a = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute b = Attribute::Base("TWTR", "tweet_id", DataType::kInt64);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(AttributeTest, BaseProperties) {
+  Attribute a = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  EXPECT_TRUE(a.is_base());
+  EXPECT_EQ(a.relation(), "TWTR");
+  EXPECT_EQ(a.name(), "user_id");
+  EXPECT_EQ(a.type(), DataType::kInt64);
+  EXPECT_TRUE(a.inputs().empty());
+}
+
+TEST(AttributeTest, DerivedIdentityIsStructural) {
+  Attribute uid = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute text = Attribute::Base("TWTR", "tweet_text", DataType::kString);
+  Attribute s1 = Attribute::Derived("sent_sum", "UDF_FOODIES", {uid, text},
+                                    "ctx", "", DataType::kDouble);
+  Attribute s2 = Attribute::Derived("sent_sum", "UDF_FOODIES", {uid, text},
+                                    "ctx", "", DataType::kDouble);
+  EXPECT_EQ(s1, s2);
+  EXPECT_FALSE(s1.is_base());
+  EXPECT_EQ(s1.producer(), "UDF_FOODIES");
+}
+
+TEST(AttributeTest, DerivedInputOrderInsensitive) {
+  Attribute uid = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute text = Attribute::Base("TWTR", "tweet_text", DataType::kString);
+  Attribute s1 = Attribute::Derived("s", "U", {uid, text}, "c", "",
+                                    DataType::kDouble);
+  Attribute s2 = Attribute::Derived("s", "U", {text, uid}, "c", "",
+                                    DataType::kDouble);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(AttributeTest, DerivedDifferentProducerDiffers) {
+  Attribute uid = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute s1 =
+      Attribute::Derived("s", "UDF_A", {uid}, "c", "", DataType::kDouble);
+  Attribute s2 =
+      Attribute::Derived("s", "UDF_B", {uid}, "c", "", DataType::kDouble);
+  EXPECT_FALSE(s1 == s2);
+}
+
+TEST(AttributeTest, DerivedDifferentContextDiffers) {
+  Attribute uid = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute s1 =
+      Attribute::Derived("s", "U", {uid}, "ctx1", "", DataType::kDouble);
+  Attribute s2 =
+      Attribute::Derived("s", "U", {uid}, "ctx2", "", DataType::kDouble);
+  EXPECT_FALSE(s1 == s2);
+}
+
+TEST(AttributeTest, DerivedDifferentParamsDiffers) {
+  Attribute lat = Attribute::Base("TWTR", "lat", DataType::kDouble);
+  Attribute t1 = Attribute::Derived("tile_id", "UDF_GEO_TILE", {lat}, "c",
+                                    "tile_size=1", DataType::kInt64);
+  Attribute t2 = Attribute::Derived("tile_id", "UDF_GEO_TILE", {lat}, "c",
+                                    "tile_size=0.5", DataType::kInt64);
+  EXPECT_FALSE(t1 == t2);
+}
+
+TEST(AttributeTest, DerivedDifferentInputsDiffers) {
+  Attribute a = Attribute::Base("TWTR", "a", DataType::kInt64);
+  Attribute b = Attribute::Base("TWTR", "b", DataType::kInt64);
+  Attribute s1 = Attribute::Derived("s", "U", {a}, "c", "", DataType::kDouble);
+  Attribute s2 = Attribute::Derived("s", "U", {b}, "c", "", DataType::kDouble);
+  EXPECT_FALSE(s1 == s2);
+}
+
+TEST(AttributeTest, NestedDerivation) {
+  Attribute geo = Attribute::Base("TWTR", "geo", DataType::kString);
+  Attribute lat = Attribute::Derived("lat", "UDF_EXTRACT_LATLON", {geo}, "c",
+                                     "", DataType::kDouble);
+  Attribute tile = Attribute::Derived("tile_id", "UDF_GEO_TILE", {lat}, "c",
+                                      "tile_size=1", DataType::kInt64);
+  ASSERT_EQ(tile.inputs().size(), 1u);
+  EXPECT_EQ(tile.inputs()[0], lat);
+  EXPECT_EQ(tile.inputs()[0].inputs()[0], geo);
+}
+
+TEST(AttributeTest, OrderingIsBySignature) {
+  Attribute a = Attribute::Base("A", "x", DataType::kInt64);
+  Attribute b = Attribute::Base("B", "x", DataType::kInt64);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(AttributeTest, ToStringIsInformative) {
+  Attribute a = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  EXPECT_NE(a.ToString().find("TWTR"), std::string::npos);
+  EXPECT_NE(a.ToString().find("user_id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opd::afk

@@ -1,0 +1,263 @@
+// Tests for the Afk annotation: symbolic operation types, equivalence, fix
+// computation, and the producibility closure (Sections 3.1, 4.1, 4.3).
+
+#include "afk/afk.h"
+
+#include <gtest/gtest.h>
+
+namespace opd::afk {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+Attribute B(const std::string& name,
+            DataType type = DataType::kInt64) {
+  return Attribute::Base("T", name, type);
+}
+
+Afk BaseAfk() {
+  return Afk::ForBaseRelation(
+      "T", {B("id"), B("a"), B("b", DataType::kDouble), B("c")}, {"id"});
+}
+
+TEST(AfkTest, BaseRelationAnnotation) {
+  Afk afk = BaseAfk();
+  EXPECT_EQ(afk.attrs().size(), 4u);
+  EXPECT_TRUE(afk.filters().empty());
+  ASSERT_EQ(afk.keys().keys().size(), 1u);
+  EXPECT_EQ(afk.keys().keys()[0].name(), "id");
+  EXPECT_EQ(afk.keys().agg_depth(), 0);
+}
+
+TEST(AfkTest, FindByName) {
+  Afk afk = BaseAfk();
+  EXPECT_TRUE(afk.FindByName("a").has_value());
+  EXPECT_FALSE(afk.FindByName("zzz").has_value());
+}
+
+TEST(AfkTest, ProjectKeepsSubsetAndPreservesGrouping) {
+  Afk afk = BaseAfk();
+  auto projected = afk.Project({*afk.FindByName("a"), *afk.FindByName("b")});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->attrs().size(), 2u);
+  // Dropping the key column does not regroup the data: K is preserved, so a
+  // UDF applied to any projection of the same log sees the same context.
+  EXPECT_EQ(projected->keys(), afk.keys());
+}
+
+TEST(AfkTest, ProjectAbsentAttributeFails) {
+  Afk afk = BaseAfk();
+  Attribute foreign = Attribute::Base("OTHER", "x", DataType::kInt64);
+  EXPECT_FALSE(afk.Project({foreign}).ok());
+}
+
+TEST(AfkTest, ApplyFilterAddsToF) {
+  Afk afk = BaseAfk();
+  Predicate p = Predicate::Compare(*afk.FindByName("b"), CmpOp::kGt,
+                                   Value(0.5));
+  auto filtered = afk.ApplyFilter(p);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_TRUE(filtered->filters().Contains(p));
+  EXPECT_EQ(filtered->attrs().size(), afk.attrs().size());
+}
+
+TEST(AfkTest, FilterOnAbsentAttributeFails) {
+  Afk afk = BaseAfk();
+  Predicate p = Predicate::Compare(Attribute::Base("X", "q", DataType::kInt64),
+                                   CmpOp::kGt, Value(1.0));
+  EXPECT_FALSE(afk.ApplyFilter(p).ok());
+}
+
+TEST(AfkTest, GroupByDropsNonKeyAttrsAndIncrementsDepth) {
+  Afk afk = BaseAfk();
+  Attribute key = *afk.FindByName("c");
+  Attribute agg = Attribute::Derived("cnt", "agg:COUNT", {}, "ctx", "",
+                                     DataType::kInt64);
+  auto grouped = afk.GroupBy({key}, {agg});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->attrs().size(), 2u);  // key + aggregate only
+  EXPECT_FALSE(grouped->HasAttr(*afk.FindByName("a")));
+  EXPECT_EQ(grouped->keys().agg_depth(), 1);
+  ASSERT_EQ(grouped->keys().keys().size(), 1u);
+  EXPECT_EQ(grouped->keys().keys()[0], key);
+}
+
+TEST(AfkTest, GroupByIsTheFalsePositiveExample) {
+  // The paper's Figure 5 discussion: grouping on c removes a and b, which
+  // may render the creation of d impossible afterwards.
+  Afk afk = BaseAfk();
+  Attribute key = *afk.FindByName("c");
+  Attribute agg = Attribute::Derived("cnt", "agg:COUNT", {}, "ctx", "",
+                                     DataType::kInt64);
+  Afk grouped = afk.GroupBy({key}, {agg}).value();
+  // d = f(a, b) can no longer be added: a and b are gone.
+  Attribute d = Attribute::Derived(
+      "d", "f", {*afk.FindByName("a"), *afk.FindByName("b")}, "ctx", "",
+      DataType::kDouble);
+  EXPECT_FALSE(grouped.AddAttributes({d}).ok());
+}
+
+TEST(AfkTest, AddAttributesRequiresInputs) {
+  Afk afk = BaseAfk();
+  Attribute d = Attribute::Derived(
+      "d", "f", {*afk.FindByName("a"), *afk.FindByName("b")}, "ctx", "",
+      DataType::kDouble);
+  auto extended = afk.AddAttributes({d});
+  ASSERT_TRUE(extended.ok());
+  EXPECT_TRUE(extended->HasAttr(d));
+  EXPECT_EQ(extended->keys(), afk.keys());
+}
+
+TEST(AfkTest, JoinUnionsAttrsAndIntersectsKeys) {
+  // Two relations sharing `u`, keyed on u at depth 1 each (e.g. two
+  // per-user aggregates).
+  Attribute u = Attribute::Base("T", "u", DataType::kInt64);
+  Attribute x = Attribute::Base("T", "x", DataType::kDouble);
+  Attribute y = Attribute::Base("T", "y", DataType::kDouble);
+  Afk left({u, x}, FilterSet(), KeySet({u}, 1));
+  Afk right({u, y}, FilterSet(), KeySet({u}, 1));
+  auto joined = left.Join(right, {{u, u}});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->attrs().size(), 3u);  // u, x, y (u deduplicated)
+  ASSERT_EQ(joined->keys().keys().size(), 1u);
+  EXPECT_EQ(joined->keys().keys()[0], u);
+  EXPECT_EQ(joined->keys().agg_depth(), 1);
+}
+
+TEST(AfkTest, JoinCoalescesDifferentlyNamedKeys) {
+  // TWTR.user_id = FSQ.user_id: different signatures, same semantic entity.
+  Attribute tu = Attribute::Base("TWTR", "user_id", DataType::kInt64);
+  Attribute fu = Attribute::Base("FSQ", "user_id", DataType::kInt64);
+  Attribute s = Attribute::Base("TWTR", "s", DataType::kDouble);
+  Attribute c = Attribute::Base("FSQ", "c", DataType::kInt64);
+  Afk left({tu, s}, FilterSet(), KeySet({tu}, 1));
+  Afk right({fu, c}, FilterSet(), KeySet({fu}, 1));
+  auto joined = left.Join(right, {{tu, fu}});
+  ASSERT_TRUE(joined.ok());
+  // The right-side join column is coalesced into the left one.
+  EXPECT_TRUE(joined->HasAttr(tu));
+  EXPECT_FALSE(joined->HasAttr(fu));
+  EXPECT_EQ(joined->attrs().size(), 3u);  // tu, s, c
+  // Both keys map to the surviving left attribute.
+  ASSERT_GE(joined->keys().keys().size(), 1u);
+  EXPECT_EQ(joined->keys().keys()[0], tu);
+  // The join condition is recorded as a filter.
+  EXPECT_EQ(joined->filters().size(), 1u);
+}
+
+TEST(AfkTest, JoinRequiresPairs) {
+  Afk afk = BaseAfk();
+  EXPECT_FALSE(afk.Join(afk, {}).ok());
+}
+
+TEST(AfkTest, EquivalenceExact) {
+  Afk a = BaseAfk();
+  Afk b = BaseAfk();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(AfkTest, EquivalenceModuloRedundantFilters) {
+  Afk base = BaseAfk();
+  Attribute b_attr = *base.FindByName("b");
+  Afk tight =
+      base.ApplyFilter(Predicate::Compare(b_attr, CmpOp::kLt, Value(5.0)))
+          .value();
+  Afk redundant =
+      base.ApplyFilter(Predicate::Compare(b_attr, CmpOp::kLt, Value(10.0)))
+          .value()
+          .ApplyFilter(Predicate::Compare(b_attr, CmpOp::kLt, Value(5.0)))
+          .value();
+  EXPECT_TRUE(tight == redundant);
+}
+
+TEST(AfkTest, InequivalenceOnKeys) {
+  Afk base = BaseAfk();
+  Attribute c = *base.FindByName("c");
+  Attribute agg = Attribute::Derived("cnt", "agg:COUNT", {}, "x", "",
+                                     DataType::kInt64);
+  Afk g1 = base.GroupBy({c}, {agg}).value();
+  EXPECT_FALSE(base == g1);
+}
+
+TEST(FixTest, EmptyFixForIdentical) {
+  Afk a = BaseAfk();
+  Fix fix = ComputeFix(a, a);
+  EXPECT_TRUE(fix.empty());
+  EXPECT_EQ(fix.NumOpTypes(), 0);
+}
+
+TEST(FixTest, Figure5Example) {
+  // View v: attrs {a,b,c}, no filters, no keys.
+  // Query q: attrs {b,c,d} with d = f(a,b), filter d < 10, keyed on c.
+  Attribute a = B("a"), b = B("b"), c = B("c");
+  Afk v({a, b, c}, FilterSet(), KeySet({}, 0));
+  Attribute d = Attribute::Derived("d", "f", {a, b}, "ctx", "",
+                                   DataType::kDouble);
+  FilterSet fq;
+  fq.Add(Predicate::Compare(d, CmpOp::kLt, Value(10.0)));
+  Afk q({b, c, d}, fq, KeySet({c}, 1));
+
+  Fix fix = ComputeFix(q, v);
+  ASSERT_EQ(fix.missing_attrs.size(), 1u);
+  EXPECT_EQ(fix.missing_attrs[0], d);
+  ASSERT_EQ(fix.missing_filters.size(), 1u);
+  EXPECT_TRUE(fix.rekey_needed);
+  ASSERT_EQ(fix.extra_attrs.size(), 1u);
+  EXPECT_EQ(fix.extra_attrs[0], a);
+  EXPECT_EQ(fix.NumOpTypes(), 3);
+}
+
+TEST(FixTest, WeakerViewFilterEntersFix) {
+  Afk base = BaseAfk();
+  Attribute b_attr = *base.FindByName("b");
+  Afk v = base.ApplyFilter(
+                  Predicate::Compare(b_attr, CmpOp::kGt, Value(0.5)))
+              .value();
+  Afk q = base.ApplyFilter(
+                  Predicate::Compare(b_attr, CmpOp::kGt, Value(1.0)))
+              .value();
+  Fix fix = ComputeFix(q, v);
+  ASSERT_EQ(fix.missing_filters.size(), 1u);
+  EXPECT_TRUE(fix.missing_attrs.empty());
+}
+
+TEST(ClosureTest, DirectAttributes) {
+  Afk a = BaseAfk();
+  auto closure = ProducibleClosure(a, a);
+  EXPECT_EQ(closure.size(), a.attrs().size());
+}
+
+TEST(ClosureTest, TransitiveDerivation) {
+  // v has geo; q needs tile_id = g(lat), lat = f(geo): both producible.
+  Attribute geo = B("geo", DataType::kString);
+  Afk v({geo}, FilterSet(), KeySet({}, 0));
+  Attribute lat = Attribute::Derived("lat", "f", {geo}, "c", "",
+                                     DataType::kDouble);
+  Attribute tile = Attribute::Derived("tile", "g", {lat}, "c", "",
+                                      DataType::kInt64);
+  Afk q({tile}, FilterSet(), KeySet({}, 0));
+  auto closure = ProducibleClosure(q, v);
+  EXPECT_EQ(closure.size(), 3u);  // geo, lat, tile
+}
+
+TEST(ClosureTest, BaseAttributesCannotBeSynthesized) {
+  Attribute a = B("a");
+  Afk v({a}, FilterSet(), KeySet({}, 0));
+  Attribute other = B("other");
+  Afk q({other}, FilterSet(), KeySet({}, 0));
+  auto closure = ProducibleClosure(q, v);
+  EXPECT_EQ(closure.size(), 1u);  // just a
+}
+
+TEST(ContextStringTest, ReflectsFiltersAndKeys) {
+  Afk base = BaseAfk();
+  Attribute b_attr = *base.FindByName("b");
+  Afk filtered =
+      base.ApplyFilter(Predicate::Compare(b_attr, CmpOp::kGt, Value(1.0)))
+          .value();
+  EXPECT_NE(base.ContextString(), filtered.ContextString());
+}
+
+}  // namespace
+}  // namespace opd::afk

@@ -1,0 +1,198 @@
+// Unit + property tests for predicates, implication, and filter sets
+// (the F component of the model; GUESSCOMPLETE condition (ii)).
+
+#include "afk/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace opd::afk {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+Attribute Attr(const std::string& name) {
+  return Attribute::Base("T", name, DataType::kDouble);
+}
+
+TEST(CmpEvalTest, AllOperators) {
+  Value a(int64_t{3}), b(int64_t{5});
+  EXPECT_TRUE(EvalCmp(a, CmpOp::kLt, b));
+  EXPECT_TRUE(EvalCmp(a, CmpOp::kLe, b));
+  EXPECT_FALSE(EvalCmp(a, CmpOp::kGt, b));
+  EXPECT_FALSE(EvalCmp(a, CmpOp::kGe, b));
+  EXPECT_FALSE(EvalCmp(a, CmpOp::kEq, b));
+  EXPECT_TRUE(EvalCmp(a, CmpOp::kNe, b));
+  EXPECT_TRUE(EvalCmp(a, CmpOp::kEq, a));
+  EXPECT_TRUE(EvalCmp(a, CmpOp::kLe, a));
+  EXPECT_TRUE(EvalCmp(a, CmpOp::kGe, a));
+}
+
+TEST(CmpEvalTest, NumericCoercion) {
+  EXPECT_TRUE(EvalCmp(Value(int64_t{3}), CmpOp::kEq, Value(3.0)));
+  EXPECT_TRUE(EvalCmp(Value(2.5), CmpOp::kLt, Value(int64_t{3})));
+}
+
+TEST(PredicateTest, CanonicalEquality) {
+  Predicate p1 = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(10.0));
+  Predicate p2 = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(10.0));
+  Predicate p3 = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(11.0));
+  EXPECT_EQ(p1, p2);
+  EXPECT_FALSE(p1 == p3);
+}
+
+TEST(PredicateTest, SelfImplication) {
+  Predicate p = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(10.0));
+  EXPECT_TRUE(p.Implies(p));
+}
+
+TEST(PredicateTest, LessThanImplication) {
+  // d < 5 implies d < 10 (the paper's Figure 5 style fix reasoning).
+  Predicate strong = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(5.0));
+  Predicate weak = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(10.0));
+  EXPECT_TRUE(strong.Implies(weak));
+  EXPECT_FALSE(weak.Implies(strong));
+}
+
+TEST(PredicateTest, GreaterThanImplication) {
+  Predicate strong = Predicate::Compare(Attr("s"), CmpOp::kGt, Value(1.0));
+  Predicate weak = Predicate::Compare(Attr("s"), CmpOp::kGt, Value(0.5));
+  EXPECT_TRUE(strong.Implies(weak));
+  EXPECT_FALSE(weak.Implies(strong));
+}
+
+TEST(PredicateTest, EqualityImpliesRange) {
+  Predicate eq = Predicate::Compare(Attr("d"), CmpOp::kEq, Value(5.0));
+  EXPECT_TRUE(eq.Implies(Predicate::Compare(Attr("d"), CmpOp::kLt, Value(6.0))));
+  EXPECT_TRUE(eq.Implies(Predicate::Compare(Attr("d"), CmpOp::kLe, Value(5.0))));
+  EXPECT_TRUE(eq.Implies(Predicate::Compare(Attr("d"), CmpOp::kGt, Value(4.0))));
+  EXPECT_TRUE(eq.Implies(Predicate::Compare(Attr("d"), CmpOp::kGe, Value(5.0))));
+  EXPECT_TRUE(eq.Implies(Predicate::Compare(Attr("d"), CmpOp::kNe, Value(7.0))));
+  EXPECT_FALSE(eq.Implies(Predicate::Compare(Attr("d"), CmpOp::kLt, Value(5.0))));
+}
+
+TEST(PredicateTest, MixedStrictnessImplication) {
+  // d <= 4 implies d < 5; d < 5 does not imply d <= 4.
+  Predicate le = Predicate::Compare(Attr("d"), CmpOp::kLe, Value(4.0));
+  Predicate lt = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(5.0));
+  EXPECT_TRUE(le.Implies(lt));
+  EXPECT_FALSE(lt.Implies(le));
+  // d < 5 implies d <= 5.
+  Predicate le5 = Predicate::Compare(Attr("d"), CmpOp::kLe, Value(5.0));
+  Predicate lt5 = Predicate::Compare(Attr("d"), CmpOp::kLt, Value(5.0));
+  EXPECT_TRUE(lt5.Implies(le5));
+  EXPECT_FALSE(le5.Implies(lt5));
+}
+
+TEST(PredicateTest, DifferentAttributesNeverImply) {
+  Predicate pa = Predicate::Compare(Attr("a"), CmpOp::kLt, Value(1.0));
+  Predicate pb = Predicate::Compare(Attr("b"), CmpOp::kLt, Value(100.0));
+  EXPECT_FALSE(pa.Implies(pb));
+}
+
+TEST(PredicateTest, OpaqueImplicationIsEqualityOnly) {
+  Predicate p1 = Predicate::Opaque("valid_geo", {Attr("geo")}, "");
+  Predicate p2 = Predicate::Opaque("valid_geo", {Attr("geo")}, "");
+  Predicate p3 = Predicate::Opaque("valid_geo", {Attr("geo2")}, "");
+  EXPECT_TRUE(p1.Implies(p2));
+  EXPECT_FALSE(p1.Implies(p3));
+  EXPECT_FALSE(p3.Implies(p1));
+}
+
+TEST(PredicateTest, JoinEqCanonicalizesOrder) {
+  Predicate p1 = Predicate::JoinEq(Attr("a"), Attr("b"));
+  Predicate p2 = Predicate::JoinEq(Attr("b"), Attr("a"));
+  EXPECT_EQ(p1, p2);
+}
+
+// Property test: implication must be sound. If strong.Implies(weak), then
+// for every sampled value satisfying `strong`, `weak` must hold too.
+class ImplicationSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationSoundness, RandomComparisonPairs) {
+  Rng rng(GetParam());
+  const CmpOp ops[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                       CmpOp::kGe, CmpOp::kEq, CmpOp::kNe};
+  for (int trial = 0; trial < 200; ++trial) {
+    CmpOp op1 = ops[rng.Uniform(6)], op2 = ops[rng.Uniform(6)];
+    double lit1 = static_cast<double>(rng.UniformInt(-5, 5));
+    double lit2 = static_cast<double>(rng.UniformInt(-5, 5));
+    Predicate strong = Predicate::Compare(Attr("x"), op1, Value(lit1));
+    Predicate weak = Predicate::Compare(Attr("x"), op2, Value(lit2));
+    if (!strong.Implies(weak)) continue;
+    for (double v = -8.0; v <= 8.0; v += 0.5) {
+      if (EvalCmp(Value(v), op1, Value(lit1))) {
+        EXPECT_TRUE(EvalCmp(Value(v), op2, Value(lit2)))
+            << strong.ToString() << " claimed to imply " << weak.ToString()
+            << " but v=" << v << " violates it";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationSoundness,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(FilterSetTest, AddIsIdempotentAndSorted) {
+  FilterSet f;
+  Predicate p1 = Predicate::Compare(Attr("a"), CmpOp::kLt, Value(1.0));
+  Predicate p2 = Predicate::Compare(Attr("b"), CmpOp::kGt, Value(2.0));
+  f.Add(p1);
+  f.Add(p2);
+  f.Add(p1);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(f.Contains(p1));
+  EXPECT_TRUE(f.Contains(p2));
+}
+
+TEST(FilterSetTest, ImpliesAllConjunction) {
+  FilterSet q, v;
+  q.Add(Predicate::Compare(Attr("s"), CmpOp::kGt, Value(1.0)));
+  q.Add(Predicate::Compare(Attr("c"), CmpOp::kGt, Value(100.0)));
+  v.Add(Predicate::Compare(Attr("s"), CmpOp::kGt, Value(0.5)));
+  // The query's filters imply the view's weaker filter.
+  EXPECT_TRUE(q.ImpliesAll(v));
+  EXPECT_FALSE(v.ImpliesAll(q));
+}
+
+TEST(FilterSetTest, MissingFromComputesFix) {
+  FilterSet q, v;
+  Predicate strong = Predicate::Compare(Attr("s"), CmpOp::kGt, Value(1.0));
+  Predicate other = Predicate::Compare(Attr("c"), CmpOp::kGt, Value(10.0));
+  q.Add(strong);
+  q.Add(other);
+  v.Add(Predicate::Compare(Attr("s"), CmpOp::kGt, Value(0.5)));
+  auto missing = q.MissingFrom(v);
+  // Both q filters are missing: the view's s>0.5 does not imply s>1.
+  ASSERT_EQ(missing.size(), 2u);
+}
+
+TEST(FilterSetTest, MissingFromEmptyWhenEquivalent) {
+  FilterSet q, v;
+  q.Add(Predicate::Compare(Attr("s"), CmpOp::kGt, Value(1.0)));
+  v.Add(Predicate::Compare(Attr("s"), CmpOp::kGt, Value(1.0)));
+  EXPECT_TRUE(q.MissingFrom(v).empty());
+}
+
+TEST(FilterSetTest, EquivalenceUnderRedundancy) {
+  // {a<5} is equivalent to {a<10, a<5}: compensation adds redundant filters.
+  FilterSet tight, redundant;
+  tight.Add(Predicate::Compare(Attr("a"), CmpOp::kLt, Value(5.0)));
+  redundant.Add(Predicate::Compare(Attr("a"), CmpOp::kLt, Value(10.0)));
+  redundant.Add(Predicate::Compare(Attr("a"), CmpOp::kLt, Value(5.0)));
+  EXPECT_TRUE(tight.EquivalentTo(redundant));
+  EXPECT_TRUE(redundant.EquivalentTo(tight));
+}
+
+TEST(FilterSetTest, UnionMerges) {
+  FilterSet a, b;
+  a.Add(Predicate::Compare(Attr("x"), CmpOp::kLt, Value(1.0)));
+  b.Add(Predicate::Compare(Attr("y"), CmpOp::kGt, Value(2.0)));
+  FilterSet u = FilterSet::Union(a, b);
+  EXPECT_EQ(u.size(), 2u);
+}
+
+}  // namespace
+}  // namespace opd::afk

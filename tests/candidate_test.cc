@@ -1,0 +1,178 @@
+// Tests for candidate-view machinery: useful signatures, coverage masks,
+// candidate ids, scan-plan construction, and JobDag target costs.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/engine.h"
+#include "plan/job.h"
+#include "rewrite/candidate.h"
+#include "storage/dfs.h"
+#include "udf/builtin_udfs.h"
+
+namespace opd::rewrite {
+namespace {
+
+using storage::Column;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+class CandidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(udf::RegisterBuiltinUdfs(&udfs_).ok());
+    Schema schema({Column{"tweet_id", DataType::kInt64},
+                   Column{"user_id", DataType::kInt64},
+                   Column{"tweet_text", DataType::kString}});
+    auto t = std::make_shared<Table>("TWTR", schema);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(t->AppendRow({Value(int64_t{i}), Value(int64_t{i % 5}),
+                                Value("wine tasty")})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_.RegisterBase(t, {"tweet_id"}, &dfs_).ok());
+    plan::AnnotationContext ctx{&catalog_, &views_, &udfs_};
+    optimizer_ = std::make_unique<optimizer::Optimizer>(
+        ctx, optimizer::CostModel());
+    engine_ = std::make_unique<exec::Engine>(&dfs_, &views_,
+                                             optimizer_.get());
+  }
+
+  plan::Plan WineJoinQuery() {
+    auto extract =
+        plan::Project(plan::Scan("TWTR"), {"user_id", "tweet_text"});
+    auto wine = plan::Udf(extract, "UDF_CLASSIFY_WINE_SCORE",
+                          {{"threshold", Value(0.2)}});
+    auto counts =
+        plan::GroupBy(extract, {"user_id"},
+                      {plan::AggSpec{plan::AggFn::kCount, "", "cnt"}});
+    return plan::Plan(plan::Join(wine, counts, {{"user_id", "user_id"}}),
+                      "wq");
+  }
+
+  storage::Dfs dfs_;
+  catalog::Catalog catalog_;
+  catalog::ViewStore views_;
+  udf::UdfRegistry udfs_;
+  std::unique_ptr<optimizer::Optimizer> optimizer_;
+  std::unique_ptr<exec::Engine> engine_;
+};
+
+TEST_F(CandidateTest, IdIsSortedAndStable) {
+  CandidateView c;
+  c.parts = {7, 3, 12};
+  EXPECT_EQ(c.Id(), "3+7+12");
+  EXPECT_EQ(c.NumParts(), 3u);
+}
+
+TEST_F(CandidateTest, UsefulSignaturesIncludeDepsKeysAndFilterArgs) {
+  plan::Plan q = WineJoinQuery();
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  auto useful = UsefulSignatures(q.root()->afk);
+  auto has = [&](const std::string& fragment) {
+    for (const auto& sig : useful) {
+      if (sig.find(fragment) != std::string::npos) return true;
+    }
+    return false;
+  };
+  // Output attributes.
+  EXPECT_TRUE(has("wine_score"));
+  EXPECT_TRUE(has("cnt"));
+  // Transitive dependencies of derived attributes.
+  EXPECT_TRUE(has("tweet_text"));
+  // Keys.
+  EXPECT_TRUE(has("user_id"));
+}
+
+TEST_F(CandidateTest, CoverageMasksAndUnion) {
+  plan::Plan q = WineJoinQuery();
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  auto useful = UsefulSignatures(q.root()->afk);
+  Coverage full = ComputeCoverage(q.root()->afk, useful);
+  Coverage none = ComputeCoverage(
+      afk::Afk({afk::Attribute::Base("X", "z", DataType::kInt64)},
+               afk::FilterSet(), afk::KeySet({}, 0)),
+      useful);
+  // The sink covers at least its own output attrs; the foreign one nothing.
+  uint64_t full_bits = 0, none_bits = 0;
+  for (uint64_t w : full) full_bits += __builtin_popcountll(w);
+  for (uint64_t w : none) none_bits += __builtin_popcountll(w);
+  EXPECT_GT(full_bits, 0u);
+  EXPECT_EQ(none_bits, 0u);
+  EXPECT_TRUE(CoverageEqual(CoverageUnion(full, none), full));
+  EXPECT_FALSE(CoverageEqual(full, none));
+}
+
+TEST_F(CandidateTest, IsRelevantFiltersForeignViews) {
+  plan::Plan q = WineJoinQuery();
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  auto useful = UsefulSignatures(q.root()->afk);
+  EXPECT_TRUE(IsRelevant(q.root()->afk, useful));
+  afk::Afk foreign({afk::Attribute::Base("OTHER", "a", DataType::kInt64)},
+                   afk::FilterSet(), afk::KeySet({}, 0));
+  EXPECT_FALSE(IsRelevant(foreign, useful));
+}
+
+TEST_F(CandidateTest, BuildCandidateScanSingleView) {
+  plan::Plan q = WineJoinQuery();
+  auto run = engine_->Execute(&q);
+  ASSERT_TRUE(run.ok());
+  ASSERT_GT(views_.size(), 0u);
+  const auto* def = views_.All()[0];
+  auto scan = BuildCandidateScan(MakeBaseCandidate(*def), views_);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)->kind, plan::OpKind::kScan);
+  EXPECT_EQ((*scan)->view_id, def->id);
+}
+
+TEST_F(CandidateTest, BuildCandidateScanRejectsUnjoinableParts) {
+  plan::Plan q = WineJoinQuery();
+  ASSERT_TRUE(engine_->Execute(&q).ok());
+  // Find two views that share no attributes; force them into one candidate.
+  const catalog::ViewDefinition* a = nullptr;
+  const catalog::ViewDefinition* b = nullptr;
+  for (const auto* x : views_.All()) {
+    for (const auto* y : views_.All()) {
+      if (x == y) continue;
+      bool share = false;
+      for (const auto& attr : x->afk.attrs()) {
+        if (y->afk.HasAttr(attr)) share = true;
+      }
+      if (!share) {
+        a = x;
+        b = y;
+      }
+    }
+  }
+  if (a == nullptr) GTEST_SKIP() << "all views share attributes";
+  CandidateView c;
+  c.parts = {a->id, b->id};
+  EXPECT_FALSE(BuildCandidateScan(c, views_).ok());
+}
+
+TEST_F(CandidateTest, MissingViewIdFails) {
+  CandidateView c;
+  c.parts = {424242};
+  EXPECT_FALSE(BuildCandidateScan(c, views_).ok());
+}
+
+TEST_F(CandidateTest, JobDagTargetCostIsPrefixSum) {
+  plan::Plan q = WineJoinQuery();
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  auto dag = plan::JobDag::Build(q);
+  ASSERT_TRUE(dag.ok());
+  // The sink's target cost is the whole plan; each producer's is less.
+  double sink_cost = dag->TargetCost(dag->sink());
+  double sum_all = 0;
+  for (size_t i = 0; i < dag->size(); ++i) {
+    sum_all += dag->job(i).op->cost.total_s;
+    EXPECT_LE(dag->TargetCost(i), sink_cost + 1e-9);
+    EXPECT_GT(dag->TargetCost(i), 0.0);
+  }
+  EXPECT_NEAR(sink_cost, sum_all, 1e-9);
+}
+
+}  // namespace
+}  // namespace opd::rewrite

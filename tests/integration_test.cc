@@ -1,0 +1,192 @@
+// End-to-end integration tests over the full system: TestBed setup,
+// scenario drivers, and — most importantly — result equivalence between
+// original and rewritten query executions across the whole workload.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/scenarios.h"
+
+namespace opd::workload {
+namespace {
+
+TestBedConfig SmallConfig() {
+  TestBedConfig config;
+  config.data.n_tweets = 2500;
+  config.data.n_checkins = 1500;
+  config.data.n_locations = 250;
+  config.data.n_users = 120;
+  return config;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = TestBed::Create(SmallConfig());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    bed_ = std::move(result).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bed_;
+    bed_ = nullptr;
+  }
+  void SetUp() override { bed_->DropAllViews(); }
+
+  static std::vector<storage::Row> SortedRows(const storage::TablePtr& t) {
+    std::vector<storage::Row> rows = t->rows();
+    std::sort(rows.begin(), rows.end(),
+              [](const storage::Row& a, const storage::Row& b) {
+                for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                  if (a[i] < b[i]) return true;
+                  if (b[i] < a[i]) return false;
+                }
+                return a.size() < b.size();
+              });
+    return rows;
+  }
+
+  static TestBed* bed_;
+};
+
+TestBed* IntegrationTest::bed_ = nullptr;
+
+TEST_F(IntegrationTest, TestBedWiring) {
+  EXPECT_TRUE(bed_->catalog().Has("TWTR"));
+  EXPECT_TRUE(bed_->catalog().Has("FSQ"));
+  EXPECT_TRUE(bed_->catalog().Has("LAND"));
+  EXPECT_GE(bed_->udfs().size(), 10u);
+  // data_scale derived so TWTR models 800 GB.
+  const auto& params = bed_->optimizer().cost_model().params();
+  EXPECT_GT(params.data_scale, 1.0);
+}
+
+TEST_F(IntegrationTest, CalibrationSetScalars) {
+  auto wine = bed_->udfs().Find("UDF_CLASSIFY_WINE_SCORE");
+  ASSERT_TRUE(wine.ok());
+  EXPECT_TRUE((*wine)->calibrated_expansion.has_value());
+  EXPECT_GE((*wine)->map_scalar, 1.0);
+}
+
+TEST_F(IntegrationTest, OriginalRunRetainsViews) {
+  auto result = bed_->RunOriginal(1, 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.jobs, 3);
+  EXPECT_EQ(result->metrics.views_created,
+            static_cast<int>(bed_->views().size()));
+  EXPECT_GT(bed_->views().size(), 3u);
+}
+
+TEST_F(IntegrationTest, RewrittenRunImprovesSecondVersion) {
+  ASSERT_TRUE(bed_->RunOriginal(2, 1).ok());
+  auto rewr = bed_->RunRewritten(2, 2);
+  ASSERT_TRUE(rewr.ok()) << rewr.status().ToString();
+  EXPECT_TRUE(rewr->outcome.improved);
+  auto orig = bed_->RunOriginal(2, 2);
+  ASSERT_TRUE(orig.ok());
+  EXPECT_LT(rewr->TotalTime(), orig->metrics.sim_time_s);
+}
+
+// The fundamental correctness property: for every query version, the
+// BFR-rewritten plan computes exactly the same result as the original.
+class RewriteEquivalence : public IntegrationTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(RewriteEquivalence, OriginalAndRewrittenResultsMatch) {
+  const int analyst = GetParam();
+  // Build up views from v1..v3 executions, then check v2..v4 equivalence.
+  for (int version = 1; version <= kNumVersions; ++version) {
+    auto rewr = bed_->RunRewritten(analyst, version);
+    ASSERT_TRUE(rewr.ok()) << "A" << analyst << "v" << version << ": "
+                           << rewr.status().ToString();
+    auto orig = bed_->RunOriginal(analyst, version);
+    ASSERT_TRUE(orig.ok());
+    auto orig_rows = SortedRows(orig->table);
+    auto rewr_rows = SortedRows(rewr->exec.table);
+    ASSERT_EQ(orig_rows.size(), rewr_rows.size())
+        << "A" << analyst << "v" << version << " row count mismatch";
+    EXPECT_EQ(orig_rows, rewr_rows)
+        << "A" << analyst << "v" << version << " content mismatch";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAnalysts, RewriteEquivalence,
+                         ::testing::Range(1, kNumAnalysts + 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "A" + std::to_string(info.param);
+                         });
+
+TEST_F(IntegrationTest, DpAndBfrAgreeOnWorkloadQueries) {
+  ASSERT_TRUE(bed_->RunOriginal(1, 1).ok());
+  ASSERT_TRUE(bed_->RunOriginal(4, 1).ok());
+  for (int version = 2; version <= 3; ++version) {
+    auto qb = BuildQuery(1, version);
+    ASSERT_TRUE(qb.ok());
+    plan::Plan pb = std::move(qb).value();
+    auto bfr = bed_->bfr().Rewrite(&pb);
+    ASSERT_TRUE(bfr.ok());
+    auto qd = BuildQuery(1, version);
+    plan::Plan pd = std::move(qd).value();
+    auto dp = bed_->dp().Rewrite(&pd);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_NEAR(bfr->est_cost, dp->est_cost, 1e-6 * (1 + dp->est_cost))
+        << "version " << version;
+    EXPECT_LE(bfr->stats.candidates_considered,
+              dp->stats.candidates_considered);
+  }
+}
+
+TEST_F(IntegrationTest, ViewStorageStaysBounded) {
+  // Paper Section 10: accumulating all views cost about 2x the base data.
+  for (int analyst = 1; analyst <= 4; ++analyst) {
+    ASSERT_TRUE(bed_->RunOriginal(analyst, 1).ok());
+  }
+  uint64_t base_bytes = 0;
+  for (const auto& name : bed_->catalog().Names()) {
+    auto entry = bed_->catalog().Find(name);
+    base_bytes += static_cast<uint64_t>((*entry)->stats.TotalBytes());
+  }
+  EXPECT_LT(bed_->views().TotalBytes(), 4 * base_bytes);
+}
+
+TEST_F(IntegrationTest, DropIdenticalViewsRemovesTargets) {
+  ASSERT_TRUE(bed_->RunOriginal(1, 1).ok());
+  size_t before = bed_->views().size();
+  ASSERT_TRUE(DropIdenticalViews(bed_, 1, 1).ok());
+  EXPECT_LT(bed_->views().size(), before);
+  // After dropping, the syntactic rewriter finds nothing.
+  auto q = BuildQuery(1, 1);
+  plan::Plan p = std::move(q).value();
+  auto outcome = bed_->syntactic().Rewrite(&p);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->improved);
+}
+
+TEST_F(IntegrationTest, RegisterPlanViewsWithoutExecution) {
+  auto q = BuildQuery(3, 1);
+  plan::Plan p = std::move(q).value();
+  ASSERT_TRUE(bed_->RegisterPlanViews(&p).ok());
+  EXPECT_GT(bed_->views().size(), 2u);
+  // The registered views carry estimated statistics usable by the rewriter.
+  for (const auto* def : bed_->views().All()) {
+    EXPECT_GE(def->stats.rows, 0.0);
+  }
+  // And a rewrite of the same query now finds an exact match.
+  auto q2 = BuildQuery(3, 1);
+  plan::Plan p2 = std::move(q2).value();
+  auto outcome = bed_->bfr().Rewrite(&p2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->improved);
+}
+
+TEST_F(IntegrationTest, StatsCollectionTimeIsSmallFraction) {
+  auto result = bed_->RunOriginal(1, 1);
+  ASSERT_TRUE(result.ok());
+  // "This constitutes a small overhead... a small fraction of query
+  // execution time" (Section 2.1).
+  EXPECT_LT(result->metrics.stats_time_s,
+            0.25 * result->metrics.sim_time_s);
+}
+
+}  // namespace
+}  // namespace opd::workload

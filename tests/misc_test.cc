@@ -1,0 +1,98 @@
+// Small-surface tests: KeySet, ExecMetrics, display names, and other
+// odds and ends not covered by the module suites.
+
+#include <gtest/gtest.h>
+
+#include "afk/afk.h"
+#include "exec/metrics.h"
+#include "plan/plan.h"
+
+namespace opd {
+namespace {
+
+using afk::Attribute;
+using afk::KeySet;
+using storage::DataType;
+
+TEST(KeySetTest, SortsAndDeduplicates) {
+  Attribute a = Attribute::Base("T", "a", DataType::kInt64);
+  Attribute b = Attribute::Base("T", "b", DataType::kInt64);
+  KeySet k({b, a, b}, 1);
+  ASSERT_EQ(k.keys().size(), 2u);
+  EXPECT_TRUE(k.keys()[0] < k.keys()[1]);
+  EXPECT_TRUE(k.HasKey(a));
+  EXPECT_TRUE(k.HasKey(b));
+  EXPECT_FALSE(k.HasKey(Attribute::Base("T", "c", DataType::kInt64)));
+}
+
+TEST(KeySetTest, EqualityIncludesDepth) {
+  Attribute a = Attribute::Base("T", "a", DataType::kInt64);
+  EXPECT_TRUE(KeySet({a}, 1) == KeySet({a}, 1));
+  EXPECT_FALSE(KeySet({a}, 1) == KeySet({a}, 2));
+  EXPECT_FALSE(KeySet({a}, 1) == KeySet({}, 1));
+}
+
+TEST(KeySetTest, ToStringMentionsDepth) {
+  Attribute a = Attribute::Base("T", "a", DataType::kInt64);
+  std::string s = KeySet({a}, 3).ToString();
+  EXPECT_NE(s.find("@3"), std::string::npos);
+}
+
+TEST(ExecMetricsTest, AccumulateAndDerived) {
+  exec::ExecMetrics a;
+  a.sim_time_s = 10;
+  a.stats_time_s = 1;
+  a.bytes_read = 100;
+  a.bytes_shuffled = 50;
+  a.bytes_written = 25;
+  a.jobs = 2;
+  exec::ExecMetrics b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.sim_time_s, 20.0);
+  EXPECT_EQ(b.bytes_read, 200u);
+  EXPECT_EQ(b.jobs, 4);
+  EXPECT_EQ(a.BytesManipulated(), 175u);
+  EXPECT_DOUBLE_EQ(a.TotalTime(), 11.0);
+  EXPECT_NE(a.ToString().find("jobs=2"), std::string::npos);
+}
+
+TEST(OpNodeTest, DisplayNames) {
+  EXPECT_EQ(plan::Scan("TWTR")->DisplayName(), "SCAN(TWTR)");
+  EXPECT_EQ(plan::ScanView(7)->DisplayName(), "SCAN(view:7)");
+  auto filter = plan::Filter(
+      plan::Scan("T"), plan::FilterCond::Compare("x", afk::CmpOp::kGt,
+                                                 storage::Value(1.0)));
+  EXPECT_NE(filter->DisplayName().find("FILTER"), std::string::npos);
+  auto udf = plan::Udf(plan::Scan("T"), "UDF_X");
+  EXPECT_EQ(udf->DisplayName(), "UDF(UDF_X)");
+  auto group = plan::GroupBy(plan::Scan("T"), {"k1", "k2"},
+                             {plan::AggSpec{plan::AggFn::kCount, "", "n"}});
+  EXPECT_EQ(group->DisplayName(), "GROUPBY(k1,k2)");
+}
+
+TEST(OpNodeTest, AggFnNamesDistinct) {
+  EXPECT_STREQ(plan::AggFnName(plan::AggFn::kCount), "COUNT");
+  EXPECT_STREQ(plan::AggFnName(plan::AggFn::kSum), "SUM");
+  EXPECT_STREQ(plan::AggFnName(plan::AggFn::kAvg), "AVG");
+  EXPECT_STREQ(plan::AggFnName(plan::AggFn::kMin), "MIN");
+  EXPECT_STREQ(plan::AggFnName(plan::AggFn::kMax), "MAX");
+}
+
+TEST(PlanTest2, EmptyPlanRenders) {
+  plan::Plan empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.ToString(), "<empty>");
+  EXPECT_TRUE(empty.TopoOrder().empty());
+}
+
+TEST(CmpOpTest, Names) {
+  EXPECT_STREQ(afk::CmpOpName(afk::CmpOp::kLt), "<");
+  EXPECT_STREQ(afk::CmpOpName(afk::CmpOp::kLe), "<=");
+  EXPECT_STREQ(afk::CmpOpName(afk::CmpOp::kGt), ">");
+  EXPECT_STREQ(afk::CmpOpName(afk::CmpOp::kGe), ">=");
+  EXPECT_STREQ(afk::CmpOpName(afk::CmpOp::kEq), "=");
+  EXPECT_STREQ(afk::CmpOpName(afk::CmpOp::kNe), "!=");
+}
+
+}  // namespace
+}  // namespace opd

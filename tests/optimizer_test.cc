@@ -1,0 +1,222 @@
+// Tests for the cost model (Section 4.2), estimation, and calibration.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "optimizer/calibration.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+#include "storage/dfs.h"
+#include "udf/builtin_udfs.h"
+
+namespace opd::optimizer {
+namespace {
+
+using plan::JobCostInfo;
+using storage::Column;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+TEST(CostModelTest, JobCostComponents) {
+  CostModel model;
+  const double mb = 1024.0 * 1024.0;
+  JobCostInfo c = model.JobCost(100 * mb, 50 * mb, 10 * mb, 1.0, 1.0, true);
+  EXPECT_GT(c.read_s, 0);
+  EXPECT_GT(c.shuffle_s, 0);
+  EXPECT_GT(c.write_s, 0);
+  EXPECT_GT(c.cpu_s, 0);
+  EXPECT_DOUBLE_EQ(c.latency_s, model.params().job_latency_s);
+  EXPECT_NEAR(c.total_s,
+              c.read_s + c.cpu_s + c.shuffle_s + c.write_s + c.latency_s,
+              1e-9);
+}
+
+TEST(CostModelTest, MapOnlyJobHasNoShuffleCost) {
+  CostModel model;
+  JobCostInfo c = model.JobCost(1e6, 1e6, 1e5, 1.0, 1.0, false);
+  EXPECT_DOUBLE_EQ(c.shuffle_s, 0.0);
+}
+
+TEST(CostModelTest, CostMonotoneInInputSize) {
+  CostModel model;
+  double small = model.JobCost(1e6, 1e6, 1e5, 1, 1, true).total_s;
+  double large = model.JobCost(1e8, 1e8, 1e7, 1, 1, true).total_s;
+  EXPECT_LT(small, large);
+}
+
+TEST(CostModelTest, ScalarsScaleCpu) {
+  CostModel model;
+  JobCostInfo base = model.JobCost(1e8, 1e8, 1e6, 1.0, 1.0, true);
+  JobCostInfo scaled = model.JobCost(1e8, 1e8, 1e6, 8.0, 4.0, true);
+  EXPECT_GT(scaled.cpu_s, base.cpu_s);
+  EXPECT_DOUBLE_EQ(scaled.read_s, base.read_s);
+}
+
+TEST(CostModelTest, DataScaleMultiplies) {
+  CostParams params;
+  params.data_scale = 1000.0;
+  CostModel scaled(params);
+  CostModel unscaled;
+  EXPECT_NEAR(scaled.ReadCost(1e6), 1000.0 * unscaled.ReadCost(1e6), 1e-9);
+}
+
+TEST(CostModelTest, CheapestOpBelowAnyJob) {
+  // The non-subsumable cost property's baseline: one cheapest-op pass never
+  // exceeds the CPU cost of a calibrated job on the same bytes.
+  CostModel model;
+  double bytes = 5e7;
+  double cheapest = model.CheapestOpCpu(bytes);
+  JobCostInfo job = model.JobCost(bytes, 0, 0, 1.0, 1.0, false);
+  EXPECT_LE(cheapest, job.cpu_s + 1e-12);
+}
+
+TEST(CalibrationTest, SampleTableFraction) {
+  Schema schema({Column{"x", DataType::kInt64}});
+  Table t("t", schema);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{i})}).ok());
+  }
+  Table s = SampleTable(t, 0.01, 7);
+  EXPECT_GT(s.num_rows(), 20u);
+  EXPECT_LT(s.num_rows(), 500u);
+}
+
+TEST(CalibrationTest, TinyTableStillSampled) {
+  Schema schema({Column{"x", DataType::kInt64}});
+  Table t("t", schema);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{i})}).ok());
+  }
+  Table s = SampleTable(t, 0.01, 7);
+  EXPECT_GT(s.num_rows(), 0u);
+}
+
+TEST(CalibrationTest, SetsScalarsAndExpansion) {
+  Schema schema({Column{"user_id", DataType::kInt64},
+                 Column{"tweet_text", DataType::kString},
+                 Column{"mention_user", DataType::kInt64}});
+  Table t("tweets", schema);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{i % 50}),
+                             Value("some wine text with words to score"),
+                             Value(int64_t{-1})})
+                    .ok());
+  }
+  udf::UdfDefinition udf = udf::MakeClassifyWineScoreUdf();
+  CalibrationOptions opts;
+  opts.sample_fraction = 0.05;
+  ASSERT_TRUE(CalibrateUdf(&udf, t, {{"threshold", Value(0.1)}}, opts).ok());
+  // Scalars clamped to [1, 64]: the OPTCOST floor invariant.
+  EXPECT_GE(udf.map_scalar, opts.min_scalar);
+  EXPECT_LE(udf.map_scalar, opts.max_scalar);
+  EXPECT_GE(udf.reduce_scalar, opts.min_scalar);
+  ASSERT_TRUE(udf.calibrated_expansion.has_value());
+  EXPECT_GT(udf.expansion(), 0.0);
+  EXPECT_LT(udf.expansion(), 1.0);  // aggregation contracts
+}
+
+TEST(CalibrationTest, EmptyInputFails) {
+  Schema schema({Column{"user_id", DataType::kInt64},
+                 Column{"tweet_text", DataType::kString}});
+  Table empty("t", schema);
+  udf::UdfDefinition udf = udf::MakeClassifyWineScoreUdf();
+  EXPECT_FALSE(CalibrateUdf(&udf, empty, {}).ok());
+}
+
+class OptimizerEstimationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(udf::RegisterBuiltinUdfs(&udfs_).ok());
+    Schema schema({Column{"tweet_id", DataType::kInt64},
+                   Column{"user_id", DataType::kInt64},
+                   Column{"tweet_text", DataType::kString}});
+    auto t = std::make_shared<Table>("TWTR", schema);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(t->AppendRow({Value(int64_t{i}), Value(int64_t{i % 40}),
+                                Value("tweet text content here")})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_.RegisterBase(t, {"tweet_id"}, &dfs_).ok());
+    plan::AnnotationContext ctx{&catalog_, &views_, &udfs_};
+    optimizer_ = std::make_unique<Optimizer>(ctx, CostModel());
+  }
+
+  storage::Dfs dfs_;
+  catalog::Catalog catalog_;
+  catalog::ViewStore views_;
+  udf::UdfRegistry udfs_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+TEST_F(OptimizerEstimationTest, ScanUsesExactStats) {
+  plan::Plan p(plan::Scan("TWTR"));
+  ASSERT_TRUE(optimizer_->Prepare(&p).ok());
+  EXPECT_DOUBLE_EQ(p.root()->est_rows, 1000.0);
+  EXPECT_GT(p.root()->est_out_bytes, 0.0);
+}
+
+TEST_F(OptimizerEstimationTest, FilterAppliesSelectivity) {
+  plan::Plan p(plan::Filter(
+      plan::Scan("TWTR"),
+      plan::FilterCond::Compare("user_id", afk::CmpOp::kGt,
+                                Value(int64_t{10}))));
+  ASSERT_TRUE(optimizer_->Prepare(&p).ok());
+  EXPECT_LT(p.root()->est_rows, 1000.0);
+  EXPECT_GT(p.root()->est_rows, 0.0);
+}
+
+TEST_F(OptimizerEstimationTest, GroupByEstimatesDistinct) {
+  plan::Plan p(plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                             {plan::AggSpec{plan::AggFn::kCount, "", "c"}}));
+  ASSERT_TRUE(optimizer_->Prepare(&p).ok());
+  EXPECT_NEAR(p.root()->est_rows, 40.0, 5.0);
+}
+
+TEST_F(OptimizerEstimationTest, ProjectShrinksBytes) {
+  plan::Plan full(plan::Scan("TWTR"));
+  plan::Plan proj(plan::Project(plan::Scan("TWTR"), {"user_id"}));
+  ASSERT_TRUE(optimizer_->Prepare(&full).ok());
+  ASSERT_TRUE(optimizer_->Prepare(&proj).ok());
+  EXPECT_LT(proj.root()->est_out_bytes, full.root()->est_out_bytes);
+}
+
+TEST_F(OptimizerEstimationTest, JoinCardinality) {
+  auto counts = plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                              {plan::AggSpec{plan::AggFn::kCount, "", "c"}});
+  auto wine = plan::Udf(plan::Project(plan::Scan("TWTR"),
+                                      {"user_id", "tweet_text"}),
+                        "UDF_CLASSIFY_WINE_SCORE",
+                        {{"threshold", Value(0.5)}});
+  plan::Plan p(plan::Join(wine, counts, {{"user_id", "user_id"}}));
+  ASSERT_TRUE(optimizer_->Prepare(&p).ok());
+  EXPECT_GT(p.root()->est_rows, 0.0);
+  EXPECT_LE(p.root()->est_rows, 1000.0);
+}
+
+TEST_F(OptimizerEstimationTest, PlanCostSumsJobs) {
+  plan::Plan p(plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                             {plan::AggSpec{plan::AggFn::kCount, "", "c"}}));
+  auto cost = optimizer_->PlanCost(&p);
+  ASSERT_TRUE(cost.ok());
+  // At least one job latency.
+  EXPECT_GE(*cost, optimizer_->cost_model().job_latency());
+}
+
+TEST_F(OptimizerEstimationTest, ShuffleOpsCostMoreThanMapOps) {
+  plan::Plan filter(plan::Filter(
+      plan::Scan("TWTR"),
+      plan::FilterCond::Compare("user_id", afk::CmpOp::kGt,
+                                Value(int64_t{0}))));
+  plan::Plan group(plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                                 {plan::AggSpec{plan::AggFn::kCount, "", "c"}}));
+  ASSERT_TRUE(optimizer_->Prepare(&filter).ok());
+  ASSERT_TRUE(optimizer_->Prepare(&group).ok());
+  EXPECT_GT(group.root()->cost.shuffle_s, 0.0);
+  EXPECT_DOUBLE_EQ(filter.root()->cost.shuffle_s, 0.0);
+}
+
+}  // namespace
+}  // namespace opd::optimizer

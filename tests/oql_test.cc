@@ -1,0 +1,314 @@
+// Tests for the OQL lexer and parser (the HiveQL stand-in front end).
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "oql/lexer.h"
+#include "oql/parser.h"
+#include "oql/printer.h"
+#include "plan/annotate.h"
+#include "plan/fingerprint.h"
+#include "storage/dfs.h"
+#include "udf/builtin_udfs.h"
+#include "workload/queries.h"
+
+namespace opd::oql {
+namespace {
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("a = scan T | filter x > 1.5;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kAssign);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kPipe);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kCmp);
+  EXPECT_EQ((*tokens)[8].text, "1.5");
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kSemi);
+  EXPECT_EQ((*tokens)[10].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto tokens = Lex("# a comment\nx = \"wine_bar\";  # trailing");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[2].text, "wine_bar");
+  EXPECT_EQ((*tokens)[0].line, 2);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Lex("< <= > >= == !=");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].kind, TokenKind::kCmp);
+  }
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  auto tokens = Lex("-1.5 -2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "-1.5");
+  EXPECT_EQ((*tokens)[1].text, "-2");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+}
+
+TEST(LexerTest, LineColumnTracking) {
+  auto tokens = Lex("a\n  bb");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+// --- Parser -------------------------------------------------------------------
+
+TEST(ParserTest, SimplePipeline) {
+  auto plan = ParseQuery("q = scan TWTR | project user_id, tweet_text;");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->root()->kind, plan::OpKind::kProject);
+  EXPECT_EQ(plan->root()->project.size(), 2u);
+  EXPECT_EQ(plan->root()->children[0]->kind, plan::OpKind::kScan);
+  EXPECT_EQ(plan->root()->children[0]->table, "TWTR");
+  EXPECT_EQ(plan->name(), "q");
+}
+
+TEST(ParserTest, FilterComparisons) {
+  auto plan = ParseQuery("q = scan T | filter x >= 3;");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->filter.op, afk::CmpOp::kGe);
+  EXPECT_DOUBLE_EQ(plan->root()->filter.literal.ToDouble(), 3.0);
+}
+
+TEST(ParserTest, FilterStringEquality) {
+  auto plan = ParseQuery("q = scan LAND | filter category == \"wine_bar\";");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->filter.literal.as_string(), "wine_bar");
+}
+
+TEST(ParserTest, OpaqueFilter) {
+  auto plan = ParseQuery("q = scan T | filter valid_geo(geo);");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->filter.kind, plan::FilterCond::Kind::kOpaque);
+  EXPECT_EQ(plan->root()->filter.fn_name, "valid_geo");
+}
+
+TEST(ParserTest, GroupByWithAggregates) {
+  auto plan = ParseQuery(
+      "q = scan T | groupby user_id count(*) as n, sum(score) as total;");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto& group = plan->root()->group;
+  ASSERT_EQ(group.keys.size(), 1u);
+  ASSERT_EQ(group.aggs.size(), 2u);
+  EXPECT_EQ(group.aggs[0].fn, plan::AggFn::kCount);
+  EXPECT_EQ(group.aggs[0].output, "n");
+  EXPECT_EQ(group.aggs[1].fn, plan::AggFn::kSum);
+  EXPECT_EQ(group.aggs[1].input, "score");
+}
+
+TEST(ParserTest, UdfWithParams) {
+  auto plan = ParseQuery(
+      "q = scan TWTR | udf UDF_CLASSIFY_WINE_SCORE(threshold = 0.5);");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->kind, plan::OpKind::kUdf);
+  EXPECT_EQ(plan->root()->udf.udf_name, "UDF_CLASSIFY_WINE_SCORE");
+  EXPECT_DOUBLE_EQ(plan->root()->udf.params.at("threshold").ToDouble(), 0.5);
+}
+
+TEST(ParserTest, JoinOfBindings) {
+  auto program = Parse(
+      "a = scan T | project user_id, x;"
+      "b = scan T | groupby user_id count(*) as n;"
+      "r = join a b on user_id = user_id;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->result_name, "r");
+  plan::Plan plan = program->ToPlan();
+  EXPECT_EQ(plan.root()->kind, plan::OpKind::kJoin);
+  // The two sides share the scan? No — separate scans, but `a` and `b` are
+  // the actual bound subplans.
+  EXPECT_EQ(plan.root()->children[0].get(),
+            program->bindings.at("a").get());
+}
+
+TEST(ParserTest, SharedBindingIsSharedSubplan) {
+  auto program = Parse(
+      "base = scan T | project user_id, score;"
+      "hi = base | filter score > 5;"
+      "lo = base | filter score < 2;"
+      "r = join hi lo on user_id = user_id;");
+  ASSERT_TRUE(program.ok());
+  plan::Plan plan = program->ToPlan();
+  // `base` appears once in the DAG (a shared materialization point, like
+  // the paper's multi-stage scripts): scan, base, hi, lo, join.
+  EXPECT_EQ(plan.TopoOrder().size(), 5u);
+}
+
+TEST(ParserTest, ViewSource) {
+  auto plan = ParseQuery("q = view 7 | filter x > 1;");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->children[0]->view_id, 7);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("q = ;").ok());
+  EXPECT_FALSE(ParseQuery("q = scan;").ok());
+  EXPECT_FALSE(ParseQuery("q = scan T | bogus x;").ok());
+  EXPECT_FALSE(ParseQuery("q = scan T | filter x > ;").ok());
+  EXPECT_FALSE(ParseQuery("q = scan T | groupby k;").ok());  // no aggregate
+  EXPECT_FALSE(ParseQuery("q = scan T").ok());               // missing ';'
+  EXPECT_FALSE(ParseQuery("q = ref_to_nowhere;").ok());
+  EXPECT_FALSE(ParseQuery("q = scan T; q = scan T;").ok());  // redefined
+  EXPECT_FALSE(
+      ParseQuery("q = scan T | groupby k sum(*) as s;").ok());  // sum(*)
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto result = ParseQuery("q = scan T |\n  bogus;");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+// End-to-end: parse the paper's Figure 4 query, annotate, and compare with
+// the hand-built equivalent.
+TEST(ParserTest, ParsedPlanAnnotatesLikeHandBuilt) {
+  storage::Dfs dfs;
+  catalog::Catalog cat;
+  catalog::ViewStore views;
+  udf::UdfRegistry udfs;
+  ASSERT_TRUE(udf::RegisterBuiltinUdfs(&udfs).ok());
+  storage::Schema schema(
+      {storage::Column{"tweet_id", storage::DataType::kInt64},
+       storage::Column{"user_id", storage::DataType::kInt64},
+       storage::Column{"tweet_text", storage::DataType::kString}});
+  auto table = std::make_shared<storage::Table>("TWTR", schema);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table->AppendRow({storage::Value(int64_t{i}),
+                                  storage::Value(int64_t{i % 3}),
+                                  storage::Value("wine text")})
+                    .ok());
+  }
+  ASSERT_TRUE(cat.RegisterBase(table, {"tweet_id"}, &dfs).ok());
+  plan::AnnotationContext ctx{&cat, &views, &udfs};
+
+  auto parsed = ParseQuery(R"(
+    extract = scan TWTR | project tweet_id, user_id, tweet_text;
+    scored  = extract | udf UDF_CLASSIFY_FOOD_SCORE(threshold = 0.5);
+    counts  = extract | groupby user_id count(*) as cnt
+                      | filter cnt > 100;
+    result  = join scored counts on user_id = user_id;
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(plan::AnnotatePlan(*parsed, ctx).ok());
+
+  auto extract = plan::Project(plan::Scan("TWTR"),
+                               {"tweet_id", "user_id", "tweet_text"});
+  auto scored = plan::Udf(extract, "UDF_CLASSIFY_FOOD_SCORE",
+                          {{"threshold", storage::Value(0.5)}});
+  auto counts =
+      plan::GroupBy(extract, {"user_id"},
+                    {plan::AggSpec{plan::AggFn::kCount, "", "cnt"}});
+  auto filtered = plan::Filter(
+      counts, plan::FilterCond::Compare("cnt", afk::CmpOp::kGt,
+                                        storage::Value(100.0)));
+  plan::Plan built(plan::Join(scored, filtered, {{"user_id", "user_id"}}));
+  ASSERT_TRUE(plan::AnnotatePlan(built, ctx).ok());
+
+  EXPECT_TRUE(parsed->root()->afk == built.root()->afk)
+      << "parsed and hand-built plans must be model-equivalent";
+  EXPECT_EQ(plan::Fingerprint(parsed->root()),
+            plan::Fingerprint(built.root()));
+}
+
+}  // namespace
+}  // namespace opd::oql
+
+// --- Printer round-trip --------------------------------------------------------
+
+namespace opd::oql {
+namespace {
+
+TEST(PrinterTest, SimpleRoundTrip) {
+  auto plan = ParseQuery(
+      "q = scan TWTR | project user_id, tweet_text "
+      "| filter user_id > 5;");
+  ASSERT_TRUE(plan.ok());
+  auto text = Print(*plan);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto reparsed = ParseQuery(*text);
+  ASSERT_TRUE(reparsed.ok()) << "failed to reparse:\n" << *text;
+  EXPECT_EQ(plan::Fingerprint(plan->root()),
+            plan::Fingerprint(reparsed->root()));
+}
+
+TEST(PrinterTest, UdfAndGroupByRoundTrip) {
+  auto plan = ParseQuery(
+      "q = scan TWTR | udf UDF_CLASSIFY_WINE_SCORE(threshold = 0.5) "
+      "| groupby user_id count(*) as n, max(wine_score) as top;");
+  ASSERT_TRUE(plan.ok());
+  auto text = Print(*plan);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseQuery(*text);
+  ASSERT_TRUE(reparsed.ok()) << "failed to reparse:\n" << *text;
+  EXPECT_EQ(plan::Fingerprint(plan->root()),
+            plan::Fingerprint(reparsed->root()));
+}
+
+TEST(PrinterTest, JoinAndSharedSubtreeRoundTrip) {
+  auto plan = ParseQuery(R"(
+    base = scan TWTR | project user_id, tweet_text;
+    a = base | udf UDF_CLASSIFY_WINE_SCORE(threshold = 0.5);
+    b = base | groupby user_id count(*) as n;
+    r = join a b on user_id = user_id;
+  )");
+  ASSERT_TRUE(plan.ok());
+  auto text = Print(*plan);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseQuery(*text);
+  ASSERT_TRUE(reparsed.ok()) << "failed to reparse:\n" << *text;
+  EXPECT_EQ(plan::Fingerprint(plan->root()),
+            plan::Fingerprint(reparsed->root()));
+  // The shared subtree stays shared through the round trip.
+  EXPECT_EQ(plan->TopoOrder().size(), reparsed->TopoOrder().size());
+}
+
+TEST(PrinterTest, StringLiteralsAndOpaqueFilters) {
+  auto plan = ParseQuery(
+      "q = scan LAND | filter category == \"wine_bar\" "
+      "| filter valid_geo(geo);");
+  ASSERT_TRUE(plan.ok());
+  auto text = Print(*plan);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ParseQuery(*text);
+  ASSERT_TRUE(reparsed.ok()) << "failed to reparse:\n" << *text;
+  EXPECT_EQ(plan::Fingerprint(plan->root()),
+            plan::Fingerprint(reparsed->root()));
+}
+
+// The whole analyst workload round-trips.
+TEST(PrinterTest, WorkloadQueriesRoundTrip) {
+  for (int analyst = 1; analyst <= workload::kNumAnalysts; ++analyst) {
+    for (int version = 1; version <= workload::kNumVersions; ++version) {
+      auto plan = workload::BuildQuery(analyst, version);
+      ASSERT_TRUE(plan.ok());
+      auto text = Print(*plan);
+      ASSERT_TRUE(text.ok()) << "A" << analyst << "v" << version;
+      auto reparsed = ParseQuery(*text);
+      ASSERT_TRUE(reparsed.ok())
+          << "A" << analyst << "v" << version << ":\n" << *text;
+      EXPECT_EQ(plan::Fingerprint(plan->root()),
+                plan::Fingerprint(reparsed->root()))
+          << "A" << analyst << "v" << version;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opd::oql

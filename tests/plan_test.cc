@@ -1,0 +1,235 @@
+// Tests for plan building, annotation (Section 3.2), the job DAG
+// (Section 2.2), and fingerprints.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/view_store.h"
+#include "plan/annotate.h"
+#include "plan/fingerprint.h"
+#include "plan/job.h"
+#include "plan/plan.h"
+#include "storage/dfs.h"
+#include "udf/builtin_udfs.h"
+
+namespace opd::plan {
+namespace {
+
+using afk::CmpOp;
+using storage::Column;
+using storage::DataType;
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(udf::RegisterBuiltinUdfs(&udfs_).ok());
+    // A miniature TWTR-shaped table.
+    Schema schema({Column{"tweet_id", DataType::kInt64},
+                   Column{"user_id", DataType::kInt64},
+                   Column{"tweet_text", DataType::kString},
+                   Column{"mention_user", DataType::kInt64}});
+    auto t = std::make_shared<Table>("TWTR", schema);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(t->AppendRow({Value(int64_t{i}), Value(int64_t{i % 5}),
+                                Value("wine delicious"),
+                                Value(int64_t{(i + 1) % 5})})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_.RegisterBase(t, {"tweet_id"}, &dfs_).ok());
+    ctx_.catalog = &catalog_;
+    ctx_.views = &views_;
+    ctx_.udfs = &udfs_;
+  }
+
+  storage::Dfs dfs_;
+  catalog::Catalog catalog_;
+  catalog::ViewStore views_;
+  udf::UdfRegistry udfs_;
+  AnnotationContext ctx_;
+};
+
+TEST_F(PlanTest, ScanAnnotation) {
+  Plan p(Scan("TWTR"));
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  EXPECT_EQ(p.root()->out_schema.num_columns(), 4u);
+  EXPECT_EQ(p.root()->afk.keys().keys().size(), 1u);
+  EXPECT_EQ(p.root()->afk.keys().agg_depth(), 0);
+}
+
+TEST_F(PlanTest, ScanUnknownTableFails) {
+  Plan p(Scan("NOPE"));
+  EXPECT_FALSE(AnnotatePlan(p, ctx_).ok());
+}
+
+TEST_F(PlanTest, ProjectAnnotation) {
+  Plan p(Project(Scan("TWTR"), {"user_id", "tweet_text"}));
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  EXPECT_EQ(p.root()->out_schema.num_columns(), 2u);
+  EXPECT_EQ(p.root()->out_schema.column(0).name, "user_id");
+  // Projection does not regroup: K (the physical keying) is preserved even
+  // though the key column is gone from the output.
+  ASSERT_EQ(p.root()->afk.keys().keys().size(), 1u);
+  EXPECT_EQ(p.root()->afk.keys().keys()[0].name(), "tweet_id");
+}
+
+TEST_F(PlanTest, ProjectUnknownColumnFails) {
+  Plan p(Project(Scan("TWTR"), {"nope"}));
+  EXPECT_FALSE(AnnotatePlan(p, ctx_).ok());
+}
+
+TEST_F(PlanTest, FilterAnnotation) {
+  Plan p(Filter(Scan("TWTR"), FilterCond::Compare("user_id", CmpOp::kGt,
+                                                  Value(int64_t{2}))));
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  EXPECT_EQ(p.root()->afk.filters().size(), 1u);
+  EXPECT_EQ(p.root()->out_schema.num_columns(), 4u);
+}
+
+TEST_F(PlanTest, GroupByAnnotation) {
+  Plan p(GroupBy(Scan("TWTR"), {"user_id"},
+                 {AggSpec{AggFn::kCount, "", "cnt"}}));
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  EXPECT_EQ(p.root()->out_schema.num_columns(), 2u);
+  EXPECT_EQ(p.root()->afk.keys().agg_depth(), 1);
+  auto cnt = p.root()->afk.FindByName("cnt");
+  ASSERT_TRUE(cnt.has_value());
+  EXPECT_EQ(cnt->producer(), "agg:COUNT");
+}
+
+TEST_F(PlanTest, GroupByDifferentKeysDifferentAggAttr) {
+  Plan p1(GroupBy(Scan("TWTR"), {"user_id"},
+                  {AggSpec{AggFn::kCount, "", "cnt"}}));
+  Plan p2(GroupBy(Scan("TWTR"), {"mention_user"},
+                  {AggSpec{AggFn::kCount, "", "cnt"}}));
+  ASSERT_TRUE(AnnotatePlan(p1, ctx_).ok());
+  ASSERT_TRUE(AnnotatePlan(p2, ctx_).ok());
+  EXPECT_FALSE(*p1.root()->afk.FindByName("cnt") ==
+               *p2.root()->afk.FindByName("cnt"));
+}
+
+TEST_F(PlanTest, SameComputationSameAnnotation) {
+  // Two structurally identical plans built separately annotate identically —
+  // the foundation of semantic view matching.
+  Plan p1(Udf(Project(Scan("TWTR"), {"user_id", "tweet_text"}),
+              "UDF_CLASSIFY_WINE_SCORE", {{"threshold", Value(0.5)}}));
+  Plan p2(Udf(Project(Scan("TWTR"), {"user_id", "tweet_text"}),
+              "UDF_CLASSIFY_WINE_SCORE", {{"threshold", Value(0.5)}}));
+  ASSERT_TRUE(AnnotatePlan(p1, ctx_).ok());
+  ASSERT_TRUE(AnnotatePlan(p2, ctx_).ok());
+  EXPECT_TRUE(p1.root()->afk == p2.root()->afk);
+}
+
+TEST_F(PlanTest, UdfAnnotationMatchesPhysicalSchema) {
+  Plan p(Udf(Scan("TWTR"), "UDF_CLASSIFY_WINE_SCORE",
+             {{"threshold", Value(0.5)}}));
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  EXPECT_EQ(p.root()->out_schema.num_columns(), 2u);
+  EXPECT_EQ(p.root()->out_schema.column(1).name, "wine_score");
+}
+
+TEST_F(PlanTest, UnknownUdfFails) {
+  Plan p(Udf(Scan("TWTR"), "NO_SUCH_UDF"));
+  EXPECT_FALSE(AnnotatePlan(p, ctx_).ok());
+}
+
+TEST_F(PlanTest, JoinSharedLineageDeduplicates) {
+  auto extract = Project(Scan("TWTR"), {"user_id", "tweet_text"});
+  auto counts = GroupBy(extract, {"user_id"},
+                        {AggSpec{AggFn::kCount, "", "cnt"}});
+  auto wine = Udf(extract, "UDF_CLASSIFY_WINE_SCORE",
+                  {{"threshold", Value(0.5)}});
+  Plan p(Join(wine, counts, {{"user_id", "user_id"}}));
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  // user_id appears once: both sides share the same base attribute.
+  EXPECT_EQ(p.root()->out_schema.num_columns(), 3u);
+}
+
+TEST_F(PlanTest, FingerprintDistinguishesThresholds) {
+  auto make = [](double thr) {
+    return Udf(Project(Scan("TWTR"), {"user_id", "tweet_text"}),
+               "UDF_CLASSIFY_WINE_SCORE", {{"threshold", Value(thr)}});
+  };
+  EXPECT_EQ(Fingerprint(make(0.5)), Fingerprint(make(0.5)));
+  EXPECT_NE(Fingerprint(make(0.5)), Fingerprint(make(1.0)));
+}
+
+TEST_F(PlanTest, FingerprintDistinguishesStructure) {
+  auto scan = Scan("TWTR");
+  EXPECT_NE(Fingerprint(Project(scan, {"user_id"})),
+            Fingerprint(Project(scan, {"tweet_id"})));
+  EXPECT_NE(Fingerprint(scan), Fingerprint(Project(scan, {"user_id"})));
+}
+
+TEST_F(PlanTest, TopoOrderChildrenFirst) {
+  auto extract = Project(Scan("TWTR"), {"user_id", "tweet_text"});
+  auto counts =
+      GroupBy(extract, {"user_id"}, {AggSpec{AggFn::kCount, "", "cnt"}});
+  Plan p(counts);
+  auto order = p.TopoOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0]->kind, OpKind::kScan);
+  EXPECT_EQ(order[2]->kind, OpKind::kGroupByAgg);
+}
+
+TEST_F(PlanTest, TopoOrderVisitsSharedSubtreeOnce) {
+  auto extract = Project(Scan("TWTR"), {"user_id", "tweet_text"});
+  auto wine = Udf(extract, "UDF_CLASSIFY_WINE_SCORE",
+                  {{"threshold", Value(0.5)}});
+  auto counts =
+      GroupBy(extract, {"user_id"}, {AggSpec{AggFn::kCount, "", "cnt"}});
+  Plan p(Join(wine, counts, {{"user_id", "user_id"}}));
+  // scan, extract, wine, counts, join = 5 (extract shared, visited once).
+  EXPECT_EQ(p.TopoOrder().size(), 5u);
+}
+
+TEST_F(PlanTest, JobDagExcludesScansAndTracksEdges) {
+  auto extract = Project(Scan("TWTR"), {"user_id", "tweet_text"});
+  auto wine = Udf(extract, "UDF_CLASSIFY_WINE_SCORE",
+                  {{"threshold", Value(0.5)}});
+  auto counts =
+      GroupBy(extract, {"user_id"}, {AggSpec{AggFn::kCount, "", "cnt"}});
+  Plan p(Join(wine, counts, {{"user_id", "user_id"}}));
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  auto dag = JobDag::Build(p);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->size(), 4u);  // extract, wine, counts, join
+  // The sink is the join and consumes two producers.
+  const Job& sink = dag->job(dag->sink());
+  EXPECT_EQ(sink.op->kind, OpKind::kJoin);
+  EXPECT_EQ(sink.producers.size(), 2u);
+  // The shared extract job feeds two consumers.
+  EXPECT_EQ(dag->job(0).consumers.size(), 2u);
+}
+
+TEST_F(PlanTest, JobDagRequiresAnnotation) {
+  Plan p(Project(Scan("TWTR"), {"user_id"}));
+  EXPECT_FALSE(JobDag::Build(p).ok());
+}
+
+TEST_F(PlanTest, CloneTreeDeepCopies) {
+  auto original = Project(Scan("TWTR"), {"user_id"});
+  Plan p(original);
+  ASSERT_TRUE(AnnotatePlan(p, ctx_).ok());
+  OpNodePtr copy = CloneTree(original);
+  EXPECT_NE(copy.get(), original.get());
+  EXPECT_NE(copy->children[0].get(), original->children[0].get());
+  EXPECT_FALSE(copy->annotated);
+  EXPECT_EQ(Fingerprint(copy), Fingerprint(original));
+}
+
+TEST_F(PlanTest, DuplicateOutputNamesRejected) {
+  // Joining two different aggregates that both name their output "cnt".
+  auto extract = Project(Scan("TWTR"), {"user_id", "mention_user"});
+  auto c1 = GroupBy(extract, {"user_id"}, {AggSpec{AggFn::kCount, "", "cnt"}});
+  auto c2 = GroupBy(extract, {"mention_user"},
+                    {AggSpec{AggFn::kCount, "", "cnt"}});
+  Plan p(Join(c1, c2, {{"user_id", "mention_user"}}));
+  EXPECT_FALSE(AnnotatePlan(p, ctx_).ok());
+}
+
+}  // namespace
+}  // namespace opd::plan

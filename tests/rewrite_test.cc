@@ -1,0 +1,523 @@
+// Tests for the rewrite machinery: GUESSCOMPLETE, OPTCOST (with its
+// lower-bound invariant), MERGE, REWRITEENUM, the ViewFinder, and the three
+// rewriters (BFR, DP, SYNTACTIC).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "catalog/view_store.h"
+#include "exec/engine.h"
+#include "plan/annotate.h"
+#include "plan/fingerprint.h"
+#include "rewrite/bf_rewrite.h"
+#include "rewrite/dp_rewrite.h"
+#include "rewrite/guess_complete.h"
+#include "rewrite/merge.h"
+#include "rewrite/opt_cost.h"
+#include "rewrite/rewrite_enum.h"
+#include "rewrite/syntactic.h"
+#include "rewrite/view_finder.h"
+#include "storage/dfs.h"
+#include "udf/builtin_udfs.h"
+
+namespace opd::rewrite {
+namespace {
+
+using afk::CmpOp;
+using plan::AggFn;
+using plan::AggSpec;
+using plan::FilterCond;
+using storage::Column;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+// A fixture with a miniature TWTR log, an engine, and helpers to
+// execute plans (creating opportunistic views) and rewrite queries.
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(udf::RegisterBuiltinUdfs(&udfs_).ok());
+    Schema schema({Column{"tweet_id", DataType::kInt64},
+                   Column{"user_id", DataType::kInt64},
+                   Column{"tweet_text", DataType::kString},
+                   Column{"mention_user", DataType::kInt64}});
+    auto t = std::make_shared<Table>("TWTR", schema);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          t->AppendRow(
+               {Value(int64_t{i}), Value(int64_t{i % 10}),
+                Value(i % 3 == 0 ? "wine merlot delicious" : "plain words"),
+                Value(int64_t{i % 7 == 0 ? (i + 1) % 10 : -1})})
+              .ok());
+    }
+    ASSERT_TRUE(catalog_.RegisterBase(t, {"tweet_id"}, &dfs_).ok());
+    plan::AnnotationContext ctx{&catalog_, &views_, &udfs_};
+    optimizer_ = std::make_unique<optimizer::Optimizer>(
+        ctx, optimizer::CostModel());
+    engine_ = std::make_unique<exec::Engine>(&dfs_, &views_,
+                                             optimizer_.get());
+    bfr_ = std::make_unique<BfRewriter>(optimizer_.get(), &views_);
+    dp_ = std::make_unique<DpRewriter>(optimizer_.get(), &views_);
+    syntactic_ =
+        std::make_unique<SyntacticRewriter>(optimizer_.get(), &views_);
+  }
+
+  // The wine query: classify users, filter by count.
+  plan::Plan WineQuery(double threshold, double min_count) {
+    auto extract =
+        plan::Project(plan::Scan("TWTR"), {"user_id", "tweet_text"});
+    auto wine = plan::Udf(extract, "UDF_CLASSIFY_WINE_SCORE",
+                          {{"threshold", Value(threshold)}});
+    auto counts = plan::GroupBy(extract, {"user_id"},
+                                {AggSpec{AggFn::kCount, "", "cnt"}});
+    auto filtered = plan::Filter(
+        counts, FilterCond::Compare("cnt", CmpOp::kGt, Value(min_count)));
+    return plan::Plan(plan::Join(wine, filtered, {{"user_id", "user_id"}}),
+                      "wine_query");
+  }
+
+  void Execute(plan::Plan plan) {
+    auto result = engine_->Execute(&plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  storage::TablePtr ExecuteGet(plan::Plan plan) {
+    auto result = engine_->Execute(&plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result->table;
+  }
+
+  EnumDeps Deps() {
+    EnumDeps deps;
+    deps.optimizer = optimizer_.get();
+    deps.views = &views_;
+    deps.udfs = &udfs_;
+    return deps;
+  }
+
+  storage::Dfs dfs_;
+  catalog::Catalog catalog_;
+  catalog::ViewStore views_;
+  udf::UdfRegistry udfs_;
+  std::unique_ptr<optimizer::Optimizer> optimizer_;
+  std::unique_ptr<exec::Engine> engine_;
+  std::unique_ptr<BfRewriter> bfr_;
+  std::unique_ptr<DpRewriter> dp_;
+  std::unique_ptr<SyntacticRewriter> syntactic_;
+};
+
+// --- GUESSCOMPLETE ----------------------------------------------------------
+
+TEST_F(RewriteTest, GuessCompleteIdentical) {
+  plan::Plan p = WineQuery(0.5, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&p).ok());
+  EXPECT_TRUE(GuessComplete(p.root()->afk, p.root()->afk));
+}
+
+TEST_F(RewriteTest, GuessCompleteWeakerViewFilter) {
+  plan::Plan v = WineQuery(0.5, 5);
+  plan::Plan q = WineQuery(1.0, 5);  // stronger threshold
+  ASSERT_TRUE(optimizer_->Prepare(&v).ok());
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  // The view (weaker filter) can answer the query, not vice versa.
+  EXPECT_TRUE(GuessComplete(q.root()->afk, v.root()->afk));
+  EXPECT_FALSE(GuessComplete(v.root()->afk, q.root()->afk));
+}
+
+TEST_F(RewriteTest, GuessCompleteMoreAggregatedViewRejected) {
+  plan::Plan q(plan::Project(plan::Scan("TWTR"), {"user_id", "tweet_text"}));
+  plan::Plan v(plan::GroupBy(
+      plan::Project(plan::Scan("TWTR"), {"user_id", "tweet_text"}),
+      {"user_id"}, {AggSpec{AggFn::kCount, "", "cnt"}}));
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  ASSERT_TRUE(optimizer_->Prepare(&v).ok());
+  // The view is more aggregated than the query: unusable.
+  EXPECT_FALSE(GuessComplete(q.root()->afk, v.root()->afk));
+  // And the raw projection can (optimistically) answer the aggregate.
+  EXPECT_TRUE(GuessComplete(v.root()->afk, q.root()->afk));
+}
+
+TEST_F(RewriteTest, GuessCompleteMissingBaseAttributeRejected) {
+  plan::Plan q(plan::Project(plan::Scan("TWTR"), {"user_id", "mention_user"}));
+  plan::Plan v(plan::Project(plan::Scan("TWTR"), {"user_id"}));
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  ASSERT_TRUE(optimizer_->Prepare(&v).ok());
+  EXPECT_FALSE(GuessComplete(q.root()->afk, v.root()->afk));
+}
+
+// --- OPTCOST ----------------------------------------------------------------
+
+TEST_F(RewriteTest, OptCostZeroForExactMatch) {
+  plan::Plan p = WineQuery(0.5, 5);
+  Execute(WineQuery(0.5, 5));
+  ASSERT_TRUE(optimizer_->Prepare(&p).ok());
+  // Find the view whose AFK equals the sink target.
+  bool found = false;
+  for (const auto* def : views_.All()) {
+    if (def->afk == p.root()->afk) {
+      CandidateView c = MakeBaseCandidate(*def);
+      EXPECT_DOUBLE_EQ(OptCost(p.root()->afk, c, optimizer_->cost_model()),
+                       0.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RewriteTest, OptCostGrowsWithViewSize) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(1.0, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  // Among non-exact candidates, OPTCOST must be monotone in view bytes.
+  const auto all = views_.All();
+  for (const auto* a : all) {
+    for (const auto* b : all) {
+      CandidateView ca = MakeBaseCandidate(*a), cb = MakeBaseCandidate(*b);
+      double oa = OptCost(q.root()->afk, ca, optimizer_->cost_model());
+      double ob = OptCost(q.root()->afk, cb, optimizer_->cost_model());
+      if (oa > 0 && ob > 0 && a->stats.TotalBytes() < b->stats.TotalBytes()) {
+        EXPECT_LE(oa, ob + 1e-9);
+      }
+    }
+  }
+}
+
+// Property: OPTCOST is a true lower bound — for every candidate for which
+// REWRITEENUM finds a rewrite, COST(rewrite) >= OPTCOST(candidate).
+TEST_F(RewriteTest, OptCostLowerBoundsEveryFoundRewrite) {
+  Execute(WineQuery(0.5, 5));
+  Execute(WineQuery(0.8, 3));
+  plan::Plan q = WineQuery(1.0, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  TargetContext target = MakeTargetContext(q.root(), RewriteOptions{});
+  EnumDeps deps = Deps();
+  size_t verified = 0;
+  for (const auto* def : views_.All()) {
+    CandidateView c = MakeBaseCandidate(*def);
+    double bound = OptCost(q.root()->afk, c, optimizer_->cost_model());
+    if (!GuessComplete(q.root()->afk, c.afk)) continue;
+    auto result = RewriteEnum(target, c, deps);
+    ASSERT_TRUE(result.ok());
+    if (result.value().has_value()) {
+      EXPECT_GE(result.value()->cost + 1e-9, bound)
+          << "OPTCOST invariant violated for view " << def->id;
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+// --- MERGE ------------------------------------------------------------------
+
+TEST_F(RewriteTest, MergeRequiresSharedKeys) {
+  Execute(WineQuery(0.5, 5));
+  // Find the wine view (keyed user_id, depth 1) and the counts view.
+  const catalog::ViewDefinition* wine = nullptr;
+  const catalog::ViewDefinition* counts = nullptr;
+  const catalog::ViewDefinition* extract = nullptr;
+  for (const auto* def : views_.All()) {
+    if (def->schema.Has("wine_score")) wine = def;
+    if (def->schema.Has("cnt") && def->afk.filters().empty()) counts = def;
+    if (def->schema.Has("tweet_text")) extract = def;
+  }
+  ASSERT_NE(wine, nullptr);
+  ASSERT_NE(counts, nullptr);
+  ASSERT_NE(extract, nullptr);
+
+  // Aggregated views keyed on the same user_id merge.
+  auto merged = MergeCandidates(MakeBaseCandidate(*wine),
+                                MakeBaseCandidate(*counts), 4);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->NumParts(), 2u);
+  EXPECT_TRUE(merged->afk.FindByName("wine_score").has_value());
+  EXPECT_TRUE(merged->afk.FindByName("cnt").has_value());
+
+  // The un-keyed raw extract does not merge (no common key).
+  EXPECT_FALSE(MergeCandidates(MakeBaseCandidate(*wine),
+                               MakeBaseCandidate(*extract), 4)
+                   .has_value());
+  // Overlapping parts do not merge.
+  EXPECT_FALSE(
+      MergeCandidates(*merged, MakeBaseCandidate(*wine), 4).has_value());
+  // J bound respected.
+  EXPECT_FALSE(MergeCandidates(*merged, MakeBaseCandidate(*counts), 2)
+                   .has_value());
+}
+
+TEST_F(RewriteTest, BuildCandidateScanForMergedViews) {
+  Execute(WineQuery(0.5, 5));
+  const catalog::ViewDefinition* wine = nullptr;
+  const catalog::ViewDefinition* counts = nullptr;
+  for (const auto* def : views_.All()) {
+    if (def->schema.Has("wine_score")) wine = def;
+    if (def->schema.Has("cnt") && def->afk.filters().empty()) counts = def;
+  }
+  auto merged = MergeCandidates(MakeBaseCandidate(*wine),
+                                MakeBaseCandidate(*counts), 4);
+  ASSERT_TRUE(merged.has_value());
+  auto scan = BuildCandidateScan(*merged, views_);
+  ASSERT_TRUE(scan.ok());
+  plan::Plan p(*scan);
+  ASSERT_TRUE(optimizer_->Prepare(&p).ok());
+  EXPECT_TRUE(p.root()->afk == merged->afk);
+}
+
+// --- REWRITEENUM -------------------------------------------------------------
+
+TEST_F(RewriteTest, RewriteEnumExactMatchIsBareScan) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(0.5, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  TargetContext target = MakeTargetContext(q.root(), RewriteOptions{});
+  for (const auto* def : views_.All()) {
+    if (!(def->afk == q.root()->afk)) continue;
+    auto result = RewriteEnum(target, MakeBaseCandidate(*def), Deps());
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result.value().has_value());
+    EXPECT_DOUBLE_EQ(result.value()->cost, 0.0);
+    EXPECT_EQ(result.value()->plan.root()->kind, plan::OpKind::kScan);
+    return;
+  }
+  FAIL() << "no exact-match view found";
+}
+
+TEST_F(RewriteTest, RewriteEnumCompensatesUdfThreshold) {
+  // Views from threshold 0.5; query wants 1.0: the compensation is the fix
+  // filter wine_score > 1.0 on the existing view.
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(1.0, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  TargetContext target = MakeTargetContext(q.root(), RewriteOptions{});
+  bool found = false;
+  for (const auto* def : views_.All()) {
+    if (!def->schema.Has("wine_score") || !def->schema.Has("cnt")) continue;
+    auto result = RewriteEnum(target, MakeBaseCandidate(*def), Deps());
+    ASSERT_TRUE(result.ok());
+    if (result.value().has_value()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RewriteTest, RewriteEnumRejectsIncompatibleView) {
+  // Query with *weaker* filter cannot be answered by the stronger view.
+  Execute(WineQuery(1.0, 5));
+  plan::Plan q = WineQuery(0.5, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  TargetContext target = MakeTargetContext(q.root(), RewriteOptions{});
+  for (const auto* def : views_.All()) {
+    if (!def->schema.Has("wine_score") || !def->schema.Has("cnt")) continue;
+    // These joined views carry the >1.0 filter; the query wants >0.5.
+    auto result = RewriteEnum(target, MakeBaseCandidate(*def), Deps());
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result.value().has_value());
+  }
+}
+
+// --- ViewFinder ---------------------------------------------------------------
+
+TEST_F(RewriteTest, ViewFinderOrdersByOptCost) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(1.0, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  RewriteStats stats;
+  ViewFinder finder;
+  EnumDeps deps = Deps();
+  finder.Init(MakeTargetContext(q.root(), deps.options), deps, views_.All(),
+              &stats);
+  double prev = -1;
+  int pops = 0;
+  while (!finder.exhausted() && pops < 100) {
+    double peek = finder.Peek();
+    EXPECT_GE(peek + 1e-9, prev) << "PEEK must be non-decreasing";
+    prev = peek;
+    (void)finder.Refine();
+    ASSERT_TRUE(finder.status().ok());
+    ++pops;
+  }
+  EXPECT_GT(pops, 0);
+  EXPECT_EQ(stats.candidates_considered, static_cast<size_t>(pops));
+}
+
+TEST_F(RewriteTest, ViewFinderPeekInfinityWhenExhausted) {
+  RewriteStats stats;
+  ViewFinder finder;
+  plan::Plan q = WineQuery(0.5, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  EnumDeps deps = Deps();
+  finder.Init(MakeTargetContext(q.root(), deps.options), deps, {}, &stats);
+  EXPECT_TRUE(std::isinf(finder.Peek()));
+  EXPECT_FALSE(finder.Refine().has_value());
+}
+
+// --- BFR end-to-end -----------------------------------------------------------
+
+TEST_F(RewriteTest, BfrNoViewsReturnsOriginal) {
+  plan::Plan q = WineQuery(0.5, 5);
+  auto outcome = bfr_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->improved);
+  EXPECT_DOUBLE_EQ(outcome->est_cost, outcome->original_cost);
+}
+
+TEST_F(RewriteTest, BfrFindsExactMatchRewrite) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(0.5, 5);
+  auto outcome = bfr_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->improved);
+  EXPECT_LT(outcome->est_cost, 0.01 * outcome->original_cost);
+}
+
+TEST_F(RewriteTest, BfrCompensatedRewriteExecutesEquivalently) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(1.0, 5);
+  auto outcome = bfr_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->improved);
+
+  auto orig_result = ExecuteGet(WineQuery(1.0, 5));
+  plan::Plan best = outcome->plan;
+  auto rewr_result = ExecuteGet(std::move(best));
+  ASSERT_EQ(orig_result->num_rows(), rewr_result->num_rows());
+  // Same schema column names.
+  EXPECT_EQ(orig_result->schema().ToString(),
+            rewr_result->schema().ToString());
+  // Row-level equality (both engines produce deterministic order after
+  // grouping; join order may differ, so compare as multisets).
+  std::vector<storage::Row> a = orig_result->rows();
+  std::vector<storage::Row> b = rewr_result->rows();
+  auto row_less = [](const storage::Row& x, const storage::Row& y) {
+    for (size_t i = 0; i < x.size() && i < y.size(); ++i) {
+      if (x[i] < y[i]) return true;
+      if (y[i] < x[i]) return false;
+    }
+    return x.size() < y.size();
+  };
+  std::sort(a.begin(), a.end(), row_less);
+  std::sort(b.begin(), b.end(), row_less);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RewriteTest, BfrConvergenceTraceRecorded) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(1.0, 5);
+  auto outcome = bfr_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GE(outcome->stats.convergence.size(), 2u);
+  // First entry is the original cost; costs decrease monotonically.
+  EXPECT_DOUBLE_EQ(outcome->stats.convergence.front().second,
+                   outcome->original_cost);
+  for (size_t i = 1; i < outcome->stats.convergence.size(); ++i) {
+    EXPECT_LE(outcome->stats.convergence[i].second,
+              outcome->stats.convergence[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(outcome->stats.convergence.back().second,
+                   outcome->est_cost);
+}
+
+TEST_F(RewriteTest, BfrWorkEfficiencyNeverBeyondDp) {
+  Execute(WineQuery(0.5, 5));
+  Execute(WineQuery(0.8, 3));
+  plan::Plan qb = WineQuery(1.0, 5);
+  auto bfr = bfr_->Rewrite(&qb);
+  plan::Plan qd = WineQuery(1.0, 5);
+  auto dp = dp_->Rewrite(&qd);
+  ASSERT_TRUE(bfr.ok());
+  ASSERT_TRUE(dp.ok());
+  // Identical minimum-cost rewrites (the paper's Theorem 1 consequence).
+  EXPECT_NEAR(bfr->est_cost, dp->est_cost, 1e-6 * (1 + dp->est_cost));
+  // Work efficiency: BFR considers no more candidates than exhaustive DP.
+  EXPECT_LE(bfr->stats.candidates_considered,
+            dp->stats.candidates_considered);
+}
+
+TEST_F(RewriteTest, BfrAblationWithoutOptCostOrderingStillOptimal) {
+  Execute(WineQuery(0.5, 5));
+  RewriteOptions ablated;
+  ablated.use_optcost_ordering = false;
+  BfRewriter fifo(optimizer_.get(), &views_, ablated);
+  plan::Plan q1 = WineQuery(1.0, 5);
+  auto with = bfr_->Rewrite(&q1);
+  plan::Plan q2 = WineQuery(1.0, 5);
+  auto without = fifo.Rewrite(&q2);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NEAR(with->est_cost, without->est_cost,
+              1e-6 * (1 + with->est_cost));
+  // The ablated search does at least as much work.
+  EXPECT_GE(without->stats.candidates_considered,
+            with->stats.candidates_considered);
+}
+
+// Property (paper Section 4.1): GUESSCOMPLETE "may result in a false
+// positive, but will never result in a false negative" — whenever
+// REWRITEENUM finds a rewrite, GUESSCOMPLETE must have said yes.
+TEST_F(RewriteTest, GuessCompleteHasNoFalseNegatives) {
+  Execute(WineQuery(0.5, 5));
+  Execute(WineQuery(0.8, 3));
+  Execute(WineQuery(1.2, 8));
+  for (double thr : {0.6, 0.9, 1.5}) {
+    plan::Plan q = WineQuery(thr, 5);
+    ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+    auto dag = plan::JobDag::Build(q);
+    ASSERT_TRUE(dag.ok());
+    EnumDeps deps = Deps();
+    for (size_t i = 0; i < dag->size(); ++i) {
+      TargetContext target =
+          MakeTargetContext(dag->job(i).op, RewriteOptions{});
+      for (const auto* def : views_.All()) {
+        CandidateView c = MakeBaseCandidate(*def);
+        if (GuessComplete(target.afk, c.afk)) continue;
+        auto result = RewriteEnum(target, c, deps);
+        ASSERT_TRUE(result.ok());
+        EXPECT_FALSE(result.value().has_value())
+            << "false negative: view " << def->id << " rewrote target " << i
+            << " of thr=" << thr << " despite GUESSCOMPLETE=false";
+      }
+    }
+  }
+}
+
+// --- Syntactic baseline --------------------------------------------------------
+
+TEST_F(RewriteTest, SyntacticMatchesIdenticalPlans) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(0.5, 5);
+  auto outcome = syntactic_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->improved);
+}
+
+TEST_F(RewriteTest, SyntacticMissesChangedThreshold) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(1.0, 5);  // revised threshold
+  auto syntactic = syntactic_->Rewrite(&q);
+  ASSERT_TRUE(syntactic.ok());
+  plan::Plan qb = WineQuery(1.0, 5);
+  auto semantic = bfr_->Rewrite(&qb);
+  ASSERT_TRUE(semantic.ok());
+  // The counts subtree is unchanged -> syntactic reuses it; but the wine
+  // UDF threshold changed, so syntactic cannot reuse the expensive scoring
+  // view while BFR can: BFR must be strictly better.
+  EXPECT_LT(semantic->est_cost, syntactic->est_cost);
+}
+
+TEST_F(RewriteTest, SyntacticZeroAfterDroppingIdenticalViews) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(0.5, 5);
+  ASSERT_TRUE(optimizer_->Prepare(&q).ok());
+  for (const auto& node : q.TopoOrder()) {
+    if (node->kind != plan::OpKind::kScan) views_.DropIdentical(node->afk);
+  }
+  plan::Plan q2 = WineQuery(0.5, 5);
+  auto outcome = syntactic_->Rewrite(&q2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->improved);
+}
+
+}  // namespace
+}  // namespace opd::rewrite

@@ -1,0 +1,183 @@
+// Unit tests for the storage layer: values, schemas, tables, and the
+// simulated DFS.
+
+#include <gtest/gtest.h>
+
+#include "storage/dfs.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace opd::storage {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).type(), DataType::kBool);
+  EXPECT_EQ(Value(int64_t{42}).as_int64(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).as_double(), 3.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value(int64_t{3}) == Value(3.0));
+  EXPECT_TRUE(Value(true) == Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{3}) == Value(3.5));
+}
+
+TEST(ValueTest, NumericCrossTypeHashConsistency) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value(1.5) < Value(int64_t{2}));
+  EXPECT_TRUE(Value("a") < Value("b"));
+  EXPECT_TRUE(Value::Null() < Value(int64_t{0}) ||
+              Value(int64_t{0}).is_null() == false);
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).ToDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(true).ToDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(Value("x").ToDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Null().ToDouble(), 0.0);
+}
+
+TEST(ValueTest, ByteSizeAccountsStringLength) {
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value(std::string(10, 'a')).ByteSize(), 14u);
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+TEST(SchemaTest, IndexOfAndHas) {
+  Schema s({Column{"a", DataType::kInt64}, Column{"b", DataType::kString}});
+  EXPECT_EQ(*s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("c").has_value());
+  EXPECT_TRUE(s.Has("a"));
+}
+
+TEST(SchemaTest, AddColumnRejectsDuplicates) {
+  Schema s({Column{"a", DataType::kInt64}});
+  EXPECT_TRUE(s.AddColumn(Column{"b", DataType::kDouble}).ok());
+  EXPECT_EQ(s.AddColumn(Column{"a", DataType::kInt64}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, Project) {
+  Schema s({Column{"a", DataType::kInt64}, Column{"b", DataType::kString},
+            Column{"c", DataType::kDouble}});
+  auto p = s.Project({"c", "a"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_columns(), 2u);
+  EXPECT_EQ(p->column(0).name, "c");
+  EXPECT_FALSE(s.Project({"zzz"}).ok());
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t("t", Schema({Column{"a", DataType::kInt64}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ByteSizeAndAvg) {
+  Table t("t", Schema({Column{"a", DataType::kInt64},
+                       Column{"s", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("xx")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2}), Value("yyyy")}).ok());
+  EXPECT_EQ(t.ByteSize(), 8u + 6u + 8u + 8u);
+  EXPECT_DOUBLE_EQ(t.AvgRowBytes(), 15.0);
+}
+
+TEST(TableTest, GetByName) {
+  Table t("t", Schema({Column{"a", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{9})}).ok());
+  auto v = t.Get(0, "a");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_int64(), 9);
+  EXPECT_FALSE(t.Get(1, "a").ok());
+  EXPECT_FALSE(t.Get(0, "b").ok());
+}
+
+class DfsTest : public ::testing::Test {
+ protected:
+  TablePtr MakeTable(const std::string& name, int rows) {
+    auto t = std::make_shared<Table>(
+        name, Schema({Column{"x", DataType::kInt64}}));
+    for (int i = 0; i < rows; ++i) {
+      (void)const_cast<Table&>(*t).AppendRow({Value(int64_t{i})});
+    }
+    return t;
+  }
+};
+
+TEST_F(DfsTest, WriteReadDelete) {
+  Dfs dfs;
+  auto t = MakeTable("t", 10);
+  ASSERT_TRUE(dfs.Write("a/b", t).ok());
+  EXPECT_TRUE(dfs.Exists("a/b"));
+  auto r = dfs.Read("a/b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 10u);
+  EXPECT_TRUE(dfs.Delete("a/b").ok());
+  EXPECT_FALSE(dfs.Exists("a/b"));
+  EXPECT_FALSE(dfs.Read("a/b").ok());
+}
+
+TEST_F(DfsTest, DuplicateWriteFails) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Write("p", MakeTable("t", 1)).ok());
+  EXPECT_EQ(dfs.Write("p", MakeTable("t", 1)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(DfsTest, MetricsAccounting) {
+  Dfs dfs;
+  auto t = MakeTable("t", 100);
+  const uint64_t size = t->ByteSize();
+  ASSERT_TRUE(dfs.Write("p", t).ok());
+  EXPECT_EQ(dfs.metrics().bytes_written, size);
+  EXPECT_EQ(dfs.used_bytes(), size);
+  ASSERT_TRUE(dfs.Read("p").ok());
+  ASSERT_TRUE(dfs.Read("p").ok());
+  EXPECT_EQ(dfs.metrics().bytes_read, 2 * size);
+}
+
+TEST_F(DfsTest, CapacityEnforced) {
+  auto t = MakeTable("t", 100);  // 800 bytes
+  Dfs dfs(t->ByteSize() + 10);
+  ASSERT_TRUE(dfs.Write("one", t).ok());
+  EXPECT_EQ(dfs.Write("two", MakeTable("t", 100)).code(),
+            StatusCode::kOutOfRange);
+  // Deleting frees space.
+  ASSERT_TRUE(dfs.Delete("one").ok());
+  EXPECT_TRUE(dfs.Write("two", MakeTable("t", 100)).ok());
+}
+
+TEST_F(DfsTest, DeletePrefix) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Write("views/a", MakeTable("t", 1)).ok());
+  ASSERT_TRUE(dfs.Write("views/b", MakeTable("t", 1)).ok());
+  ASSERT_TRUE(dfs.Write("base/c", MakeTable("t", 1)).ok());
+  EXPECT_EQ(dfs.DeletePrefix("views/"), 2u);
+  EXPECT_TRUE(dfs.Exists("base/c"));
+  EXPECT_EQ(dfs.ListPaths().size(), 1u);
+}
+
+TEST_F(DfsTest, PeekDoesNotMeter) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Write("p", MakeTable("t", 5)).ok());
+  ASSERT_TRUE(dfs.Peek("p").ok());
+  EXPECT_EQ(dfs.metrics().bytes_read, 0u);
+}
+
+}  // namespace
+}  // namespace opd::storage
