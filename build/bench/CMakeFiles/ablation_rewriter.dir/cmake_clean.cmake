@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rewriter.dir/ablation_rewriter.cc.o"
+  "CMakeFiles/ablation_rewriter.dir/ablation_rewriter.cc.o.d"
+  "ablation_rewriter"
+  "ablation_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_query_evolution.dir/fig07_query_evolution.cc.o"
+  "CMakeFiles/fig07_query_evolution.dir/fig07_query_evolution.cc.o.d"
+  "fig07_query_evolution"
+  "fig07_query_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_query_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_user_evolution.dir/fig08_user_evolution.cc.o"
+  "CMakeFiles/fig08_user_evolution.dir/fig08_user_evolution.cc.o.d"
+  "fig08_user_evolution"
+  "fig08_user_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_user_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_algorithm_comparison.dir/fig09_algorithm_comparison.cc.o"
+  "CMakeFiles/fig09_algorithm_comparison.dir/fig09_algorithm_comparison.cc.o.d"
+  "fig09_algorithm_comparison"
+  "fig09_algorithm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_algorithm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

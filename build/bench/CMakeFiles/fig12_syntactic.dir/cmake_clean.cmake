@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_syntactic.dir/fig12_syntactic.cc.o"
+  "CMakeFiles/fig12_syntactic.dir/fig12_syntactic.cc.o.d"
+  "fig12_syntactic"
+  "fig12_syntactic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_syntactic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

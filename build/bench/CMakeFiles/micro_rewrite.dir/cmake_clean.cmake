@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rewrite.dir/micro_rewrite.cc.o"
+  "CMakeFiles/micro_rewrite.dir/micro_rewrite.cc.o.d"
+  "micro_rewrite"
+  "micro_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_footprint.dir/storage_footprint.cc.o"
+  "CMakeFiles/storage_footprint.dir/storage_footprint.cc.o.d"
+  "storage_footprint"
+  "storage_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

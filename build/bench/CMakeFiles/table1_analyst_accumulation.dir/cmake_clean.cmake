@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_analyst_accumulation.dir/table1_analyst_accumulation.cc.o"
+  "CMakeFiles/table1_analyst_accumulation.dir/table1_analyst_accumulation.cc.o.d"
+  "table1_analyst_accumulation"
+  "table1_analyst_accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_analyst_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

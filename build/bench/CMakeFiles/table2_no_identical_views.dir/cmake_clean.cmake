@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_no_identical_views.dir/table2_no_identical_views.cc.o"
+  "CMakeFiles/table2_no_identical_views.dir/table2_no_identical_views.cc.o.d"
+  "table2_no_identical_views"
+  "table2_no_identical_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_no_identical_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

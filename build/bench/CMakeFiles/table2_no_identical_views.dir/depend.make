@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_no_identical_views.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_analyst_reuse.dir/multi_analyst_reuse.cpp.o"
+  "CMakeFiles/multi_analyst_reuse.dir/multi_analyst_reuse.cpp.o.d"
+  "multi_analyst_reuse"
+  "multi_analyst_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_analyst_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

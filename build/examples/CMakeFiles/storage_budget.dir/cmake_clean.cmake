@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_budget.dir/storage_budget.cpp.o"
+  "CMakeFiles/storage_budget.dir/storage_budget.cpp.o.d"
+  "storage_budget"
+  "storage_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_model_tour.dir/udf_model_tour.cpp.o"
+  "CMakeFiles/udf_model_tour.dir/udf_model_tour.cpp.o.d"
+  "udf_model_tour"
+  "udf_model_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_model_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

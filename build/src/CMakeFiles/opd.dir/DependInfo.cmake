@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afk/afk.cc" "src/CMakeFiles/opd.dir/afk/afk.cc.o" "gcc" "src/CMakeFiles/opd.dir/afk/afk.cc.o.d"
+  "/root/repo/src/afk/attribute.cc" "src/CMakeFiles/opd.dir/afk/attribute.cc.o" "gcc" "src/CMakeFiles/opd.dir/afk/attribute.cc.o.d"
+  "/root/repo/src/afk/predicate.cc" "src/CMakeFiles/opd.dir/afk/predicate.cc.o" "gcc" "src/CMakeFiles/opd.dir/afk/predicate.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/opd.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/opd.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/eviction.cc" "src/CMakeFiles/opd.dir/catalog/eviction.cc.o" "gcc" "src/CMakeFiles/opd.dir/catalog/eviction.cc.o.d"
+  "/root/repo/src/catalog/view_store.cc" "src/CMakeFiles/opd.dir/catalog/view_store.cc.o" "gcc" "src/CMakeFiles/opd.dir/catalog/view_store.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/opd.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/opd.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/opd.dir/common/status.cc.o" "gcc" "src/CMakeFiles/opd.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/opd.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/opd.dir/common/string_util.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "src/CMakeFiles/opd.dir/exec/engine.cc.o" "gcc" "src/CMakeFiles/opd.dir/exec/engine.cc.o.d"
+  "/root/repo/src/exec/metrics.cc" "src/CMakeFiles/opd.dir/exec/metrics.cc.o" "gcc" "src/CMakeFiles/opd.dir/exec/metrics.cc.o.d"
+  "/root/repo/src/exec/stats_collector.cc" "src/CMakeFiles/opd.dir/exec/stats_collector.cc.o" "gcc" "src/CMakeFiles/opd.dir/exec/stats_collector.cc.o.d"
+  "/root/repo/src/exec/udf_exec.cc" "src/CMakeFiles/opd.dir/exec/udf_exec.cc.o" "gcc" "src/CMakeFiles/opd.dir/exec/udf_exec.cc.o.d"
+  "/root/repo/src/optimizer/calibration.cc" "src/CMakeFiles/opd.dir/optimizer/calibration.cc.o" "gcc" "src/CMakeFiles/opd.dir/optimizer/calibration.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/opd.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/opd.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/opd.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/opd.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/oql/lexer.cc" "src/CMakeFiles/opd.dir/oql/lexer.cc.o" "gcc" "src/CMakeFiles/opd.dir/oql/lexer.cc.o.d"
+  "/root/repo/src/oql/parser.cc" "src/CMakeFiles/opd.dir/oql/parser.cc.o" "gcc" "src/CMakeFiles/opd.dir/oql/parser.cc.o.d"
+  "/root/repo/src/oql/printer.cc" "src/CMakeFiles/opd.dir/oql/printer.cc.o" "gcc" "src/CMakeFiles/opd.dir/oql/printer.cc.o.d"
+  "/root/repo/src/plan/annotate.cc" "src/CMakeFiles/opd.dir/plan/annotate.cc.o" "gcc" "src/CMakeFiles/opd.dir/plan/annotate.cc.o.d"
+  "/root/repo/src/plan/explain.cc" "src/CMakeFiles/opd.dir/plan/explain.cc.o" "gcc" "src/CMakeFiles/opd.dir/plan/explain.cc.o.d"
+  "/root/repo/src/plan/fingerprint.cc" "src/CMakeFiles/opd.dir/plan/fingerprint.cc.o" "gcc" "src/CMakeFiles/opd.dir/plan/fingerprint.cc.o.d"
+  "/root/repo/src/plan/job.cc" "src/CMakeFiles/opd.dir/plan/job.cc.o" "gcc" "src/CMakeFiles/opd.dir/plan/job.cc.o.d"
+  "/root/repo/src/plan/operator.cc" "src/CMakeFiles/opd.dir/plan/operator.cc.o" "gcc" "src/CMakeFiles/opd.dir/plan/operator.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/opd.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/opd.dir/plan/plan.cc.o.d"
+  "/root/repo/src/rewrite/advisor.cc" "src/CMakeFiles/opd.dir/rewrite/advisor.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/advisor.cc.o.d"
+  "/root/repo/src/rewrite/bf_rewrite.cc" "src/CMakeFiles/opd.dir/rewrite/bf_rewrite.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/bf_rewrite.cc.o.d"
+  "/root/repo/src/rewrite/candidate.cc" "src/CMakeFiles/opd.dir/rewrite/candidate.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/candidate.cc.o.d"
+  "/root/repo/src/rewrite/dp_rewrite.cc" "src/CMakeFiles/opd.dir/rewrite/dp_rewrite.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/dp_rewrite.cc.o.d"
+  "/root/repo/src/rewrite/guess_complete.cc" "src/CMakeFiles/opd.dir/rewrite/guess_complete.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/guess_complete.cc.o.d"
+  "/root/repo/src/rewrite/merge.cc" "src/CMakeFiles/opd.dir/rewrite/merge.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/merge.cc.o.d"
+  "/root/repo/src/rewrite/opt_cost.cc" "src/CMakeFiles/opd.dir/rewrite/opt_cost.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/opt_cost.cc.o.d"
+  "/root/repo/src/rewrite/rewrite_enum.cc" "src/CMakeFiles/opd.dir/rewrite/rewrite_enum.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/rewrite_enum.cc.o.d"
+  "/root/repo/src/rewrite/syntactic.cc" "src/CMakeFiles/opd.dir/rewrite/syntactic.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/syntactic.cc.o.d"
+  "/root/repo/src/rewrite/view_finder.cc" "src/CMakeFiles/opd.dir/rewrite/view_finder.cc.o" "gcc" "src/CMakeFiles/opd.dir/rewrite/view_finder.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/opd.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/opd.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/dfs.cc" "src/CMakeFiles/opd.dir/storage/dfs.cc.o" "gcc" "src/CMakeFiles/opd.dir/storage/dfs.cc.o.d"
+  "/root/repo/src/storage/persistence.cc" "src/CMakeFiles/opd.dir/storage/persistence.cc.o" "gcc" "src/CMakeFiles/opd.dir/storage/persistence.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/opd.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/opd.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/opd.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/opd.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/opd.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/opd.dir/storage/value.cc.o.d"
+  "/root/repo/src/udf/builtin_udfs.cc" "src/CMakeFiles/opd.dir/udf/builtin_udfs.cc.o" "gcc" "src/CMakeFiles/opd.dir/udf/builtin_udfs.cc.o.d"
+  "/root/repo/src/udf/local_function.cc" "src/CMakeFiles/opd.dir/udf/local_function.cc.o" "gcc" "src/CMakeFiles/opd.dir/udf/local_function.cc.o.d"
+  "/root/repo/src/udf/udf.cc" "src/CMakeFiles/opd.dir/udf/udf.cc.o" "gcc" "src/CMakeFiles/opd.dir/udf/udf.cc.o.d"
+  "/root/repo/src/udf/udf_registry.cc" "src/CMakeFiles/opd.dir/udf/udf_registry.cc.o" "gcc" "src/CMakeFiles/opd.dir/udf/udf_registry.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "src/CMakeFiles/opd.dir/workload/datagen.cc.o" "gcc" "src/CMakeFiles/opd.dir/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/opd.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/opd.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/scenarios.cc" "src/CMakeFiles/opd.dir/workload/scenarios.cc.o" "gcc" "src/CMakeFiles/opd.dir/workload/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afk_attribute_test.dir/afk_attribute_test.cc.o"
+  "CMakeFiles/afk_attribute_test.dir/afk_attribute_test.cc.o.d"
+  "afk_attribute_test"
+  "afk_attribute_test.pdb"
+  "afk_attribute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afk_attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

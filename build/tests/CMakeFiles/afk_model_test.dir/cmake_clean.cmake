@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afk_model_test.dir/afk_model_test.cc.o"
+  "CMakeFiles/afk_model_test.dir/afk_model_test.cc.o.d"
+  "afk_model_test"
+  "afk_model_test.pdb"
+  "afk_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afk_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afk_predicate_test.dir/afk_predicate_test.cc.o"
+  "CMakeFiles/afk_predicate_test.dir/afk_predicate_test.cc.o.d"
+  "afk_predicate_test"
+  "afk_predicate_test.pdb"
+  "afk_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afk_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_explain_test.dir/csv_explain_test.cc.o"
+  "CMakeFiles/csv_explain_test.dir/csv_explain_test.cc.o.d"
+  "csv_explain_test"
+  "csv_explain_test.pdb"
+  "csv_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
