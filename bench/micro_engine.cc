@@ -1,7 +1,16 @@
 // google-benchmark microbenchmarks for the MapReduce simulator: per-operator
 // execution throughput and UDF local-function pipelines.
+//
+// `micro_engine --json` instead runs a fixed engine workload at 1 and 8
+// threads and prints a single JSON line with wall-clock ms and rows/sec per
+// thread count — the seed of the BENCH_*.json perf trajectory (scripts/
+// bench.sh wraps this).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 
 #include "exec/udf_exec.h"
 #include "udf/builtin_udfs.h"
@@ -113,4 +122,92 @@ static void BM_DataGenTwitter(benchmark::State& state) {
 BENCHMARK(BM_DataGenTwitter)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+// The --json engine workload: one pass of every operator class (map-only,
+// shuffle join, shuffle aggregation, UDF pipeline) over the synthetic log.
+struct JsonRun {
+  double wall_ms = 0;
+  double rows_per_sec = 0;
+};
+
+JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations) {
+  workload::TestBedConfig config;
+  config.data.n_tweets = n_tweets;
+  config.data.n_checkins = n_tweets / 2;
+  config.data.n_locations = 300;
+  config.calibrate_udfs = false;
+  config.engine.retain_views = false;
+  config.engine.collect_stats = false;
+  config.engine.num_threads = num_threads;
+  auto bed_result = workload::TestBed::Create(config);
+  if (!bed_result.ok()) std::abort();
+  auto bed = std::move(bed_result).value();
+
+  uint64_t rows_processed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    plan::Plan project(
+        plan::Project(plan::Scan("TWTR"), {"user_id", "tweet_text"}));
+    plan::Plan filter(plan::Filter(
+        plan::Scan("TWTR"),
+        plan::FilterCond::Compare("retweets", afk::CmpOp::kGt,
+                                  storage::Value(int64_t{1}))));
+    plan::Plan group(
+        plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                      {plan::AggSpec{plan::AggFn::kCount, "", "c"},
+                       plan::AggSpec{plan::AggFn::kAvg, "retweets", "avg"}}));
+    auto counts =
+        plan::GroupBy(plan::Scan("TWTR"), {"user_id"},
+                      {plan::AggSpec{plan::AggFn::kCount, "", "c"}});
+    plan::Plan join(plan::Join(
+        plan::Project(plan::Scan("TWTR"), {"tweet_id", "user_id"}), counts,
+        {{"user_id", "user_id"}}));
+    plan::Plan udf(plan::Udf(plan::Scan("TWTR"), "UDF_TOKENIZE", {}));
+    for (plan::Plan* p : {&project, &filter, &group, &join, &udf}) {
+      auto result = bed->engine().Execute(p);
+      if (!result.ok()) std::abort();
+      rows_processed += n_tweets;  // each job scans the full TWTR log
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  JsonRun run;
+  run.wall_ms = wall_s * 1000.0;
+  run.rows_per_sec =
+      wall_s > 0 ? static_cast<double>(rows_processed) / wall_s : 0;
+  return run;
+}
+
+int RunJsonMode() {
+  constexpr size_t kTweets = 12000;
+  constexpr int kIters = 3;
+  constexpr int kParThreads = 8;
+  JsonRun serial = RunEngineWorkload(1, kTweets, kIters);
+  JsonRun parallel = RunEngineWorkload(kParThreads, kTweets, kIters);
+  const double speedup =
+      parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0;
+  std::printf(
+      "{\"bench\":\"micro_engine\",\"n_tweets\":%zu,\"iterations\":%d,"
+      "\"threads\":[1,%d],\"wall_ms_1\":%.2f,\"wall_ms_%d\":%.2f,"
+      "\"rows_per_sec_1\":%.0f,\"rows_per_sec_%d\":%.0f,"
+      "\"speedup\":%.2f}\n",
+      kTweets, kIters, kParThreads, serial.wall_ms, kParThreads,
+      parallel.wall_ms, serial.rows_per_sec, kParThreads,
+      parallel.rows_per_sec, speedup);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return RunJsonMode();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

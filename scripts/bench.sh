@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the engine microbenchmark after the tier-1 build and appends its
+# one-line JSON result to BENCH_engine.json (the perf trajectory of the
+# execution engine across PRs).
+#
+# Usage: scripts/bench.sh [--no-build]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" != "--no-build" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j >/dev/null
+fi
+
+line="$(./build/bench/micro_engine --json)"
+echo "${line}"
+echo "${line}" >> BENCH_engine.json

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace opd {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception in its future
+  }
+}
+
+int ThreadPool::DefaultThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+// Runs one index, converting any escaped exception into a Status.
+Status RunGuarded(const std::function<Status(size_t)>& fn, size_t i) {
+  try {
+    return fn(i);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn,
+                   double* max_task_seconds) {
+  if (max_task_seconds != nullptr) *max_task_seconds = 0;
+  const bool serial = pool == nullptr || pool->num_threads() <= 1 || n <= 1;
+
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<double> task_s(n, 0.0);
+  auto run_index = [&](size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    statuses[i] = RunGuarded(fn, i);
+    task_s[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  };
+
+  if (serial) {
+    for (size_t i = 0; i < n; ++i) run_index(i);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      futures.push_back(pool->Submit([&run_index, i] { run_index(i); }));
+    }
+    for (auto& f : futures) f.get();  // run_index never throws
+  }
+
+  if (max_task_seconds != nullptr) {
+    for (double s : task_s) *max_task_seconds = std::max(*max_task_seconds, s);
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace opd

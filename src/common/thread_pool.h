@@ -1,0 +1,72 @@
+// A fixed-size worker pool with a shared work queue, used by the execution
+// engine to run map/reduce tasks concurrently. Tasks are plain callables;
+// exceptions thrown inside a task never escape a worker thread — helpers
+// below convert them into Status (the library's error-return convention).
+
+#ifndef OPD_COMMON_THREAD_POOL_H_
+#define OPD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace opd {
+
+/// \brief A fixed-size thread pool draining a FIFO work queue.
+///
+/// The pool starts its workers on construction and joins them on
+/// destruction (after draining every queued task). Thread count is clamped
+/// to at least 1; `ThreadPool::DefaultThreads()` maps the conventional
+/// "0 means auto" knob to `hardware_concurrency`.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future that resolves when it has run.
+  /// An exception thrown by `fn` is captured in the future.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Resolves a `num_threads` option: values <= 0 mean "one per core".
+  static int DefaultThreads(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs `fn(0) .. fn(n-1)` as pool tasks and waits for all of them.
+///
+/// Error handling follows the engine's determinism contract: every index
+/// runs to completion, each task's Status (or caught exception, converted to
+/// `Status::Internal`) is recorded per index, and the *lowest-index* failure
+/// is returned — so the reported error does not depend on thread timing.
+///
+/// With a null pool, a single-thread pool, or n <= 1, indices run inline on
+/// the calling thread in order — byte-for-byte the serial behavior.
+///
+/// \param[out] max_task_seconds if non-null, receives the wall-clock time of
+///   the slowest task (the simulated straggler of this task wave).
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn,
+                   double* max_task_seconds = nullptr);
+
+}  // namespace opd
+
+#endif  // OPD_COMMON_THREAD_POOL_H_

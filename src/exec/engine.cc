@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
+#include <utility>
 
 #include "exec/udf_exec.h"
 #include "plan/fingerprint.h"
+#include "storage/value.h"
 
 namespace opd::exec {
 
@@ -12,22 +15,14 @@ using plan::OpKind;
 using plan::OpNode;
 using plan::OpNodePtr;
 using storage::Row;
+using storage::RowHash;
+using storage::RowRange;
 using storage::Schema;
 using storage::Table;
 using storage::TablePtr;
 using storage::Value;
 
 namespace {
-
-struct RowLess {
-  bool operator()(const Row& a, const Row& b) const {
-    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
-      if (a[i] < b[i]) return true;
-      if (b[i] < a[i]) return false;
-    }
-    return a.size() < b.size();
-  }
-};
 
 // Aggregation state for one group.
 struct AggState {
@@ -72,6 +67,100 @@ Result<size_t> ColIndex(const Schema& schema, const std::string& name) {
   return *idx;
 }
 
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  }
+};
+
+size_t DeriveReduceTasks(int requested, uint64_t shuffle_bytes,
+                         uint64_t block_size_bytes) {
+  if (requested > 0) return static_cast<size_t>(requested);
+  if (block_size_bytes == 0) return 1;
+  // One reduce task per block of shuffle input (mirrors the map-side block
+  // split rule), capped so tiny jobs don't pay per-bucket overhead. Derived
+  // from bytes only, so the bucketing is thread-count invariant.
+  return std::min<uint64_t>(shuffle_bytes / block_size_bytes + 1, 64);
+}
+
+// Runs a map-only operator: the input is split into block-sized map tasks,
+// `per_row` streams each task's rows into a task-local output, and the
+// partials are concatenated in task order — byte-identical to a serial
+// row-at-a-time pass over the input.
+Status RunMapTasks(ThreadPool* pool, const Table& in,
+                   uint64_t block_size_bytes,
+                   const std::function<Status(const Row&, std::vector<Row>*)>&
+                       per_row,
+                   Table* out, double* max_task_seconds) {
+  const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
+      in.num_rows(), in.AvgRowBytes(), block_size_bytes);
+  std::vector<std::vector<Row>> partials(splits.size());
+  OPD_RETURN_NOT_OK(ParallelFor(
+      pool, splits.size(),
+      [&](size_t t) -> Status {
+        std::vector<Row>& local = partials[t];
+        local.reserve(splits[t].size());
+        for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
+          OPD_RETURN_NOT_OK(per_row(in.row(r), &local));
+        }
+        return Status::OK();
+      },
+      max_task_seconds));
+  size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  out->Reserve(total);
+  for (auto& p : partials) {
+    for (Row& r : p) OPD_RETURN_NOT_OK(out->AppendRow(std::move(r)));
+  }
+  return Status::OK();
+}
+
+// Computes each row's shuffle bucket (hash of its key columns modulo
+// `num_buckets`) in parallel over block-sized map tasks. Each task writes
+// disjoint indices, so the result is independent of task interleaving.
+Status ComputeBuckets(ThreadPool* pool, const Table& in,
+                      const std::vector<size_t>& key_idx, size_t num_buckets,
+                      uint64_t block_size_bytes,
+                      std::vector<uint32_t>* bucket_of,
+                      double* max_task_seconds) {
+  bucket_of->assign(in.num_rows(), 0);
+  if (num_buckets <= 1) {
+    if (max_task_seconds != nullptr) *max_task_seconds = 0;
+    return Status::OK();
+  }
+  const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
+      in.num_rows(), in.AvgRowBytes(), block_size_bytes);
+  return ParallelFor(
+      pool, splits.size(),
+      [&](size_t t) -> Status {
+        Row key;
+        key.reserve(key_idx.size());
+        for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
+          key.clear();
+          for (size_t i : key_idx) key.push_back(in.row(r)[i]);
+          (*bucket_of)[r] =
+              static_cast<uint32_t>(RowHash()(key) % num_buckets);
+        }
+        return Status::OK();
+      },
+      max_task_seconds);
+}
+
+// Scatters row indices into per-bucket lists, preserving row order.
+std::vector<std::vector<size_t>> BucketLists(
+    const std::vector<uint32_t>& bucket_of, size_t num_buckets) {
+  std::vector<std::vector<size_t>> lists(num_buckets);
+  for (auto& l : lists) l.reserve(bucket_of.size() / num_buckets + 1);
+  for (size_t r = 0; r < bucket_of.size(); ++r) {
+    lists[bucket_of[r]].push_back(r);
+  }
+  return lists;
+}
+
 }  // namespace
 
 Result<ExecResult> Engine::Execute(plan::Plan* plan) {
@@ -79,6 +168,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
   const int run_id = run_counter_++;
   const auto& ctx = optimizer_->context();
   const auto& model = optimizer_->cost_model();
+  const uint64_t block_size = dfs_->block_size_bytes();
 
   ExecMetrics metrics;
   std::map<const OpNode*, TablePtr> results;
@@ -121,6 +211,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
     uint64_t shuffle_bytes = 0;
     bool has_shuffle = false;
     double map_scalar = 1.0, reduce_scalar = 1.0;
+    double job_max_task_s = 0;  // critical-path task time across the job
 
     switch (node->kind) {
       case OpKind::kScan:
@@ -132,12 +223,16 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
           OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), name));
           idx.push_back(i);
         }
-        for (const Row& row : in.rows()) {
-          Row r;
-          r.reserve(idx.size());
-          for (size_t i : idx) r.push_back(row[i]);
-          OPD_RETURN_NOT_OK(out.AppendRow(std::move(r)));
-        }
+        OPD_RETURN_NOT_OK(RunMapTasks(
+            pool_.get(), in, block_size,
+            [&idx](const Row& row, std::vector<Row>* local) -> Status {
+              Row r;
+              r.reserve(idx.size());
+              for (size_t i : idx) r.push_back(row[i]);
+              local->push_back(std::move(r));
+              return Status::OK();
+            },
+            &out, &job_max_task_s));
         break;
       }
       case OpKind::kFilter: {
@@ -145,11 +240,15 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         const plan::FilterCond& cond = node->filter;
         if (cond.kind == plan::FilterCond::Kind::kCompare) {
           OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), cond.column));
-          for (const Row& row : in.rows()) {
-            if (afk::EvalCmp(row[i], cond.op, cond.literal)) {
-              OPD_RETURN_NOT_OK(out.AppendRow(row));
-            }
-          }
+          OPD_RETURN_NOT_OK(RunMapTasks(
+              pool_.get(), in, block_size,
+              [&cond, i](const Row& row, std::vector<Row>* local) -> Status {
+                if (afk::EvalCmp(row[i], cond.op, cond.literal)) {
+                  local->push_back(row);
+                }
+                return Status::OK();
+              },
+              &out, &job_max_task_s));
         } else {
           OPD_ASSIGN_OR_RETURN(const udf::PredicateFn* fn,
                                ctx.udfs->FindPredicate(cond.fn_name));
@@ -160,14 +259,16 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
           }
           udf::Params params;  // opaque predicate params are pre-bound strings
           if (!cond.params.empty()) params["params"] = Value(cond.params);
-          for (const Row& row : in.rows()) {
-            std::vector<Value> args;
-            args.reserve(idx.size());
-            for (size_t i : idx) args.push_back(row[i]);
-            if ((*fn)(args, params)) {
-              OPD_RETURN_NOT_OK(out.AppendRow(row));
-            }
-          }
+          OPD_RETURN_NOT_OK(RunMapTasks(
+              pool_.get(), in, block_size,
+              [&](const Row& row, std::vector<Row>* local) -> Status {
+                std::vector<Value> args;
+                args.reserve(idx.size());
+                for (size_t i : idx) args.push_back(row[i]);
+                if ((*fn)(args, params)) local->push_back(row);
+                return Status::OK();
+              },
+              &out, &job_max_task_s));
         }
         break;
       }
@@ -194,25 +295,86 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
             out_map.emplace_back(false, ri);
           }
         }
-        // Build on the right side.
-        std::map<Row, std::vector<const Row*>, RowLess> build;
-        for (const Row& row : right.rows()) {
-          Row key;
-          for (size_t i : rkeys) key.push_back(row[i]);
-          build[std::move(key)].push_back(&row);
-        }
-        for (const Row& lrow : left.rows()) {
-          Row key;
-          for (size_t i : lkeys) key.push_back(lrow[i]);
-          auto it = build.find(key);
-          if (it == build.end()) continue;
-          for (const Row* rrow : it->second) {
-            Row r;
-            r.reserve(out_map.size());
-            for (const auto& [from_left, idx] : out_map) {
-              r.push_back(from_left ? lrow[idx] : (*rrow)[idx]);
-            }
-            OPD_RETURN_NOT_OK(out.AppendRow(std::move(r)));
+        // Build the hash table on the smaller side (ties keep the
+        // historical build-on-right choice); probe with the larger side.
+        // The output column order follows out_map and is side-invariant.
+        const bool build_right = right.num_rows() <= left.num_rows();
+        const Table& build_in = build_right ? right : left;
+        const Table& probe_in = build_right ? left : right;
+        const std::vector<size_t>& build_keys = build_right ? rkeys : lkeys;
+        const std::vector<size_t>& probe_keys = build_right ? lkeys : rkeys;
+
+        const size_t num_buckets = DeriveReduceTasks(
+            options_.num_reduce_tasks, shuffle_bytes, block_size);
+
+        // Map side of the shuffle: hash-partition both inputs by join key.
+        double part_build_s = 0, part_probe_s = 0;
+        std::vector<uint32_t> build_bucket, probe_bucket;
+        OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), build_in, build_keys,
+                                         num_buckets, block_size,
+                                         &build_bucket, &part_build_s));
+        OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), probe_in, probe_keys,
+                                         num_buckets, block_size,
+                                         &probe_bucket, &part_probe_s));
+        const auto build_lists = BucketLists(build_bucket, num_buckets);
+        const auto probe_lists = BucketLists(probe_bucket, num_buckets);
+
+        // Reduce side: each bucket builds an unordered hash table over its
+        // build rows and probes it with its probe rows in row order. Output
+        // rows carry their probe-row index for the deterministic merge.
+        double reduce_max_s = 0;
+        std::vector<std::vector<std::pair<size_t, Row>>> bucket_out(
+            num_buckets);
+        OPD_RETURN_NOT_OK(ParallelFor(
+            pool_.get(), num_buckets,
+            [&](size_t b) -> Status {
+              std::unordered_map<Row, std::vector<size_t>, RowHash> ht;
+              ht.reserve(build_lists[b].size());
+              for (size_t r : build_lists[b]) {
+                Row key;
+                key.reserve(build_keys.size());
+                for (size_t i : build_keys) key.push_back(build_in.row(r)[i]);
+                ht[std::move(key)].push_back(r);
+              }
+              auto& local = bucket_out[b];
+              local.reserve(probe_lists[b].size());
+              Row key;
+              for (size_t p : probe_lists[b]) {
+                const Row& prow = probe_in.row(p);
+                key.clear();
+                for (size_t i : probe_keys) key.push_back(prow[i]);
+                auto it = ht.find(key);
+                if (it == ht.end()) continue;
+                for (size_t m : it->second) {
+                  const Row& brow = build_in.row(m);
+                  const Row& lrow = build_right ? prow : brow;
+                  const Row& rrow = build_right ? brow : prow;
+                  Row r;
+                  r.reserve(out_map.size());
+                  for (const auto& [from_left, i] : out_map) {
+                    r.push_back(from_left ? lrow[i] : rrow[i]);
+                  }
+                  local.emplace_back(p, std::move(r));
+                }
+              }
+              return Status::OK();
+            },
+            &reduce_max_s));
+        job_max_task_s = part_build_s + part_probe_s + reduce_max_s;
+
+        // Deterministic merge: emit matches in probe-row order (each
+        // bucket's output is already ordered by probe index, so a cursor
+        // per bucket suffices). Identical for every thread/bucket count.
+        size_t total = 0;
+        for (const auto& b : bucket_out) total += b.size();
+        out.Reserve(total);
+        std::vector<size_t> cursor(num_buckets, 0);
+        for (size_t p = 0; p < probe_in.num_rows(); ++p) {
+          auto& local = bucket_out[probe_bucket[p]];
+          size_t& c = cursor[probe_bucket[p]];
+          while (c < local.size() && local[c].first == p) {
+            OPD_RETURN_NOT_OK(out.AppendRow(std::move(local[c].second)));
+            ++c;
           }
         }
         break;
@@ -235,23 +397,73 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
             agg_idx.push_back(i);
           }
         }
-        std::map<Row, std::vector<AggState>, RowLess> groups;
-        for (const Row& row : in.rows()) {
-          Row key;
-          for (size_t i : key_idx) key.push_back(row[i]);
-          auto& states = groups[std::move(key)];
-          if (states.empty()) states.resize(node->group.aggs.size());
-          for (size_t a = 0; a < states.size(); ++a) {
-            states[a].Update(agg_idx[a] ? row[*agg_idx[a]]
-                                        : Value(int64_t{1}));
-          }
+        const size_t num_buckets = DeriveReduceTasks(
+            options_.num_reduce_tasks, shuffle_bytes, block_size);
+
+        // Map side of the shuffle: hash-partition rows by group key.
+        double part_s = 0;
+        std::vector<uint32_t> bucket_of;
+        OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), in, key_idx,
+                                         num_buckets, block_size, &bucket_of,
+                                         &part_s));
+        const auto lists = BucketLists(bucket_of, num_buckets);
+
+        // Reduce side: hash-aggregate each bucket. All rows of a key land
+        // in one bucket and are folded in original row order, so floating
+        // point accumulation matches the serial pass exactly.
+        using GroupEntry = std::pair<Row, std::vector<AggState>>;
+        double reduce_max_s = 0;
+        std::vector<std::vector<GroupEntry>> bucket_groups(num_buckets);
+        OPD_RETURN_NOT_OK(ParallelFor(
+            pool_.get(), num_buckets,
+            [&](size_t b) -> Status {
+              std::unordered_map<Row, size_t, RowHash> index;
+              index.reserve(lists[b].size());
+              std::vector<GroupEntry>& groups = bucket_groups[b];
+              for (size_t r : lists[b]) {
+                const Row& row = in.row(r);
+                Row key;
+                key.reserve(key_idx.size());
+                for (size_t i : key_idx) key.push_back(row[i]);
+                auto [it, inserted] =
+                    index.try_emplace(std::move(key), groups.size());
+                if (inserted) {
+                  groups.emplace_back(it->first, std::vector<AggState>(
+                                                     node->group.aggs.size()));
+                }
+                auto& states = groups[it->second].second;
+                for (size_t a = 0; a < states.size(); ++a) {
+                  states[a].Update(agg_idx[a] ? row[*agg_idx[a]]
+                                              : Value(int64_t{1}));
+                }
+              }
+              return Status::OK();
+            },
+            &reduce_max_s));
+        job_max_task_s = part_s + reduce_max_s;
+
+        // Deterministic merge: groups sorted by key — the order the old
+        // ordered-map implementation emitted, for any thread/bucket count.
+        std::vector<GroupEntry*> ordered;
+        size_t num_groups = 0;
+        for (auto& g : bucket_groups) num_groups += g.size();
+        ordered.reserve(num_groups);
+        for (auto& groups : bucket_groups) {
+          for (GroupEntry& g : groups) ordered.push_back(&g);
         }
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const GroupEntry* a, const GroupEntry* b) {
+                    return RowLess()(a->first, b->first);
+                  });
         const auto& out_cols = node->out_schema.columns();
-        for (const auto& [key, states] : groups) {
-          Row r = key;
-          for (size_t a = 0; a < states.size(); ++a) {
-            r.push_back(FinishAgg(node->group.aggs[a], states[a],
-                                  out_cols[key.size() + a].type));
+        out.Reserve(ordered.size());
+        for (GroupEntry* g : ordered) {
+          Row r = std::move(g->first);
+          const size_t key_size = r.size();
+          r.reserve(key_size + g->second.size());
+          for (size_t a = 0; a < g->second.size(); ++a) {
+            r.push_back(FinishAgg(node->group.aggs[a], g->second[a],
+                                  out_cols[key_size + a].type));
           }
           OPD_RETURN_NOT_OK(out.AppendRow(std::move(r)));
         }
@@ -261,19 +473,26 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* def,
                              ctx.udfs->Find(node->udf.udf_name));
         std::vector<LfStageRun> stage_runs;
+        UdfExecOptions udf_opts;
+        udf_opts.pool = pool_.get();
+        udf_opts.block_size_bytes = block_size;
+        udf_opts.num_reduce_tasks = options_.num_reduce_tasks;
         OPD_RETURN_NOT_OK(RunLocalFunctions(*def, *inputs[0],
                                             node->udf.params, &out,
-                                            &stage_runs));
+                                            &stage_runs, udf_opts));
         has_shuffle = def->HasShuffle();
         map_scalar = def->map_scalar;
         reduce_scalar = def->reduce_scalar;
         // Shuffle bytes: output of the last map stage before the first
-        // reduce (the data that actually crosses the network).
+        // reduce (the data that actually crosses the network). The job's
+        // straggler time is the sum of its stage barriers' slowest tasks.
+        bool saw_reduce = false;
         for (const LfStageRun& run : stage_runs) {
-          if (run.kind == udf::LfKind::kReduce) {
+          if (!saw_reduce && run.kind == udf::LfKind::kReduce) {
             shuffle_bytes = run.in_bytes;
-            break;
+            saw_reduce = true;
           }
+          job_max_task_s += run.max_task_seconds;
         }
         break;
       }
@@ -289,6 +508,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
     metrics.bytes_shuffled += shuffle_bytes;
     metrics.bytes_written += out_bytes;
     metrics.jobs += 1;
+    metrics.max_task_time_s += job_max_task_s;
 
     // Materialize the job output to the DFS (Hive materializes every job).
     const std::string path = "views/run" + std::to_string(run_id) + "/job" +
@@ -308,7 +528,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
       def.bytes = out_bytes;
       def.producer = plan->name();
       if (options_.collect_stats) {
-        def.stats = stats_.Collect(*table);
+        def.stats = stats_.Collect(*table, pool_.get());
         metrics.stats_time_s += stats_.JobTime(*table, model);
       } else {
         def.stats.rows = static_cast<double>(table->num_rows());

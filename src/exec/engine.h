@@ -10,9 +10,11 @@
 #ifndef OPD_EXEC_ENGINE_H_
 #define OPD_EXEC_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "catalog/view_store.h"
 #include "common/status.h"
 #include "exec/metrics.h"
@@ -33,6 +35,14 @@ struct EngineOptions {
   bool collect_stats = true;
   double stats_sample_fraction = 0.05;
   uint64_t stats_seed = 42;
+  /// Worker threads for map/reduce task execution. 0 means one per core;
+  /// 1 runs every task inline on the calling thread (the pre-parallel
+  /// behavior). Results are byte-identical for every setting.
+  int num_threads = 0;
+  /// Reduce tasks (shuffle buckets) per job; 0 derives the count from the
+  /// job's shuffle bytes and the DFS block size. Like the thread count this
+  /// never changes results, only task granularity.
+  int num_reduce_tasks = 0;
 };
 
 /// Result of executing one plan.
@@ -50,7 +60,10 @@ class Engine {
         views_(views),
         optimizer_(optimizer),
         options_(options),
-        stats_(options.stats_sample_fraction, options.stats_seed) {}
+        stats_(options.stats_sample_fraction, options.stats_seed) {
+    const int threads = ThreadPool::DefaultThreads(options_.num_threads);
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  }
 
   /// Prepares (annotates/costs) and executes `plan`. The sink's output table
   /// and the run's metrics are returned; intermediate materializations are
@@ -67,6 +80,9 @@ class Engine {
   const optimizer::Optimizer* optimizer_;
   EngineOptions options_;
   StatsCollector stats_;
+  /// Task pool shared by all jobs of this engine; null when running with a
+  /// single thread (tasks then execute inline on the calling thread).
+  std::unique_ptr<ThreadPool> pool_;
   int run_counter_ = 0;
 };
 

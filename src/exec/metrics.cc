@@ -12,6 +12,7 @@ ExecMetrics& ExecMetrics::operator+=(const ExecMetrics& other) {
   bytes_written += other.bytes_written;
   jobs += other.jobs;
   views_created += other.views_created;
+  max_task_time_s += other.max_task_time_s;
   return *this;
 }
 

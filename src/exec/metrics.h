@@ -23,6 +23,11 @@ struct ExecMetrics {
   uint64_t bytes_written = 0;
   int jobs = 0;
   int views_created = 0;
+  /// Sum over jobs of the wall-clock time of each job's slowest task (the
+  /// simulated straggler). Unlike the byte counters this is real measured
+  /// time, so it varies run to run; it feeds the cost model's future
+  /// straggler accounting and is excluded from determinism comparisons.
+  double max_task_time_s = 0;
 
   /// Total "data manipulated" (read + shuffled + written), Figure 8(b).
   uint64_t BytesManipulated() const {

@@ -7,35 +7,41 @@
 
 namespace opd::exec {
 
-catalog::TableStats StatsCollector::Collect(const storage::Table& table) const {
+catalog::TableStats StatsCollector::Collect(const storage::Table& table,
+                                            ThreadPool* pool) const {
   catalog::TableStats stats;
   // Exact from job counters.
   stats.rows = static_cast<double>(table.num_rows());
   stats.avg_row_bytes = table.AvgRowBytes();
   if (table.num_rows() == 0) return stats;
 
+  // Draw the sample serially from the seeded RNG: the sampled set is a
+  // function of (seed, table) only, never of threading.
   Rng rng(seed_ ^ table.num_rows());
+  std::vector<const storage::Row*> sample;
+  sample.reserve(static_cast<size_t>(
+      fraction_ * static_cast<double>(table.num_rows()) + 1));
+  for (const auto& row : table.rows()) {
+    if (rng.Bernoulli(fraction_)) sample.push_back(&row);
+  }
+  if (sample.empty()) {
+    // Degenerate sample: fall back to scanning the first row only.
+    sample.push_back(&table.row(0));
+  }
+  const size_t sampled = sample.size();
+
+  // Per-column sketches are independent — one task per column.
   const auto& schema = table.schema();
   std::vector<std::set<uint64_t>> hashes(schema.num_columns());
   std::vector<double> widths(schema.num_columns(), 0);
-  size_t sampled = 0;
-  for (const auto& row : table.rows()) {
-    if (!rng.Bernoulli(fraction_)) continue;
-    ++sampled;
-    for (size_t c = 0; c < schema.num_columns(); ++c) {
-      hashes[c].insert(row[c].Hash());
-      widths[c] += static_cast<double>(row[c].ByteSize());
+  Status st = ParallelFor(pool, schema.num_columns(), [&](size_t c) {
+    for (const storage::Row* row : sample) {
+      hashes[c].insert((*row)[c].Hash());
+      widths[c] += static_cast<double>((*row)[c].ByteSize());
     }
-  }
-  if (sampled == 0) {
-    // Degenerate sample: fall back to scanning the first row only.
-    sampled = 1;
-    const auto& row = table.row(0);
-    for (size_t c = 0; c < schema.num_columns(); ++c) {
-      hashes[c].insert(row[c].Hash());
-      widths[c] += static_cast<double>(row[c].ByteSize());
-    }
-  }
+    return Status::OK();
+  });
+  (void)st;  // the column tasks cannot fail
   const double n = stats.rows;
   const double sn = static_cast<double>(sampled);
   for (size_t c = 0; c < schema.num_columns(); ++c) {

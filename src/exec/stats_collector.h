@@ -6,6 +6,7 @@
 #define OPD_EXEC_STATS_COLLECTOR_H_
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "optimizer/cost_model.h"
 #include "storage/table.h"
 
@@ -20,8 +21,11 @@ class StatsCollector {
 
   /// Estimates stats from a deterministic sample. Row count and byte size
   /// come from job counters (exact); per-column distincts and widths are
-  /// estimated from the sample.
-  catalog::TableStats Collect(const storage::Table& table) const;
+  /// estimated from the sample. The sample itself is drawn serially from
+  /// the seeded RNG (so it never depends on threading); per-column
+  /// sketches are then computed as parallel tasks on `pool` when given.
+  catalog::TableStats Collect(const storage::Table& table,
+                              ThreadPool* pool = nullptr) const;
 
   /// Modeled time of the sampling Map job under `model`.
   double JobTime(const storage::Table& table,

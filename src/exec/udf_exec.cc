@@ -1,11 +1,15 @@
 #include "exec/udf_exec.h"
 
+#include <algorithm>
 #include <chrono>
-#include <map>
+#include <unordered_map>
+#include <utility>
 
 namespace opd::exec {
 
 using storage::Row;
+using storage::RowHash;
+using storage::RowRange;
 using storage::Schema;
 using storage::Table;
 
@@ -22,12 +26,169 @@ struct RowLess {
   }
 };
 
+size_t DeriveReduceTasks(int requested, uint64_t in_bytes,
+                         uint64_t block_size_bytes) {
+  if (requested > 0) return static_cast<size_t>(requested);
+  if (block_size_bytes == 0) return 1;
+  // One reduce task per block of shuffle input, like the map-side split
+  // rule; capped so tiny jobs don't pay per-bucket overhead.
+  return std::min<uint64_t>(in_bytes / block_size_bytes + 1, 64);
+}
+
+// One key group gathered during the shuffle, and what the reduce call over
+// it emitted. Keeping outputs attached to their key lets the merge step
+// re-establish the global key order independent of bucket/thread counts.
+struct ReduceGroup {
+  Row key;
+  std::vector<Row> rows;      // shuffle input, in original row order
+  std::vector<Row> emitted;   // reduce_fn output for this group
+};
+
+// Runs one map local function over `rows`, split into block-sized tasks;
+// partial outputs are concatenated in task order (identical to a serial
+// pass since map functions are applied row-at-a-time in order).
+Status RunMapStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
+                   const std::vector<Row>& rows, double avg_row_bytes,
+                   const UdfExecOptions& opts, std::vector<Row>* out,
+                   double* max_task_seconds) {
+  const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
+      rows.size(), avg_row_bytes, opts.block_size_bytes);
+  std::vector<std::vector<Row>> partials(splits.size());
+  OPD_RETURN_NOT_OK(ParallelFor(
+      opts.pool, splits.size(),
+      [&](size_t t) -> Status {
+        std::vector<Row>& local = partials[t];
+        local.reserve(splits[t].size());
+        for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
+          lf.map_fn(rows[r], ctx, &local);
+        }
+        return Status::OK();
+      },
+      max_task_seconds));
+  size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  out->reserve(out->size() + total);
+  for (auto& p : partials) {
+    for (Row& r : p) out->push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+// Runs one reduce local function: hash-partition rows by key into reduce
+// buckets, group and reduce each bucket as one task, then merge the groups'
+// outputs in global key order — the same order the previous ordered-map
+// implementation produced, regardless of bucket or thread counts.
+Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
+                      const Schema& in_schema, std::vector<Row>* rows,
+                      uint64_t in_bytes, const UdfExecOptions& opts,
+                      std::vector<Row>* out, double* max_task_seconds) {
+  std::vector<size_t> key_idx;
+  for (const std::string& key : lf.group_keys) {
+    auto idx = in_schema.IndexOf(key);
+    if (!idx) {
+      return Status::InvalidArgument("reduce key not in schema: " + key);
+    }
+    key_idx.push_back(*idx);
+  }
+
+  const size_t n = rows->size();
+  const size_t num_buckets =
+      DeriveReduceTasks(opts.num_reduce_tasks, in_bytes, opts.block_size_bytes);
+  auto key_of = [&key_idx](const Row& row) {
+    Row key;
+    key.reserve(key_idx.size());
+    for (size_t i : key_idx) key.push_back(row[i]);
+    return key;
+  };
+
+  // Map side of the shuffle: compute each row's bucket in parallel.
+  double partition_max_s = 0;
+  std::vector<uint32_t> bucket_of(n, 0);
+  if (num_buckets > 1) {
+    const double avg_row_bytes =
+        n == 0 ? 0.0 : static_cast<double>(in_bytes) / static_cast<double>(n);
+    const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
+        n, avg_row_bytes, opts.block_size_bytes);
+    OPD_RETURN_NOT_OK(ParallelFor(
+        opts.pool, splits.size(),
+        [&](size_t t) -> Status {
+          for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
+            bucket_of[r] = static_cast<uint32_t>(RowHash()(key_of((*rows)[r])) %
+                                                 num_buckets);
+          }
+          return Status::OK();
+        },
+        &partition_max_s));
+  }
+
+  // Scatter row indices to buckets, preserving original row order per key.
+  std::vector<std::vector<size_t>> bucket_rows(num_buckets);
+  for (auto& b : bucket_rows) b.reserve(n / num_buckets + 1);
+  for (size_t r = 0; r < n; ++r) bucket_rows[bucket_of[r]].push_back(r);
+
+  // Reduce side: each bucket groups its rows and applies the reduce fn.
+  double reduce_max_s = 0;
+  std::vector<std::vector<ReduceGroup>> bucket_groups(num_buckets);
+  OPD_RETURN_NOT_OK(ParallelFor(
+      opts.pool, num_buckets,
+      [&](size_t b) -> Status {
+        std::unordered_map<Row, size_t, RowHash> group_index;
+        std::vector<ReduceGroup>& groups = bucket_groups[b];
+        for (size_t r : bucket_rows[b]) {
+          Row key = key_of((*rows)[r]);
+          auto [it, inserted] =
+              group_index.try_emplace(std::move(key), groups.size());
+          if (inserted) {
+            groups.emplace_back();
+            groups.back().key = it->first;
+          }
+          groups[it->second].rows.push_back(std::move((*rows)[r]));
+        }
+        std::sort(groups.begin(), groups.end(),
+                  [](const ReduceGroup& a, const ReduceGroup& g) {
+                    return RowLess()(a.key, g.key);
+                  });
+        for (ReduceGroup& g : groups) {
+          lf.reduce_fn(g.rows, ctx, &g.emitted);
+          g.rows.clear();
+        }
+        return Status::OK();
+      },
+      &reduce_max_s));
+  if (max_task_seconds != nullptr) {
+    *max_task_seconds = partition_max_s + reduce_max_s;
+  }
+
+  // Deterministic merge: emit every group's output in global key order
+  // (buckets are already key-sorted; merge them by key).
+  std::vector<ReduceGroup*> ordered;
+  size_t num_groups = 0, total_rows = 0;
+  for (auto& groups : bucket_groups) num_groups += groups.size();
+  ordered.reserve(num_groups);
+  for (auto& groups : bucket_groups) {
+    for (ReduceGroup& g : groups) {
+      ordered.push_back(&g);
+      total_rows += g.emitted.size();
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ReduceGroup* a, const ReduceGroup* b) {
+              return RowLess()(a->key, b->key);
+            });
+  out->reserve(out->size() + total_rows);
+  for (ReduceGroup* g : ordered) {
+    for (Row& r : g->emitted) out->push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RunLocalFunctions(const udf::UdfDefinition& udf,
                          const storage::Table& input,
                          const udf::Params& params, storage::Table* output,
-                         std::vector<LfStageRun>* stages) {
+                         std::vector<LfStageRun>* stages,
+                         const UdfExecOptions& exec_options) {
   if (udf.local_functions.empty()) {
     return Status::InvalidArgument("UDF has no local functions: " + udf.name);
   }
@@ -53,31 +214,21 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
       if (!lf.map_fn) {
         return Status::Internal("map local function missing body: " + lf.name);
       }
-      for (const Row& row : cur_rows) lf.map_fn(row, ctx, &next_rows);
+      const double avg_row_bytes =
+          cur_rows.empty() ? 0.0
+                           : static_cast<double>(run.in_bytes) /
+                                 static_cast<double>(cur_rows.size());
+      OPD_RETURN_NOT_OK(RunMapStage(lf, ctx, cur_rows, avg_row_bytes,
+                                    exec_options, &next_rows,
+                                    &run.max_task_seconds));
     } else {
       if (!lf.reduce_fn) {
         return Status::Internal("reduce local function missing body: " +
                                 lf.name);
       }
-      // Shuffle: group by the key columns, deterministically ordered.
-      std::vector<size_t> key_idx;
-      for (const std::string& key : lf.group_keys) {
-        auto idx = cur_schema.IndexOf(key);
-        if (!idx) {
-          return Status::InvalidArgument("reduce key not in schema: " + key);
-        }
-        key_idx.push_back(*idx);
-      }
-      std::map<Row, std::vector<Row>, RowLess> groups;
-      for (Row& row : cur_rows) {
-        Row key;
-        key.reserve(key_idx.size());
-        for (size_t i : key_idx) key.push_back(row[i]);
-        groups[std::move(key)].push_back(std::move(row));
-      }
-      for (const auto& [_, group] : groups) {
-        lf.reduce_fn(group, ctx, &next_rows);
-      }
+      OPD_RETURN_NOT_OK(RunReduceStage(lf, ctx, cur_schema, &cur_rows,
+                                       run.in_bytes, exec_options, &next_rows,
+                                       &run.max_task_seconds));
     }
     auto end = std::chrono::steady_clock::now();
     run.wall_seconds = std::chrono::duration<double>(end - start).count();
@@ -100,6 +251,7 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
   }
 
   Table result("", cur_schema);
+  result.Reserve(cur_rows.size());
   for (Row& row : cur_rows) {
     OPD_RETURN_NOT_OK(result.AppendRow(std::move(row)));
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "storage/table.h"
 #include "udf/udf.h"
 
@@ -22,6 +23,17 @@ struct LfStageRun {
   uint64_t in_rows = 0;
   uint64_t out_rows = 0;
   double wall_seconds = 0;  // real CPU wall time of the user code
+  double max_task_seconds = 0;  // slowest task of this stage's wave
+};
+
+/// How a local-function pipeline is parallelized. The defaults (null pool)
+/// run serially; the engine passes its pool and the DFS block size. Task
+/// granularity never changes results — stage outputs are merged in a
+/// deterministic order.
+struct UdfExecOptions {
+  ThreadPool* pool = nullptr;     // null => run tasks inline
+  uint64_t block_size_bytes = 64 * 1024;  // map split size (Dfs default)
+  int num_reduce_tasks = 0;       // 0 => derived from stage input size
 };
 
 /// \brief Runs all local functions of `udf` over `input`.
@@ -31,7 +43,8 @@ struct LfStageRun {
 Status RunLocalFunctions(const udf::UdfDefinition& udf,
                          const storage::Table& input,
                          const udf::Params& params, storage::Table* output,
-                         std::vector<LfStageRun>* stages = nullptr);
+                         std::vector<LfStageRun>* stages = nullptr,
+                         const UdfExecOptions& exec_options = {});
 
 }  // namespace opd::exec
 

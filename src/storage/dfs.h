@@ -29,6 +29,12 @@ struct DfsMetrics {
 /// \brief A path -> table store with byte accounting and a capacity budget.
 class Dfs {
  public:
+  /// Default DFS block size. Real HDFS uses 64 MB; the synthetic tables are
+  /// laptop-sized stand-ins for the paper's TB-scale logs, so the simulated
+  /// block is scaled down to keep the block-per-map-task split rule
+  /// producing a realistic number of map tasks per job.
+  static constexpr uint64_t kDefaultBlockSizeBytes = 64 * 1024;
+
   /// `capacity_bytes` of 0 means unlimited.
   explicit Dfs(uint64_t capacity_bytes = 0) : capacity_(capacity_bytes) {}
 
@@ -55,11 +61,19 @@ class Dfs {
 
   uint64_t used_bytes() const { return used_; }
   uint64_t capacity_bytes() const { return capacity_; }
+
+  /// The block size that determines map-task input splits (Hadoop: one map
+  /// task per block of the input file).
+  uint64_t block_size_bytes() const { return block_size_; }
+  void set_block_size_bytes(uint64_t bytes) {
+    block_size_ = bytes == 0 ? kDefaultBlockSizeBytes : bytes;
+  }
   const DfsMetrics& metrics() const { return metrics_; }
   void ResetMetrics() { metrics_ = DfsMetrics{}; }
 
  private:
   uint64_t capacity_;
+  uint64_t block_size_ = kDefaultBlockSizeBytes;
   uint64_t used_ = 0;
   std::map<std::string, TablePtr> files_;
   DfsMetrics metrics_;

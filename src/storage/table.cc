@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 namespace opd::storage {
 
 Status Table::AppendRow(Row row) {
@@ -35,6 +37,30 @@ Result<Value> Table::Get(size_t row_idx, const std::string& column) const {
   auto idx = schema_.IndexOf(column);
   if (!idx) return Status::NotFound("no such column: " + column);
   return rows_[row_idx][*idx];
+}
+
+std::vector<RowRange> SplitRowsByBlockSize(size_t num_rows,
+                                           double avg_row_bytes,
+                                           uint64_t block_size_bytes) {
+  size_t rows_per_split = num_rows;
+  if (avg_row_bytes > 0 && block_size_bytes > 0) {
+    const double per_block =
+        static_cast<double>(block_size_bytes) / avg_row_bytes;
+    rows_per_split = per_block < 1.0 ? 1 : static_cast<size_t>(per_block);
+  }
+  if (rows_per_split == 0) rows_per_split = 1;
+
+  std::vector<RowRange> splits;
+  if (num_rows == 0) {
+    splits.push_back(RowRange{0, 0});
+    return splits;
+  }
+  splits.reserve(num_rows / rows_per_split + 1);
+  for (size_t begin = 0; begin < num_rows; begin += rows_per_split) {
+    splits.push_back(RowRange{begin, std::min(begin + rows_per_split,
+                                              num_rows)});
+  }
+  return splits;
 }
 
 }  // namespace opd::storage

@@ -35,6 +35,9 @@ class Table {
   /// Appends a row; fails if the arity does not match the schema.
   Status AppendRow(Row row);
 
+  /// Pre-allocates capacity for `n` rows (builders on hot paths).
+  void Reserve(size_t n) { rows_.reserve(n); }
+
   /// Total approximate serialized size of all rows, in bytes.
   size_t ByteSize() const;
 
@@ -53,6 +56,22 @@ class Table {
 };
 
 using TablePtr = std::shared_ptr<const Table>;
+
+/// A contiguous [begin, end) slice of row indices — one map-task input split.
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits `num_rows` rows of average width `avg_row_bytes` into contiguous
+/// ranges of roughly `block_size_bytes` each — the Hadoop rule that one map
+/// task processes one DFS block. Always returns at least one range covering
+/// all rows (an empty input yields a single empty range so map-only jobs
+/// still run their setup/teardown once).
+std::vector<RowRange> SplitRowsByBlockSize(size_t num_rows,
+                                           double avg_row_bytes,
+                                           uint64_t block_size_bytes);
 
 }  // namespace opd::storage
 

@@ -8,6 +8,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace opd::storage {
 
 /// Column data types supported by the engine.
@@ -71,6 +73,17 @@ using Row = std::vector<Value>;
 
 /// Approximate serialized width of a row.
 size_t RowByteSize(const Row& row);
+
+/// Hash functor over rows, consistent with `Row`'s operator== (which uses
+/// `Value::operator==`, where 1 == 1.0 and null == null). This is the hash
+/// used for shuffle partitioning and the hash-based join/agg operators.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : row) HashCombine(&h, v.Hash());
+    return static_cast<size_t>(h);
+  }
+};
 
 }  // namespace opd::storage
 

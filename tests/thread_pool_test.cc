@@ -1,0 +1,127 @@
+// Unit tests for the common ThreadPool and its ParallelFor helper: task
+// completion, serial-path ordering, and exception/Status propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace opd {
+namespace {
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  ThreadPool pool_neg(-3);
+  EXPECT_GE(pool_neg.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsResolvesAuto) {
+  EXPECT_GE(ThreadPool::DefaultThreads(0), 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(5), 5);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // join on destruction after the queue drains
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelForTest, SerialPathRunsIndicesInOrder) {
+  // Null pool => inline execution on the calling thread, in index order.
+  std::vector<size_t> order;
+  Status st = ParallelFor(nullptr, 10, [&order](size_t i) {
+    order.push_back(i);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  std::vector<size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelForTest, ParallelRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  Status st = ParallelFor(&pool, hits.size(), [&hits](size_t i) {
+    ++hits[i];
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ReturnsLowestIndexFailureDeterministically) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    Status st = ParallelFor(&pool, 16, [](size_t i) {
+      if (i % 2 == 1) {
+        return Status::InvalidArgument("bad index " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(st.ok());
+    // Index 1 is the lowest failure regardless of completion order.
+    EXPECT_EQ(st.message(), "bad index 1");
+  }
+}
+
+TEST(ParallelForTest, ConvertsThrownExceptionToInternalStatus) {
+  ThreadPool pool(2);
+  Status st = ParallelFor(&pool, 8, [](size_t i) -> Status {
+    if (i == 3) throw std::runtime_error("kaboom");
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("kaboom"), std::string::npos);
+}
+
+TEST(ParallelForTest, AllIndicesRunEvenWhenOneFails) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  Status st = ParallelFor(&pool, 32, [&count](size_t i) -> Status {
+    ++count;
+    return i == 0 ? Status::Internal("first fails") : Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(count.load(), 32);  // failure does not cancel later tasks
+}
+
+TEST(ParallelForTest, ReportsMaxTaskSeconds) {
+  ThreadPool pool(2);
+  double max_task_s = -1;
+  Status st = ParallelFor(
+      &pool, 4, [](size_t) { return Status::OK(); }, &max_task_s);
+  ASSERT_TRUE(st.ok());
+  EXPECT_GE(max_task_s, 0.0);
+}
+
+}  // namespace
+}  // namespace opd
