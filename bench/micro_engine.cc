@@ -131,7 +131,8 @@ struct JsonRun {
   double rows_per_sec = 0;
 };
 
-JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations) {
+JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
+                          bool vectorized) {
   workload::TestBedConfig config;
   config.data.n_tweets = n_tweets;
   config.data.n_checkins = n_tweets / 2;
@@ -140,6 +141,7 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations) {
   config.engine.retain_views = false;
   config.engine.collect_stats = false;
   config.engine.num_threads = num_threads;
+  config.engine.vectorized = vectorized;
   auto bed_result = workload::TestBed::Create(config);
   if (!bed_result.ok()) std::abort();
   auto bed = std::move(bed_result).value();
@@ -180,22 +182,34 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations) {
   return run;
 }
 
+// Prints one JSON record per mode (row-at-a-time vs. vectorized batch
+// kernels), each sweeping thread counts {1, 2, 4, 8}. scripts/bench.sh
+// timestamps and appends every line to BENCH_engine.json, so the perf
+// trajectory across PRs accumulates instead of being overwritten.
 int RunJsonMode() {
   constexpr size_t kTweets = 12000;
   constexpr int kIters = 3;
-  constexpr int kParThreads = 8;
-  JsonRun serial = RunEngineWorkload(1, kTweets, kIters);
-  JsonRun parallel = RunEngineWorkload(kParThreads, kTweets, kIters);
-  const double speedup =
-      parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0;
-  std::printf(
-      "{\"bench\":\"micro_engine\",\"n_tweets\":%zu,\"iterations\":%d,"
-      "\"threads\":[1,%d],\"wall_ms_1\":%.2f,\"wall_ms_%d\":%.2f,"
-      "\"rows_per_sec_1\":%.0f,\"rows_per_sec_%d\":%.0f,"
-      "\"speedup\":%.2f}\n",
-      kTweets, kIters, kParThreads, serial.wall_ms, kParThreads,
-      parallel.wall_ms, serial.rows_per_sec, kParThreads,
-      parallel.rows_per_sec, speedup);
+  constexpr int kThreads[] = {1, 2, 4, 8};
+  constexpr size_t kNumThreads = sizeof(kThreads) / sizeof(kThreads[0]);
+  for (bool vectorized : {false, true}) {
+    JsonRun runs[kNumThreads];
+    for (size_t i = 0; i < kNumThreads; ++i) {
+      runs[i] = RunEngineWorkload(kThreads[i], kTweets, kIters, vectorized);
+    }
+    const double speedup = runs[kNumThreads - 1].wall_ms > 0
+                               ? runs[0].wall_ms / runs[kNumThreads - 1].wall_ms
+                               : 0;
+    std::printf(
+        "{\"bench\":\"micro_engine\",\"mode\":\"%s\",\"n_tweets\":%zu,"
+        "\"iterations\":%d,\"threads\":[%d,%d,%d,%d],"
+        "\"wall_ms\":[%.2f,%.2f,%.2f,%.2f],"
+        "\"rows_per_sec\":[%.0f,%.0f,%.0f,%.0f],\"speedup_8v1\":%.2f}\n",
+        vectorized ? "batch" : "row", kTweets, kIters, kThreads[0],
+        kThreads[1], kThreads[2], kThreads[3], runs[0].wall_ms,
+        runs[1].wall_ms, runs[2].wall_ms, runs[3].wall_ms,
+        runs[0].rows_per_sec, runs[1].rows_per_sec, runs[2].rows_per_sec,
+        runs[3].rows_per_sec, speedup);
+  }
   return 0;
 }
 

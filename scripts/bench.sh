@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Runs the engine microbenchmark after the tier-1 build and appends its
-# one-line JSON result to BENCH_engine.json (the perf trajectory of the
-# execution engine across PRs).
+# Runs the engine microbenchmark after the tier-1 build and APPENDS its
+# timestamped JSON records to BENCH_engine.json (the perf trajectory of the
+# execution engine across PRs — never overwritten). micro_engine --json
+# emits one record per execution mode (row vs. batch), each sweeping
+# threads {1, 2, 4, 8}.
 #
 # Usage: scripts/bench.sh [--no-build]
 
@@ -13,6 +15,9 @@ if [[ "${1:-}" != "--no-build" ]]; then
   cmake --build build -j >/dev/null
 fi
 
-line="$(./build/bench/micro_engine --json)"
-echo "${line}"
-echo "${line}" >> BENCH_engine.json
+ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+./build/bench/micro_engine --json | while IFS= read -r line; do
+  stamped="{\"ts\":\"${ts}\",${line#\{}"
+  echo "${stamped}"
+  echo "${stamped}" >> BENCH_engine.json
+done

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the whole tree with AddressSanitizer + UBSan
+# (cmake -DOPD_SANITIZE=ON, see the top-level CMakeLists.txt) into
+# build-asan/ and runs the full ctest suite under it. Catches lifetime and
+# aliasing bugs in the columnar arena/dictionary code that the plain tier-1
+# build cannot see.
+#
+# Usage: scripts/check.sh [ctest-args...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DOPD_SANITIZE=ON >/dev/null
+cmake --build build-asan -j
+cd build-asan
+ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure "$@"

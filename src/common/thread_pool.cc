@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
 
@@ -88,11 +89,29 @@ Status ParallelFor(ThreadPool* pool, size_t n,
   if (serial) {
     for (size_t i = 0; i < n; ++i) run_index(i);
   } else {
+    // Dispatch at most one drain task per worker instead of one pool task
+    // per index: drains pull indices from a shared counter, and the calling
+    // thread drains too, so small waves never pay a context switch to make
+    // progress. Which thread runs an index is immaterial — each index
+    // writes only its own slots.
+    std::atomic<size_t> next{0};
+    auto drain = [&] {
+      for (size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+        run_index(i);
+      }
+    };
+    // More concurrent drains than physical cores only adds context
+    // switches, so cap by hardware concurrency regardless of pool size.
+    const size_t cores =
+        static_cast<size_t>(ThreadPool::DefaultThreads(0));
+    const size_t helpers =
+        std::min({n, static_cast<size_t>(pool->num_threads()), cores}) - 1;
     std::vector<std::future<void>> futures;
-    futures.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      futures.push_back(pool->Submit([&run_index, i] { run_index(i); }));
+    futures.reserve(helpers);
+    for (size_t w = 0; w < helpers; ++w) {
+      futures.push_back(pool->Submit(drain));
     }
+    drain();  // the calling thread participates
     for (auto& f : futures) f.get();  // run_index never throws
   }
 

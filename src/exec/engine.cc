@@ -1,12 +1,15 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "exec/udf_exec.h"
 #include "plan/fingerprint.h"
+#include "storage/row_batch.h"
 #include "storage/value.h"
 
 namespace opd::exec {
@@ -14,7 +17,11 @@ namespace opd::exec {
 using plan::OpKind;
 using plan::OpNode;
 using plan::OpNodePtr;
+using storage::ColumnVector;
+using storage::DataType;
+using storage::DictRemap;
 using storage::Row;
+using storage::RowBatch;
 using storage::RowHash;
 using storage::RowRange;
 using storage::Schema;
@@ -87,6 +94,11 @@ size_t DeriveReduceTasks(int requested, uint64_t shuffle_bytes,
   return std::min<uint64_t>(shuffle_bytes / block_size_bytes + 1, 64);
 }
 
+// ---------------------------------------------------------------------------
+// Row-at-a-time helpers (the pre-columnar engine; kept as the fallback for
+// opaque per-row code and selectable via EngineOptions::vectorized=false).
+// ---------------------------------------------------------------------------
+
 // Runs a map-only operator: the input is split into block-sized map tasks,
 // `per_row` streams each task's rows into a task-local output, and the
 // partials are concatenated in task order — byte-identical to a serial
@@ -96,8 +108,10 @@ Status RunMapTasks(ThreadPool* pool, const Table& in,
                    const std::function<Status(const Row&, std::vector<Row>*)>&
                        per_row,
                    Table* out, double* max_task_seconds) {
+  // Force row materialization once, outside the parallel region.
+  const std::vector<Row>& rows = in.rows();
   const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
-      in.num_rows(), in.AvgRowBytes(), block_size_bytes);
+      rows.size(), in.AvgRowBytes(), block_size_bytes);
   std::vector<std::vector<Row>> partials(splits.size());
   OPD_RETURN_NOT_OK(ParallelFor(
       pool, splits.size(),
@@ -105,7 +119,7 @@ Status RunMapTasks(ThreadPool* pool, const Table& in,
         std::vector<Row>& local = partials[t];
         local.reserve(splits[t].size());
         for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
-          OPD_RETURN_NOT_OK(per_row(in.row(r), &local));
+          OPD_RETURN_NOT_OK(per_row(rows[r], &local));
         }
         return Status::OK();
       },
@@ -132,8 +146,9 @@ Status ComputeBuckets(ThreadPool* pool, const Table& in,
     if (max_task_seconds != nullptr) *max_task_seconds = 0;
     return Status::OK();
   }
+  const std::vector<Row>& rows = in.rows();
   const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
-      in.num_rows(), in.AvgRowBytes(), block_size_bytes);
+      rows.size(), in.AvgRowBytes(), block_size_bytes);
   return ParallelFor(
       pool, splits.size(),
       [&](size_t t) -> Status {
@@ -141,7 +156,7 @@ Status ComputeBuckets(ThreadPool* pool, const Table& in,
         key.reserve(key_idx.size());
         for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
           key.clear();
-          for (size_t i : key_idx) key.push_back(in.row(r)[i]);
+          for (size_t i : key_idx) key.push_back(rows[r][i]);
           (*bucket_of)[r] =
               static_cast<uint32_t>(RowHash()(key) % num_buckets);
         }
@@ -161,6 +176,255 @@ std::vector<std::vector<size_t>> BucketLists(
   return lists;
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized (batch-at-a-time) helpers.
+// ---------------------------------------------------------------------------
+
+// A table's columnar payload plus flat-row-index bookkeeping.
+struct BatchList {
+  std::shared_ptr<const std::vector<RowBatch>> batches;
+  std::vector<size_t> offsets;  // global row index of each batch's first row
+  size_t num_rows = 0;
+
+  explicit BatchList(const Table& t) {
+    batches = t.ToBatches();
+    offsets.reserve(batches->size());
+    for (const RowBatch& b : *batches) {
+      offsets.push_back(num_rows);
+      num_rows += b.num_rows();
+    }
+  }
+  size_t size() const { return batches->size(); }
+  const RowBatch& batch(size_t b) const { return (*batches)[b]; }
+};
+
+// Flattened location of one row inside a BatchList.
+struct RowRef {
+  uint32_t batch = 0;
+  uint32_t idx = 0;
+};
+
+// Appends the canonical key encoding of cell `i` of `col`: equal encodings
+// exactly when the cells compare equal under Value::operator== (numerics
+// compare through their double value; 1 == 1.0 == true).
+void PackCell(const ColumnVector& col, size_t i, std::string* out) {
+  if (col.IsNull(i)) {
+    out->push_back('\0');  // null tag
+    return;
+  }
+  double d;
+  if (col.is_native()) {
+    switch (col.declared_type()) {
+      case DataType::kBool:
+        d = col.bools()[i] != 0 ? 1.0 : 0.0;
+        break;
+      case DataType::kInt64:
+        d = static_cast<double>(col.ints()[i]);
+        break;
+      case DataType::kDouble:
+        d = col.doubles()[i];
+        break;
+      case DataType::kString: {
+        const std::string& s = col.string_at(i);
+        const uint32_t len = static_cast<uint32_t>(s.size());
+        out->push_back('\2');  // string tag
+        out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out->append(s);
+        return;
+      }
+      default:
+        out->push_back('\0');
+        return;
+    }
+  } else {
+    const Value v = col.GetValue(i);
+    if (v.type() == DataType::kString) {
+      const std::string& s = v.as_string();
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      out->push_back('\2');
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      return;
+    }
+    d = v.ToDouble();
+  }
+  if (d == 0.0) d = 0.0;  // normalize -0.0, mirroring Value::Hash
+  out->push_back('\1');  // numeric tag
+  char bits[sizeof(double)];
+  std::memcpy(bits, &d, sizeof(d));
+  out->append(bits, sizeof(d));
+}
+
+void PackKeys(const RowBatch& batch, size_t row,
+              const std::vector<size_t>& cols, std::string* out) {
+  for (size_t c : cols) PackCell(batch.column(c), row, out);
+}
+
+// Computes each row's shuffle bucket from the columnar key data, one batch
+// per task. The hash is RowHash over the key cells (dictionary strings hash
+// once per distinct entry), so bucketing matches the row path exactly.
+Status ComputeBucketsBatch(ThreadPool* pool, const BatchList& in,
+                           const std::vector<size_t>& key_idx,
+                           size_t num_buckets,
+                           std::vector<uint32_t>* bucket_of,
+                           double* max_task_seconds) {
+  bucket_of->assign(in.num_rows, 0);
+  if (num_buckets <= 1) {
+    if (max_task_seconds != nullptr) *max_task_seconds = 0;
+    return Status::OK();
+  }
+  return ParallelFor(
+      pool, in.size(),
+      [&](size_t t) -> Status {
+        const RowBatch& b = in.batch(t);
+        uint32_t* out = bucket_of->data() + in.offsets[t];
+        for (size_t i = 0; i < b.num_rows(); ++i) {
+          out[i] =
+              static_cast<uint32_t>(b.HashKeysAt(i, key_idx) % num_buckets);
+        }
+        return Status::OK();
+      },
+      max_task_seconds);
+}
+
+// Scatters row refs into per-bucket lists in global row order.
+std::vector<std::vector<RowRef>> BucketRefLists(
+    const BatchList& in, const std::vector<uint32_t>& bucket_of,
+    size_t num_buckets) {
+  std::vector<std::vector<RowRef>> lists(num_buckets);
+  for (auto& l : lists) l.reserve(in.num_rows / num_buckets + 1);
+  size_t r = 0;
+  for (size_t b = 0; b < in.size(); ++b) {
+    const size_t n = in.batch(b).num_rows();
+    for (size_t i = 0; i < n; ++i, ++r) {
+      lists[bucket_of[r]].push_back(
+          RowRef{static_cast<uint32_t>(b), static_cast<uint32_t>(i)});
+    }
+  }
+  return lists;
+}
+
+// Gathers one output column from per-row source refs, memoizing dictionary
+// remaps per source batch.
+class ColumnGatherer {
+ public:
+  ColumnGatherer(DataType type, const BatchList& side, size_t col,
+                 size_t reserve)
+      : dst_(std::make_shared<ColumnVector>(type)),
+        side_(&side),
+        col_(col),
+        remaps_(side.size()) {
+    dst_->Reserve(reserve);
+  }
+
+  void Append(RowRef ref) {
+    dst_->AppendFrom(side_->batch(ref.batch).column(col_), ref.idx,
+                     &remaps_[ref.batch]);
+  }
+
+  storage::ColumnVectorPtr Finish() { return std::move(dst_); }
+
+ private:
+  storage::ColumnVectorPtr dst_;
+  const BatchList* side_;
+  size_t col_;
+  std::vector<DictRemap> remaps_;
+};
+
+// Comparison kernels over one column against a non-null literal. Semantics
+// are exactly afk::EvalCmp on the reconstructed Values; the typed fast
+// paths below are algebraic simplifications of it (numeric comparisons all
+// reduce to double comparisons; string comparisons to std::string's).
+template <typename T>
+bool CmpScalar(T a, afk::CmpOp op, T b) {
+  switch (op) {
+    case afk::CmpOp::kLt:
+      return a < b;
+    case afk::CmpOp::kLe:
+      return a < b || a == b;
+    case afk::CmpOp::kGt:
+      return b < a;
+    case afk::CmpOp::kGe:
+      return b < a || a == b;
+    case afk::CmpOp::kEq:
+      return a == b;
+    case afk::CmpOp::kNe:
+      return !(a == b);
+  }
+  return false;
+}
+
+bool IsNumericType(DataType t) {
+  return t == DataType::kBool || t == DataType::kInt64 ||
+         t == DataType::kDouble;
+}
+
+// Builds the selection vector of rows passing `col <op> literal`.
+void BuildCompareSelection(const ColumnVector& col, afk::CmpOp op,
+                           const Value& literal, std::vector<uint32_t>* sel) {
+  const size_t n = col.size();
+  sel->reserve(n);
+  // Null cells compare identically regardless of position.
+  const bool null_passes = afk::EvalCmp(Value::Null(), op, literal);
+
+  if (col.is_native() && !literal.is_null()) {
+    if (IsNumericType(col.declared_type()) &&
+        IsNumericType(literal.type())) {
+      const double lit = literal.ToDouble();
+      const bool no_nulls = col.null_count() == 0;
+      auto scan = [&](auto value_at) {
+        for (size_t i = 0; i < n; ++i) {
+          const bool pass = (!no_nulls && col.IsNull(i))
+                                ? null_passes
+                                : CmpScalar(value_at(i), op, lit);
+          if (pass) sel->push_back(static_cast<uint32_t>(i));
+        }
+      };
+      switch (col.declared_type()) {
+        case DataType::kBool: {
+          const uint8_t* v = col.bools();
+          scan([v](size_t i) { return v[i] != 0 ? 1.0 : 0.0; });
+          return;
+        }
+        case DataType::kInt64: {
+          const int64_t* v = col.ints();
+          scan([v](size_t i) { return static_cast<double>(v[i]); });
+          return;
+        }
+        case DataType::kDouble: {
+          const double* v = col.doubles();
+          scan([v](size_t i) { return v[i]; });
+          return;
+        }
+        default:
+          break;
+      }
+    }
+    if (col.declared_type() == DataType::kString &&
+        literal.type() == DataType::kString) {
+      // Evaluate once per distinct dictionary entry, then select by code.
+      std::vector<uint8_t> dict_pass(col.dict_size());
+      for (uint32_t c = 0; c < col.dict_size(); ++c) {
+        dict_pass[c] =
+            CmpScalar(col.dict_entry(c), op, literal.as_string()) ? 1 : 0;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const bool pass =
+            col.IsNull(i) ? null_passes : dict_pass[col.code_at(i)] != 0;
+        if (pass) sel->push_back(static_cast<uint32_t>(i));
+      }
+      return;
+    }
+  }
+  // Generic fallback: reconstruct each cell (mixed-type columns, null or
+  // cross-class literals).
+  for (size_t i = 0; i < n; ++i) {
+    if (afk::EvalCmp(col.GetValue(i), op, literal)) {
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
 }  // namespace
 
 Result<ExecResult> Engine::Execute(plan::Plan* plan) {
@@ -169,6 +433,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
   const auto& ctx = optimizer_->context();
   const auto& model = optimizer_->cost_model();
   const uint64_t block_size = dfs_->block_size_bytes();
+  const bool vectorized = options_.vectorized;
 
   ExecMetrics metrics;
   std::map<const OpNode*, TablePtr> results;
@@ -223,16 +488,29 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
           OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), name));
           idx.push_back(i);
         }
-        OPD_RETURN_NOT_OK(RunMapTasks(
-            pool_.get(), in, block_size,
-            [&idx](const Row& row, std::vector<Row>* local) -> Status {
-              Row r;
-              r.reserve(idx.size());
-              for (size_t i : idx) r.push_back(row[i]);
-              local->push_back(std::move(r));
-              return Status::OK();
-            },
-            &out, &job_max_task_s));
+        if (vectorized) {
+          // Pure column swizzle: output batches share the input's column
+          // vectors, no cell is touched.
+          const BatchList in_list(in);
+          std::vector<RowBatch> out_batches;
+          out_batches.reserve(in_list.size());
+          for (const RowBatch& b : *in_list.batches) {
+            out_batches.push_back(b.Project(idx));
+          }
+          out = Table::FromBatches("", node->out_schema,
+                                   std::move(out_batches));
+        } else {
+          OPD_RETURN_NOT_OK(RunMapTasks(
+              pool_.get(), in, block_size,
+              [&idx](const Row& row, std::vector<Row>* local) -> Status {
+                Row r;
+                r.reserve(idx.size());
+                for (size_t i : idx) r.push_back(row[i]);
+                local->push_back(std::move(r));
+                return Status::OK();
+              },
+              &out, &job_max_task_s));
+        }
         break;
       }
       case OpKind::kFilter: {
@@ -240,16 +518,40 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         const plan::FilterCond& cond = node->filter;
         if (cond.kind == plan::FilterCond::Kind::kCompare) {
           OPD_ASSIGN_OR_RETURN(size_t i, ColIndex(in.schema(), cond.column));
-          OPD_RETURN_NOT_OK(RunMapTasks(
-              pool_.get(), in, block_size,
-              [&cond, i](const Row& row, std::vector<Row>* local) -> Status {
-                if (afk::EvalCmp(row[i], cond.op, cond.literal)) {
-                  local->push_back(row);
-                }
-                return Status::OK();
-              },
-              &out, &job_max_task_s));
+          if (vectorized) {
+            // Selection-vector filter: one task per batch; surviving rows
+            // are gathered column-wise (full-batch selections are
+            // zero-copy).
+            const BatchList in_list(in);
+            std::vector<RowBatch> out_batches(in_list.size());
+            OPD_RETURN_NOT_OK(ParallelFor(
+                pool_.get(), in_list.size(),
+                [&](size_t t) -> Status {
+                  const RowBatch& b = in_list.batch(t);
+                  std::vector<uint32_t> sel;
+                  BuildCompareSelection(b.column(i), cond.op, cond.literal,
+                                        &sel);
+                  out_batches[t] = b.Gather(sel);
+                  return Status::OK();
+                },
+                &job_max_task_s));
+            out = Table::FromBatches("", node->out_schema,
+                                     std::move(out_batches));
+          } else {
+            OPD_RETURN_NOT_OK(RunMapTasks(
+                pool_.get(), in, block_size,
+                [&cond, i](const Row& row,
+                           std::vector<Row>* local) -> Status {
+                  if (afk::EvalCmp(row[i], cond.op, cond.literal)) {
+                    local->push_back(row);
+                  }
+                  return Status::OK();
+                },
+                &out, &job_max_task_s));
+          }
         } else {
+          // Opaque predicate UDFs are per-row black boxes: row-at-a-time
+          // fallback (see DESIGN.md "Columnar batches").
           OPD_ASSIGN_OR_RETURN(const udf::PredicateFn* fn,
                                ctx.udfs->FindPredicate(cond.fn_name));
           std::vector<size_t> idx;
@@ -307,6 +609,108 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         const size_t num_buckets = DeriveReduceTasks(
             options_.num_reduce_tasks, shuffle_bytes, block_size);
 
+        if (vectorized) {
+          const BatchList build_list(build_in);
+          const BatchList probe_list(probe_in);
+
+          // Map side of the shuffle: hash-partition both inputs by key,
+          // straight off the columnar data.
+          double part_build_s = 0, part_probe_s = 0;
+          std::vector<uint32_t> build_bucket, probe_bucket;
+          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pool_.get(), build_list,
+                                                build_keys, num_buckets,
+                                                &build_bucket,
+                                                &part_build_s));
+          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pool_.get(), probe_list,
+                                                probe_keys, num_buckets,
+                                                &probe_bucket,
+                                                &part_probe_s));
+          const auto build_lists =
+              BucketRefLists(build_list, build_bucket, num_buckets);
+          const auto probe_lists =
+              BucketRefLists(probe_list, probe_bucket, num_buckets);
+
+          // Reduce side: each bucket keys its build rows by their packed
+          // key bytes (equal exactly when the key Values are equal) and
+          // probes in row order, emitting (probe ref, build ref) matches.
+          struct Match {
+            size_t probe_global;
+            RowRef probe, build;
+          };
+          double reduce_max_s = 0;
+          std::vector<std::vector<Match>> bucket_out(num_buckets);
+          OPD_RETURN_NOT_OK(ParallelFor(
+              pool_.get(), num_buckets,
+              [&](size_t b) -> Status {
+                std::unordered_map<std::string, std::vector<RowRef>> ht;
+                ht.reserve(build_lists[b].size());
+                std::string key;
+                for (RowRef ref : build_lists[b]) {
+                  key.clear();
+                  PackKeys(build_list.batch(ref.batch), ref.idx, build_keys,
+                           &key);
+                  ht[key].push_back(ref);
+                }
+                auto& local = bucket_out[b];
+                local.reserve(probe_lists[b].size());
+                for (RowRef pref : probe_lists[b]) {
+                  key.clear();
+                  PackKeys(probe_list.batch(pref.batch), pref.idx,
+                           probe_keys, &key);
+                  auto it = ht.find(key);
+                  if (it == ht.end()) continue;
+                  const size_t pg =
+                      probe_list.offsets[pref.batch] + pref.idx;
+                  for (RowRef bref : it->second) {
+                    local.push_back(Match{pg, pref, bref});
+                  }
+                }
+                return Status::OK();
+              },
+              &reduce_max_s));
+          job_max_task_s = part_build_s + part_probe_s + reduce_max_s;
+
+          // Deterministic merge: matches in probe-row order (each bucket's
+          // output is already ordered by probe index, so a cursor per
+          // bucket suffices). Identical for every thread/bucket count.
+          size_t total = 0;
+          for (const auto& b : bucket_out) total += b.size();
+          std::vector<std::pair<RowRef, RowRef>> merged;  // (probe, build)
+          merged.reserve(total);
+          std::vector<size_t> cursor(num_buckets, 0);
+          for (size_t p = 0; p < probe_list.num_rows; ++p) {
+            auto& local = bucket_out[probe_bucket[p]];
+            size_t& c = cursor[probe_bucket[p]];
+            while (c < local.size() && local[c].probe_global == p) {
+              merged.emplace_back(local[c].probe, local[c].build);
+              ++c;
+            }
+          }
+
+          // Assemble the output column-wise: one gather per output column
+          // from whichever side it came from.
+          std::vector<storage::ColumnVectorPtr> out_cols;
+          out_cols.reserve(out_map.size());
+          for (size_t c = 0; c < out_map.size(); ++c) {
+            const auto& [from_left, src_col] = out_map[c];
+            const bool from_probe = from_left == build_right;
+            const BatchList& side = from_probe ? probe_list : build_list;
+            ColumnGatherer gatherer(node->out_schema.columns()[c].type,
+                                    side, src_col, merged.size());
+            for (const auto& [pref, bref] : merged) {
+              gatherer.Append(from_probe ? pref : bref);
+            }
+            out_cols.push_back(gatherer.Finish());
+          }
+          std::vector<RowBatch> out_batches;
+          out_batches.push_back(
+              RowBatch(std::move(out_cols), merged.size()));
+          out = Table::FromBatches("", node->out_schema,
+                                   std::move(out_batches));
+          break;
+        }
+
+        // Row-at-a-time join.
         // Map side of the shuffle: hash-partition both inputs by join key.
         double part_build_s = 0, part_probe_s = 0;
         std::vector<uint32_t> build_bucket, probe_bucket;
@@ -400,46 +804,96 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         const size_t num_buckets = DeriveReduceTasks(
             options_.num_reduce_tasks, shuffle_bytes, block_size);
 
-        // Map side of the shuffle: hash-partition rows by group key.
-        double part_s = 0;
-        std::vector<uint32_t> bucket_of;
-        OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), in, key_idx,
-                                         num_buckets, block_size, &bucket_of,
-                                         &part_s));
-        const auto lists = BucketLists(bucket_of, num_buckets);
-
-        // Reduce side: hash-aggregate each bucket. All rows of a key land
-        // in one bucket and are folded in original row order, so floating
-        // point accumulation matches the serial pass exactly.
         using GroupEntry = std::pair<Row, std::vector<AggState>>;
-        double reduce_max_s = 0;
+        double part_s = 0, reduce_max_s = 0;
         std::vector<std::vector<GroupEntry>> bucket_groups(num_buckets);
-        OPD_RETURN_NOT_OK(ParallelFor(
-            pool_.get(), num_buckets,
-            [&](size_t b) -> Status {
-              std::unordered_map<Row, size_t, RowHash> index;
-              index.reserve(lists[b].size());
-              std::vector<GroupEntry>& groups = bucket_groups[b];
-              for (size_t r : lists[b]) {
-                const Row& row = in.row(r);
-                Row key;
-                key.reserve(key_idx.size());
-                for (size_t i : key_idx) key.push_back(row[i]);
-                auto [it, inserted] =
-                    index.try_emplace(std::move(key), groups.size());
-                if (inserted) {
-                  groups.emplace_back(it->first, std::vector<AggState>(
-                                                     node->group.aggs.size()));
+
+        if (vectorized) {
+          const BatchList in_list(in);
+          // Map side of the shuffle: hash-partition rows by group key.
+          std::vector<uint32_t> bucket_of;
+          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pool_.get(), in_list,
+                                                key_idx, num_buckets,
+                                                &bucket_of, &part_s));
+          const auto lists = BucketRefLists(in_list, bucket_of, num_buckets);
+
+          // Reduce side: hash-aggregate each bucket, keying groups by the
+          // packed key bytes; the key Row is materialized once per group.
+          // Rows of a key fold in original row order, so floating point
+          // accumulation matches the serial pass exactly.
+          OPD_RETURN_NOT_OK(ParallelFor(
+              pool_.get(), num_buckets,
+              [&](size_t b) -> Status {
+                std::unordered_map<std::string, size_t> index;
+                index.reserve(lists[b].size());
+                std::vector<GroupEntry>& groups = bucket_groups[b];
+                std::string key;
+                for (RowRef ref : lists[b]) {
+                  const RowBatch& batch = in_list.batch(ref.batch);
+                  key.clear();
+                  PackKeys(batch, ref.idx, key_idx, &key);
+                  auto [it, inserted] =
+                      index.try_emplace(key, groups.size());
+                  if (inserted) {
+                    Row krow;
+                    krow.reserve(key_idx.size());
+                    for (size_t c : key_idx) {
+                      krow.push_back(batch.column(c).GetValue(ref.idx));
+                    }
+                    groups.emplace_back(
+                        std::move(krow),
+                        std::vector<AggState>(node->group.aggs.size()));
+                  }
+                  auto& states = groups[it->second].second;
+                  for (size_t a = 0; a < states.size(); ++a) {
+                    states[a].Update(
+                        agg_idx[a]
+                            ? batch.column(*agg_idx[a]).GetValue(ref.idx)
+                            : Value(int64_t{1}));
+                  }
                 }
-                auto& states = groups[it->second].second;
-                for (size_t a = 0; a < states.size(); ++a) {
-                  states[a].Update(agg_idx[a] ? row[*agg_idx[a]]
-                                              : Value(int64_t{1}));
+                return Status::OK();
+              },
+              &reduce_max_s));
+        } else {
+          // Map side of the shuffle: hash-partition rows by group key.
+          std::vector<uint32_t> bucket_of;
+          OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), in, key_idx,
+                                           num_buckets, block_size,
+                                           &bucket_of, &part_s));
+          const auto lists = BucketLists(bucket_of, num_buckets);
+
+          // Reduce side: hash-aggregate each bucket. All rows of a key land
+          // in one bucket and are folded in original row order, so floating
+          // point accumulation matches the serial pass exactly.
+          OPD_RETURN_NOT_OK(ParallelFor(
+              pool_.get(), num_buckets,
+              [&](size_t b) -> Status {
+                std::unordered_map<Row, size_t, RowHash> index;
+                index.reserve(lists[b].size());
+                std::vector<GroupEntry>& groups = bucket_groups[b];
+                for (size_t r : lists[b]) {
+                  const Row& row = in.row(r);
+                  Row key;
+                  key.reserve(key_idx.size());
+                  for (size_t i : key_idx) key.push_back(row[i]);
+                  auto [it, inserted] =
+                      index.try_emplace(std::move(key), groups.size());
+                  if (inserted) {
+                    groups.emplace_back(it->first,
+                                        std::vector<AggState>(
+                                            node->group.aggs.size()));
+                  }
+                  auto& states = groups[it->second].second;
+                  for (size_t a = 0; a < states.size(); ++a) {
+                    states[a].Update(agg_idx[a] ? row[*agg_idx[a]]
+                                                : Value(int64_t{1}));
+                  }
                 }
-              }
-              return Status::OK();
-            },
-            &reduce_max_s));
+                return Status::OK();
+              },
+              &reduce_max_s));
+        }
         job_max_task_s = part_s + reduce_max_s;
 
         // Deterministic merge: groups sorted by key — the order the old
@@ -470,6 +924,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         break;
       }
       case OpKind::kUdf: {
+        // UDF local functions are opaque per-row/per-group user code: the
+        // engine falls back to row-at-a-time execution at this boundary
+        // (batch-primary inputs materialize their rows lazily).
         OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* def,
                              ctx.udfs->Find(node->udf.udf_name));
         std::vector<LfStageRun> stage_runs;

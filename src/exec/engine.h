@@ -43,6 +43,11 @@ struct EngineOptions {
   /// job's shuffle bytes and the DFS block size. Like the thread count this
   /// never changes results, only task granularity.
   int num_reduce_tasks = 0;
+  /// Run relational operators as vectorized batch-at-a-time kernels over
+  /// columnar data (project/filter/join/group-by). Off reverts to the
+  /// row-at-a-time operators; results are byte-identical either way (UDF
+  /// stages and opaque predicates always run row-at-a-time).
+  bool vectorized = true;
 };
 
 /// Result of executing one plan.

@@ -193,7 +193,11 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
     return Status::InvalidArgument("UDF has no local functions: " + udf.name);
   }
   Schema cur_schema = input.schema();
-  std::vector<Row> cur_rows = input.rows();
+  // The first stage reads the input table's rows in place; `owned` takes
+  // over once a stage produces new rows (or a leading reduce stage needs a
+  // mutable copy). This avoids duplicating the whole input up front.
+  std::vector<Row> owned;
+  const std::vector<Row>* cur_rows = &input.rows();
 
   for (const udf::LocalFunction& lf : udf.local_functions) {
     OPD_ASSIGN_OR_RETURN(Schema out_schema, lf.out_schema(cur_schema, params));
@@ -205,8 +209,8 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
     LfStageRun run;
     run.lf_name = lf.name;
     run.kind = lf.kind;
-    run.in_rows = cur_rows.size();
-    for (const Row& r : cur_rows) run.in_bytes += storage::RowByteSize(r);
+    run.in_rows = cur_rows->size();
+    for (const Row& r : *cur_rows) run.in_bytes += storage::RowByteSize(r);
 
     std::vector<Row> next_rows;
     auto start = std::chrono::steady_clock::now();
@@ -215,10 +219,10 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
         return Status::Internal("map local function missing body: " + lf.name);
       }
       const double avg_row_bytes =
-          cur_rows.empty() ? 0.0
-                           : static_cast<double>(run.in_bytes) /
-                                 static_cast<double>(cur_rows.size());
-      OPD_RETURN_NOT_OK(RunMapStage(lf, ctx, cur_rows, avg_row_bytes,
+          cur_rows->empty() ? 0.0
+                            : static_cast<double>(run.in_bytes) /
+                                  static_cast<double>(cur_rows->size());
+      OPD_RETURN_NOT_OK(RunMapStage(lf, ctx, *cur_rows, avg_row_bytes,
                                     exec_options, &next_rows,
                                     &run.max_task_seconds));
     } else {
@@ -226,7 +230,11 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
         return Status::Internal("reduce local function missing body: " +
                                 lf.name);
       }
-      OPD_RETURN_NOT_OK(RunReduceStage(lf, ctx, cur_schema, &cur_rows,
+      if (cur_rows != &owned) {
+        owned = *cur_rows;  // reduce consumes its input rows
+        cur_rows = &owned;
+      }
+      OPD_RETURN_NOT_OK(RunReduceStage(lf, ctx, cur_schema, &owned,
                                        run.in_bytes, exec_options, &next_rows,
                                        &run.max_task_seconds));
     }
@@ -247,12 +255,13 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
     if (stages != nullptr) stages->push_back(run);
 
     cur_schema = std::move(out_schema);
-    cur_rows = std::move(next_rows);
+    owned = std::move(next_rows);
+    cur_rows = &owned;
   }
 
   Table result("", cur_schema);
-  result.Reserve(cur_rows.size());
-  for (Row& row : cur_rows) {
+  result.Reserve(owned.size());
+  for (Row& row : owned) {
     OPD_RETURN_NOT_OK(result.AppendRow(std::move(row)));
   }
   *output = std::move(result);

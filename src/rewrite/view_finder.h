@@ -17,8 +17,8 @@
 
 #include <limits>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "rewrite/candidate.h"
@@ -63,7 +63,9 @@ class ViewFinder {
   // Min-heap by (opt_cost, Id) for determinism.
   std::vector<CandidateView> heap_;
   std::vector<CandidateView> seen_;
-  std::set<std::string> enqueued_;
+  // Signature membership is the only operation; ordered iteration is never
+  // needed, so a hash set beats the former std::set.
+  std::unordered_set<std::string> enqueued_;
   uint64_t fifo_counter_ = 0;  // ablation ordering
 };
 

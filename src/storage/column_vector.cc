@@ -1,0 +1,262 @@
+#include "storage/column_vector.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace opd::storage {
+
+namespace {
+
+// Hash of a numeric cell through its double value — the exact recipe of
+// `Value::Hash()` for bool/int64/double so that row and batch hashes agree.
+uint64_t NumericHash(double d) {
+  if (d == 0.0) d = 0.0;  // normalize -0.0 to +0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(d));
+  uint64_t h = 0x123456789abcdefULL;
+  HashCombine(&h, bits);
+  return h;
+}
+
+constexpr uint64_t kNullHash = 0x6e756c6cULL;  // Value::Hash() of null
+
+}  // namespace
+
+void ColumnVector::Reserve(size_t n) {
+  valid_.reserve((n >> 6) + 1);
+  if (!native_) {
+    variant_.reserve(n);
+    return;
+  }
+  switch (type_) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      bools_.reserve(n);
+      break;
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      codes_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::PushValidBit(bool valid) {
+  const size_t word = size_ >> 6;
+  if (word >= valid_.size()) valid_.push_back(0);
+  if (valid) valid_[word] |= 1ULL << (size_ & 63);
+  ++size_;
+  if (!valid) ++null_count_;
+}
+
+uint32_t ColumnVector::Intern(const std::string& s) {
+  auto [it, inserted] =
+      dict_lookup_.try_emplace(s, static_cast<uint32_t>(dict_.size()));
+  if (inserted) {
+    dict_.push_back(s);
+    dict_hashes_.push_back(HashString(s));
+    dict_lengths_.push_back(s.size());
+  }
+  return it->second;
+}
+
+void ColumnVector::DemoteToVariant() {
+  std::vector<Value> boxed;
+  boxed.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) boxed.push_back(GetValue(i));
+  variant_ = std::move(boxed);
+  native_ = false;
+  bools_.clear();
+  ints_.clear();
+  doubles_.clear();
+  codes_.clear();
+  dict_.clear();
+  dict_hashes_.clear();
+  dict_lengths_.clear();
+  dict_lookup_.clear();
+}
+
+void ColumnVector::AppendNull() {
+  if (!native_) {
+    variant_.emplace_back();
+  } else {
+    switch (type_) {
+      case DataType::kNull:
+        break;
+      case DataType::kBool:
+        bools_.push_back(0);
+        break;
+      case DataType::kInt64:
+        ints_.push_back(0);
+        break;
+      case DataType::kDouble:
+        doubles_.push_back(0.0);
+        break;
+      case DataType::kString:
+        codes_.push_back(0);
+        break;
+    }
+  }
+  PushValidBit(false);
+}
+
+void ColumnVector::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  if (native_ && v.type() != type_) DemoteToVariant();
+  if (!native_) {
+    variant_.push_back(v);
+    PushValidBit(true);
+    return;
+  }
+  switch (type_) {
+    case DataType::kNull:
+      break;  // unreachable: non-null of type kNull demoted above
+    case DataType::kBool:
+      bools_.push_back(v.as_bool() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      ints_.push_back(v.as_int64());
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(v.as_double());
+      break;
+    case DataType::kString:
+      codes_.push_back(Intern(v.as_string()));
+      break;
+  }
+  PushValidBit(true);
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i,
+                              DictRemap* remap) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  if (!native_ || !src.native_ || src.type_ != type_) {
+    Append(src.GetValue(i));
+    return;
+  }
+  switch (type_) {
+    case DataType::kNull:
+      AppendNull();
+      return;
+    case DataType::kBool:
+      bools_.push_back(src.bools_[i]);
+      break;
+    case DataType::kInt64:
+      ints_.push_back(src.ints_[i]);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(src.doubles_[i]);
+      break;
+    case DataType::kString: {
+      const uint32_t src_code = src.codes_[i];
+      if (remap != nullptr) {
+        if (remap->src != &src) {
+          remap->src = &src;
+          remap->codes.assign(src.dict_.size(), -1);
+        }
+        int32_t& mapped = remap->codes[src_code];
+        if (mapped < 0) {
+          mapped = static_cast<int32_t>(Intern(src.dict_[src_code]));
+        }
+        codes_.push_back(static_cast<uint32_t>(mapped));
+      } else {
+        codes_.push_back(Intern(src.dict_[src_code]));
+      }
+      break;
+    }
+  }
+  PushValidBit(true);
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  if (!native_) return variant_[i];
+  switch (type_) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool:
+      return Value(bools_[i] != 0);
+    case DataType::kInt64:
+      return Value(ints_[i]);
+    case DataType::kDouble:
+      return Value(doubles_[i]);
+    case DataType::kString:
+      return Value(dict_[codes_[i]]);
+  }
+  return Value::Null();
+}
+
+uint64_t ColumnVector::HashAt(size_t i) const {
+  if (IsNull(i)) return kNullHash;
+  if (!native_) return variant_[i].Hash();
+  switch (type_) {
+    case DataType::kNull:
+      return kNullHash;
+    case DataType::kBool:
+      return NumericHash(bools_[i] != 0 ? 1.0 : 0.0);
+    case DataType::kInt64:
+      return NumericHash(static_cast<double>(ints_[i]));
+    case DataType::kDouble:
+      return NumericHash(doubles_[i]);
+    case DataType::kString:
+      return dict_hashes_[codes_[i]];
+  }
+  return kNullHash;
+}
+
+size_t ColumnVector::CellByteSize(size_t i) const {
+  if (IsNull(i)) return 1;
+  if (!native_) return variant_[i].ByteSize();
+  switch (type_) {
+    case DataType::kNull:
+      return 1;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return dict_lengths_[codes_[i]] + 4;  // length prefix
+  }
+  return 1;
+}
+
+size_t ColumnVector::ByteSize() const {
+  if (!native_) {
+    size_t total = 0;
+    for (size_t i = 0; i < size_; ++i) total += CellByteSize(i);
+    return total;
+  }
+  switch (type_) {
+    case DataType::kNull:
+      return size_;
+    case DataType::kBool:
+      return size_;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return (size_ - null_count_) * 8 + null_count_;
+    case DataType::kString: {
+      size_t total = 0;
+      for (size_t i = 0; i < size_; ++i) {
+        total += IsNull(i) ? 1 : dict_lengths_[codes_[i]] + 4;
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace opd::storage

@@ -1,0 +1,124 @@
+// Columnar cell storage: one typed, contiguous vector per column with a
+// validity bitmap and dictionary-encoded strings.
+//
+// A ColumnVector is the unit the vectorized engine kernels operate on. For
+// the common case (every non-null cell matches the column's declared
+// DataType) cells live in flat native arrays — int64/double values are
+// stored directly, strings are interned into a per-column dictionary and
+// represented by 32-bit codes. Cell hashes and byte sizes are defined to be
+// *identical* to the row representation's `Value::Hash()` / `Value::
+// ByteSize()`, so shuffle bucketing, metrics, and determinism contracts are
+// unchanged whether a table flows through the row or the batch path.
+//
+// Rows are dynamically typed, so a column may legally contain a cell whose
+// type differs from the schema's declared type. Such a column transparently
+// falls back to a boxed `std::vector<Value>` lane ("variant lane"); all
+// accessors keep working, only the native fast paths switch off.
+
+#ifndef OPD_STORAGE_COLUMN_VECTOR_H_
+#define OPD_STORAGE_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace opd::storage {
+
+class ColumnVector;
+
+/// Memoized code translation between two string dictionaries, used when
+/// gathering cells from a source column into a destination column (filter
+/// selection, join output assembly). Each distinct source code is resolved
+/// against the destination dictionary at most once.
+struct DictRemap {
+  const ColumnVector* src = nullptr;
+  std::vector<int32_t> codes;  // src code -> dst code, -1 = not yet mapped
+};
+
+/// \brief Typed contiguous storage for one column of a RowBatch.
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  DataType declared_type() const { return type_; }
+  size_t size() const { return size_; }
+  size_t null_count() const { return null_count_; }
+  /// True while every non-null cell matches the declared type (native
+  /// arrays in use); false once the column fell back to the variant lane.
+  bool is_native() const { return native_; }
+
+  void Reserve(size_t n);
+
+  /// Appends a cell. Null values set the validity bit only; a non-null
+  /// value whose type mismatches the declared type demotes the column to
+  /// the variant lane (existing cells are re-boxed).
+  void Append(const Value& v);
+  void AppendNull();
+
+  /// Appends cell `i` of `src`. When both columns are native strings a
+  /// `remap` memoizes dictionary code translation across calls.
+  void AppendFrom(const ColumnVector& src, size_t i, DictRemap* remap);
+
+  bool IsNull(size_t i) const { return !ValidBit(i); }
+
+  /// Reconstructs the cell as a row Value — exact round-trip of what was
+  /// appended (bit-identical doubles, byte-identical strings).
+  Value GetValue(size_t i) const;
+
+  /// Hash of cell `i`, equal to `GetValue(i).Hash()`. String hashes are
+  /// computed once per distinct dictionary entry.
+  uint64_t HashAt(size_t i) const;
+
+  /// Serialized width of cell `i`, equal to `GetValue(i).ByteSize()`.
+  size_t CellByteSize(size_t i) const;
+
+  /// Sum of all cells' byte sizes (row-representation-identical).
+  size_t ByteSize() const;
+
+  // -- Native accessors (valid only when is_native() and the declared type
+  //    matches; null cells hold zero placeholders in the arrays). --
+  const int64_t* ints() const { return ints_.data(); }
+  const double* doubles() const { return doubles_.data(); }
+  const uint8_t* bools() const { return bools_.data(); }
+  uint32_t code_at(size_t i) const { return codes_[i]; }
+  const std::string& dict_entry(uint32_t code) const { return dict_[code]; }
+  size_t dict_size() const { return dict_.size(); }
+  const std::string& string_at(size_t i) const { return dict_[codes_[i]]; }
+
+ private:
+  bool ValidBit(size_t i) const {
+    return (valid_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void PushValidBit(bool valid);
+  uint32_t Intern(const std::string& s);
+  /// Re-boxes every cell into the variant lane and drops native arrays.
+  void DemoteToVariant();
+
+  DataType type_;
+  bool native_ = true;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+  std::vector<uint64_t> valid_;  // bit i set = cell i non-null
+
+  // Exactly one of these lanes is populated, per declared_type() (or the
+  // variant lane after demotion).
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> codes_;
+  std::vector<std::string> dict_;
+  std::vector<uint64_t> dict_hashes_;  // Value::Hash of each dict entry
+  std::vector<size_t> dict_lengths_;   // byte length of each dict entry
+  std::unordered_map<std::string, uint32_t> dict_lookup_;
+  std::vector<Value> variant_;
+};
+
+using ColumnVectorPtr = std::shared_ptr<ColumnVector>;
+
+}  // namespace opd::storage
+
+#endif  // OPD_STORAGE_COLUMN_VECTOR_H_

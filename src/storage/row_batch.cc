@@ -1,0 +1,77 @@
+#include "storage/row_batch.h"
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace opd::storage {
+
+RowBatch RowBatch::FromRows(const Schema& schema, const std::vector<Row>& rows,
+                            size_t begin, size_t end) {
+  std::vector<ColumnVectorPtr> columns;
+  columns.reserve(schema.num_columns());
+  for (const Column& col : schema.columns()) {
+    auto cv = std::make_shared<ColumnVector>(col.type);
+    cv->Reserve(end - begin);
+    columns.push_back(std::move(cv));
+  }
+  for (size_t r = begin; r < end; ++r) {
+    const Row& row = rows[r];
+    for (size_t c = 0; c < columns.size(); ++c) columns[c]->Append(row[c]);
+  }
+  return RowBatch(std::move(columns), end - begin);
+}
+
+Row RowBatch::RowAt(size_t i) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const ColumnVectorPtr& col : columns_) row.push_back(col->GetValue(i));
+  return row;
+}
+
+uint64_t RowBatch::HashRowAt(size_t i) const {
+  uint64_t h = 0xcbf29ce484222325ULL;  // RowHash seed
+  for (const ColumnVectorPtr& col : columns_) HashCombine(&h, col->HashAt(i));
+  return h;
+}
+
+uint64_t RowBatch::HashKeysAt(size_t i, const std::vector<size_t>& cols) const {
+  uint64_t h = 0xcbf29ce484222325ULL;  // RowHash seed
+  for (size_t c : cols) HashCombine(&h, columns_[c]->HashAt(i));
+  return h;
+}
+
+Status RowBatch::Materialize(Table* out) const {
+  for (size_t r = 0; r < num_rows_; ++r) {
+    OPD_RETURN_NOT_OK(out->AppendRow(RowAt(r)));
+  }
+  return Status::OK();
+}
+
+RowBatch RowBatch::Project(const std::vector<size_t>& cols) const {
+  std::vector<ColumnVectorPtr> out;
+  out.reserve(cols.size());
+  for (size_t c : cols) out.push_back(columns_[c]);
+  return RowBatch(std::move(out), num_rows_);
+}
+
+RowBatch RowBatch::Gather(const std::vector<uint32_t>& sel) const {
+  if (sel.size() == num_rows_) return *this;  // shares columns, no copy
+  std::vector<ColumnVectorPtr> out;
+  out.reserve(columns_.size());
+  for (const ColumnVectorPtr& src : columns_) {
+    auto dst = std::make_shared<ColumnVector>(src->declared_type());
+    dst->Reserve(sel.size());
+    DictRemap remap;
+    for (uint32_t r : sel) dst->AppendFrom(*src, r, &remap);
+    out.push_back(std::move(dst));
+  }
+  return RowBatch(std::move(out), sel.size());
+}
+
+size_t RowBatch::ByteSize() const {
+  size_t total = 0;
+  for (const ColumnVectorPtr& col : columns_) total += col->ByteSize();
+  return total;
+}
+
+}  // namespace opd::storage

@@ -1,0 +1,73 @@
+// A batch of rows stored column-wise: the unit of work of the vectorized
+// engine kernels. Columns are shared_ptrs, so projection is a pointer
+// swizzle and a filtered batch whose selection kept every row reuses its
+// input's columns without copying.
+
+#ifndef OPD_STORAGE_ROW_BATCH_H_
+#define OPD_STORAGE_ROW_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_vector.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace opd::storage {
+
+class Table;
+
+/// \brief A fixed-row-count group of columns.
+class RowBatch {
+ public:
+  /// Rows per batch produced by `Table::ToBatches()`. Small enough that a
+  /// batch's working set stays cache-resident, large enough to amortize
+  /// per-batch dispatch.
+  static constexpr size_t kDefaultRows = 1024;
+
+  RowBatch() = default;
+  RowBatch(std::vector<ColumnVectorPtr> columns, size_t num_rows)
+      : columns_(std::move(columns)), num_rows_(num_rows) {}
+
+  /// Builds a batch from rows [begin, end) of `rows` under `schema`.
+  static RowBatch FromRows(const Schema& schema, const std::vector<Row>& rows,
+                           size_t begin, size_t end);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnVector& column(size_t c) const { return *columns_[c]; }
+  const ColumnVectorPtr& column_ptr(size_t c) const { return columns_[c]; }
+
+  /// Reconstructs row `i` — the exact cells that were appended.
+  Row RowAt(size_t i) const;
+
+  /// Hash of the full row at `i`, equal to `RowHash()(RowAt(i))`.
+  uint64_t HashRowAt(size_t i) const;
+
+  /// Hash of the key row built from `cols` at row `i`, equal to
+  /// `RowHash()` over that key row — the shuffle partitioning hash.
+  uint64_t HashKeysAt(size_t i, const std::vector<size_t>& cols) const;
+
+  /// Appends every row of this batch to `out` (schema arity must match).
+  Status Materialize(Table* out) const;
+
+  /// Zero-copy column swizzle: the returned batch shares this batch's
+  /// column vectors, reordered/subset per `cols`.
+  RowBatch Project(const std::vector<size_t>& cols) const;
+
+  /// Gathers the rows named by selection vector `sel` (ascending row
+  /// indices) into a new batch. A full selection returns a zero-copy view.
+  RowBatch Gather(const std::vector<uint32_t>& sel) const;
+
+  /// Sum of all cells' serialized widths (row-representation-identical).
+  size_t ByteSize() const;
+
+ private:
+  std::vector<ColumnVectorPtr> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace opd::storage
+
+#endif  // OPD_STORAGE_ROW_BATCH_H_

@@ -4,7 +4,69 @@
 
 namespace opd::storage {
 
+Table Table::FromBatches(std::string name, Schema schema,
+                         std::vector<RowBatch> batches) {
+  Table t(std::move(name), std::move(schema));
+  t.batch_primary_ = true;
+  t.rows_ready_ = false;
+  t.batch_offsets_.reserve(batches.size());
+  for (const RowBatch& b : batches) {
+    t.batch_offsets_.push_back(t.batch_num_rows_);
+    t.batch_num_rows_ += b.num_rows();
+  }
+  t.batches_ =
+      std::make_shared<const std::vector<RowBatch>>(std::move(batches));
+  return t;
+}
+
+const std::vector<Row>& Table::rows() const {
+  if (batch_primary_) return MaterializedRows();
+  return rows_;
+}
+
+const std::vector<Row>& Table::MaterializedRows() const {
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  if (rows_ready_) return rows_;
+  std::vector<Row> rows;
+  rows.reserve(batch_num_rows_);
+  for (const RowBatch& b : *batches_) {
+    for (size_t r = 0; r < b.num_rows(); ++r) rows.push_back(b.RowAt(r));
+  }
+  rows_ = std::move(rows);
+  rows_ready_ = true;
+  return rows_;
+}
+
+std::shared_ptr<const std::vector<RowBatch>> Table::ToBatches() const {
+  if (batch_primary_) return batches_;
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  if (batches_ != nullptr && batch_cache_rows_ == rows_.size()) {
+    return batches_;
+  }
+  std::vector<RowBatch> batches;
+  batches.reserve(rows_.size() / RowBatch::kDefaultRows + 1);
+  if (rows_.empty()) {
+    batches.push_back(RowBatch::FromRows(schema_, rows_, 0, 0));
+  } else {
+    for (size_t begin = 0; begin < rows_.size();
+         begin += RowBatch::kDefaultRows) {
+      batches.push_back(RowBatch::FromRows(
+          schema_, rows_, begin,
+          std::min(begin + RowBatch::kDefaultRows, rows_.size())));
+    }
+  }
+  batches_ =
+      std::make_shared<const std::vector<RowBatch>>(std::move(batches));
+  batch_cache_rows_ = rows_.size();
+  return batches_;
+}
+
 Status Table::AppendRow(Row row) {
+  if (batch_primary_) {
+    return Status::InvalidArgument(
+        "AppendRow on batch-primary table " + name_ +
+        " (batch tables are sealed at construction)");
+  }
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
@@ -15,6 +77,16 @@ Status Table::AppendRow(Row row) {
 }
 
 size_t Table::ByteSize() const {
+  if (batch_primary_) {
+    std::lock_guard<std::mutex> lock(*lazy_mu_);
+    if (!bytes_ready_) {
+      size_t total = 0;
+      for (const RowBatch& b : *batches_) total += b.ByteSize();
+      cached_bytes_ = total;
+      bytes_ready_ = true;
+    }
+    return cached_bytes_;
+  }
   if (cached_bytes_rows_ == rows_.size() && !rows_.empty()) {
     return cached_bytes_;
   }
@@ -26,16 +98,24 @@ size_t Table::ByteSize() const {
 }
 
 double Table::AvgRowBytes() const {
-  if (rows_.empty()) return 0.0;
-  return static_cast<double>(ByteSize()) / static_cast<double>(rows_.size());
+  const size_t n = num_rows();
+  if (n == 0) return 0.0;
+  return static_cast<double>(ByteSize()) / static_cast<double>(n);
 }
 
 Result<Value> Table::Get(size_t row_idx, const std::string& column) const {
-  if (row_idx >= rows_.size()) {
+  if (row_idx >= num_rows()) {
     return Status::OutOfRange("row index out of range");
   }
   auto idx = schema_.IndexOf(column);
   if (!idx) return Status::NotFound("no such column: " + column);
+  if (batch_primary_) {
+    // Locate the batch covering row_idx (offsets are ascending).
+    auto it = std::upper_bound(batch_offsets_.begin(), batch_offsets_.end(),
+                               row_idx);
+    const size_t b = static_cast<size_t>(it - batch_offsets_.begin()) - 1;
+    return (*batches_)[b].column(*idx).GetValue(row_idx - batch_offsets_[b]);
+  }
   return rows_[row_idx][*idx];
 }
 
