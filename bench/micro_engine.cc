@@ -11,8 +11,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
+#include "common/json_writer.h"
 #include "exec/udf_exec.h"
+#include "obs/trace.h"
 #include "udf/builtin_udfs.h"
 #include "workload/datagen.h"
 #include "workload/scenarios.h"
@@ -31,8 +35,8 @@ struct Env {
     config.data.n_checkins = 2000;
     config.data.n_locations = 300;
     config.calibrate_udfs = false;
-    config.engine.retain_views = false;
-    config.engine.collect_stats = false;
+    config.session.engine.retain_views = false;
+    config.session.engine.collect_stats = false;
     auto result = workload::TestBed::Create(config);
     if (!result.ok()) std::abort();
     bed = std::move(result).value();
@@ -129,23 +133,28 @@ namespace {
 struct JsonRun {
   double wall_ms = 0;
   double rows_per_sec = 0;
+  exec::ExecMetrics metrics;  // accumulated across iterations
 };
 
 JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
-                          bool vectorized) {
+                          bool vectorized, bool traced = false,
+                          std::vector<std::shared_ptr<obs::Trace>>* traces =
+                              nullptr) {
   workload::TestBedConfig config;
   config.data.n_tweets = n_tweets;
   config.data.n_checkins = n_tweets / 2;
   config.data.n_locations = 300;
   config.calibrate_udfs = false;
-  config.engine.retain_views = false;
-  config.engine.collect_stats = false;
-  config.engine.num_threads = num_threads;
-  config.engine.vectorized = vectorized;
+  config.session.engine.retain_views = false;
+  config.session.engine.collect_stats = false;
+  config.session.engine.num_threads = num_threads;
+  config.session.engine.vectorized = vectorized;
+  config.session.obs.tracing = traced;
   auto bed_result = workload::TestBed::Create(config);
   if (!bed_result.ok()) std::abort();
   auto bed = std::move(bed_result).value();
 
+  JsonRun run;
   uint64_t rows_processed = 0;
   const auto start = std::chrono::steady_clock::now();
   for (int it = 0; it < iterations; ++it) {
@@ -167,15 +176,19 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
         {{"user_id", "user_id"}}));
     plan::Plan udf(plan::Udf(plan::Scan("TWTR"), "UDF_TOKENIZE", {}));
     for (plan::Plan* p : {&project, &filter, &group, &join, &udf}) {
-      auto result = bed->engine().Execute(p);
+      auto result =
+          bed->session().Run(std::move(*p), RunOptions{.rewrite = false});
       if (!result.ok()) std::abort();
+      run.metrics += result.value().metrics;
+      if (traces != nullptr && it == 0 && result.value().trace != nullptr) {
+        traces->push_back(result.value().trace);
+      }
       rows_processed += n_tweets;  // each job scans the full TWTR log
     }
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  JsonRun run;
   run.wall_ms = wall_s * 1000.0;
   run.rows_per_sec =
       wall_s > 0 ? static_cast<double>(rows_processed) / wall_s : 0;
@@ -183,32 +196,61 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
 }
 
 // Prints one JSON record per mode (row-at-a-time vs. vectorized batch
-// kernels), each sweeping thread counts {1, 2, 4, 8}. scripts/bench.sh
-// timestamps and appends every line to BENCH_engine.json, so the perf
-// trajectory across PRs accumulates instead of being overwritten.
-int RunJsonMode() {
+// kernels), each sweeping thread counts {1, 2, 4, 8} untraced plus one traced
+// run at the top thread count (the traced-vs-untraced delta is the tracing
+// overhead). scripts/bench.sh timestamps and appends every line to
+// BENCH_engine.json, so the perf trajectory across PRs accumulates instead of
+// being overwritten.
+int RunJsonMode(const char* trace_path) {
   constexpr size_t kTweets = 12000;
   constexpr int kIters = 3;
   constexpr int kThreads[] = {1, 2, 4, 8};
   constexpr size_t kNumThreads = sizeof(kThreads) / sizeof(kThreads[0]);
+  std::vector<std::shared_ptr<obs::Trace>> traces;
   for (bool vectorized : {false, true}) {
     JsonRun runs[kNumThreads];
     for (size_t i = 0; i < kNumThreads; ++i) {
       runs[i] = RunEngineWorkload(kThreads[i], kTweets, kIters, vectorized);
     }
+    JsonRun traced = RunEngineWorkload(
+        kThreads[kNumThreads - 1], kTweets, kIters, vectorized,
+        /*traced=*/true, trace_path != nullptr ? &traces : nullptr);
     const double speedup = runs[kNumThreads - 1].wall_ms > 0
                                ? runs[0].wall_ms / runs[kNumThreads - 1].wall_ms
                                : 0;
-    std::printf(
-        "{\"bench\":\"micro_engine\",\"mode\":\"%s\",\"n_tweets\":%zu,"
-        "\"iterations\":%d,\"threads\":[%d,%d,%d,%d],"
-        "\"wall_ms\":[%.2f,%.2f,%.2f,%.2f],"
-        "\"rows_per_sec\":[%.0f,%.0f,%.0f,%.0f],\"speedup_8v1\":%.2f}\n",
-        vectorized ? "batch" : "row", kTweets, kIters, kThreads[0],
-        kThreads[1], kThreads[2], kThreads[3], runs[0].wall_ms,
-        runs[1].wall_ms, runs[2].wall_ms, runs[3].wall_ms,
-        runs[0].rows_per_sec, runs[1].rows_per_sec, runs[2].rows_per_sec,
-        runs[3].rows_per_sec, speedup);
+
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String("micro_engine");
+    w.Key("mode").String(vectorized ? "batch" : "row");
+    w.Key("n_tweets").UInt(kTweets);
+    w.Key("iterations").Int(kIters);
+    w.Key("threads").BeginArray();
+    for (int t : kThreads) w.Int(t);
+    w.EndArray();
+    w.Key("wall_ms").BeginArray();
+    for (const JsonRun& r : runs) w.Double(r.wall_ms);
+    w.EndArray();
+    w.Key("rows_per_sec").BeginArray();
+    for (const JsonRun& r : runs) w.Double(r.rows_per_sec);
+    w.EndArray();
+    w.Key("speedup_8v1").Double(speedup);
+    w.Key("traced_rows_per_sec").Double(traced.rows_per_sec);
+    w.Key("untraced_rows_per_sec").Double(runs[kNumThreads - 1].rows_per_sec);
+    w.Key("metrics").Raw(runs[kNumThreads - 1].metrics.ToJson());
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+  if (trace_path != nullptr) {
+    std::vector<const obs::Trace*> ptrs;
+    ptrs.reserve(traces.size());
+    for (const auto& t : traces) ptrs.push_back(t.get());
+    Status st = obs::WriteChromeTraceFile(trace_path, ptrs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", trace_path);
   }
   return 0;
 }
@@ -216,9 +258,13 @@ int RunJsonMode() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return RunJsonMode();
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
+  if (json || trace_path != nullptr) return RunJsonMode(trace_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,20 +1,30 @@
 // An interactive(ish) OQL shell over the opportunistic-design system.
 //
-//   $ ./build/examples/oql_shell              # runs the built-in demo script
-//   $ ./build/examples/oql_shell my_query.oql # runs a script from a file
+//   $ ./build/examples/oql_shell                   # built-in demo script
+//   $ ./build/examples/oql_shell my_query.oql      # run a script from a file
+//   $ ./build/examples/oql_shell --trace=out.json  # also dump a Chrome trace
 //
-// Each program executes against the synthetic logs; every job's output is
+// Each program executes through an opd::Session: every job's output is
 // retained as an opportunistic view, and each subsequent program is first
 // sent through BFREWRITE — so re-running refined variants of a script gets
 // faster, exactly like the paper's exploratory sessions.
+//
+// Prefix a program with EXPLAIN to see the costed plan without running it,
+// or EXPLAIN ANALYZE to run it and render the observed per-job stats
+// (time, bytes, task counts, stragglers). With --trace=<path>, every
+// executed query's span tree is merged into one Chrome trace_event JSON
+// file — open it in chrome://tracing or Perfetto.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "oql/parser.h"
+#include "plan/explain.h"
 #include "workload/scenarios.h"
 
 using namespace opd;  // NOLINT
@@ -36,33 +46,57 @@ rich     = extract | udf UDAF_CLASSIFY_AFFLUENT(min_affluence = 0.05);
 result   = join wine rich on user_id = user_id;
 )";
 
-int RunProgram(workload::TestBed* bed, const std::string& source,
+const char* kDemoScript3 = R"(
+# Session 3: EXPLAIN ANALYZE shows where the time went.
+EXPLAIN ANALYZE
+extract = scan TWTR | project user_id, tweet_text, mention_user;
+wine    = extract | udf UDF_CLASSIFY_WINE_SCORE(threshold = 0.5);
+result  = wine | groupby user_id count(*) as n;
+)";
+
+// Traces of every executed program, merged into --trace's output file.
+std::vector<std::shared_ptr<obs::Trace>> g_traces;
+
+int RunProgram(workload::TestBed* bed, std::string source,
                const char* label) {
+  const oql::ExplainMode mode = oql::ConsumeExplainPrefix(&source);
   std::printf("--- %s ---\n%s\n", label, source.c_str());
-  auto plan = oql::ParseQuery(source);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 plan.status().ToString().c_str());
-    return 1;
+
+  if (mode == oql::ExplainMode::kExplain) {
+    // EXPLAIN: rewrite + cost the plan, print it, don't execute.
+    auto plan = oql::ParseQuery(source);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    auto outcome = bed->bfr().Rewrite(&plan.value());
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "rewrite error: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", plan::Explain(outcome->plan).c_str());
+    return 0;
   }
-  auto outcome = bed->bfr().Rewrite(&plan.value());
-  if (!outcome.ok()) {
-    std::fprintf(stderr, "rewrite error: %s\n",
-                 outcome.status().ToString().c_str());
-    return 1;
-  }
-  plan::Plan best = outcome->plan;
-  auto run = bed->engine().Execute(&best);
+
+  auto run = bed->session().Run(source);
   if (!run.ok()) {
-    std::fprintf(stderr, "execution error: %s\n",
-                 run.status().ToString().c_str());
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;
   }
+  if (run->trace != nullptr) g_traces.push_back(run->trace);
+
+  if (mode == oql::ExplainMode::kExplainAnalyze) {
+    std::printf("%s\n", run->ExplainAnalyze().c_str());
+    return 0;
+  }
+
   std::printf("=> %zu rows in %.1f modeled seconds", run->table->num_rows(),
               run->metrics.sim_time_s);
-  if (outcome->improved) {
+  if (run->rewritten && run->rewrite.improved) {
     std::printf("  (rewritten: estimated %.1fs instead of %.1fs)",
-                outcome->est_cost, outcome->original_cost);
+                run->rewrite.est_cost, run->rewrite.original_cost);
   }
   std::printf("; %zu views in the store\n\n", bed->views().size());
   // Print a small sample of the result.
@@ -82,8 +116,19 @@ int RunProgram(workload::TestBed* bed, const std::string& source,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      script_path = argv[i];
+    }
+  }
+
   workload::TestBedConfig config;
   config.data.n_tweets = 4000;
+  config.session.obs.tracing = trace_path != nullptr;
   auto bed_result = workload::TestBed::Create(config);
   if (!bed_result.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
@@ -92,19 +137,37 @@ int main(int argc, char** argv) {
   }
   auto& bed = *bed_result.value();
 
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  int rc = 0;
+  if (script_path != nullptr) {
+    std::ifstream file(script_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script_path);
       return 1;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
-    return RunProgram(&bed, buffer.str(), argv[1]);
+    rc = RunProgram(&bed, buffer.str(), script_path);
+  } else {
+    rc = RunProgram(&bed, kDemoScript, "session 1");
+    if (rc == 0) {
+      rc = RunProgram(&bed, kDemoScript2,
+                      "session 2 (reuses session 1's views)");
+    }
+    if (rc == 0) rc = RunProgram(&bed, kDemoScript3, "session 3");
   }
 
-  if (RunProgram(&bed, kDemoScript, "session 1")) return 1;
-  if (RunProgram(&bed, kDemoScript2, "session 2 (reuses session 1's views)"))
-    return 1;
-  return 0;
+  if (trace_path != nullptr) {
+    std::vector<const obs::Trace*> traces;
+    traces.reserve(g_traces.size());
+    for (const auto& t : g_traces) traces.push_back(t.get());
+    Status st = obs::WriteChromeTraceFile(trace_path, traces);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace (%zu quer%s) written to %s\n", traces.size(),
+                traces.size() == 1 ? "y" : "ies", trace_path);
+  }
+  return rc;
 }

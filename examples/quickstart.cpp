@@ -1,21 +1,24 @@
-// Quickstart: build the system, run a query, revise it, and watch the
-// rewriter reuse the first query's opportunistic views.
+// Quickstart: bring up an opd::Session, run a query, revise it, and watch
+// the rewriter reuse the first query's opportunistic views.
 //
 //   $ ./build/examples/quickstart
 //
 // Walks through the paper's core loop:
-//   1. Generate the synthetic TWTR log and register it.
+//   1. Create a Session (DFS + catalog + view store + optimizer + engine +
+//      BFREWRITE behind one facade) and register the synthetic TWTR log.
 //   2. Run the "foodies" query (Figure 4 of the paper) — every MR job's
 //      output is retained as an opportunistic materialized view.
-//   3. Revise the query (raise the sentiment threshold) and ask BFREWRITE
-//      for the cheapest rewrite: it compensates the existing views with a
-//      filter instead of re-reading the 800 GB (modeled) log.
+//   3. Revise the query (raise the sentiment threshold) and run it again:
+//      BFREWRITE compensates the existing views with a filter instead of
+//      re-reading the 800 GB (modeled) log.
 
 #include <cstdio>
 
 #include "plan/plan.h"
+#include "session/session.h"
 #include "storage/value.h"
-#include "workload/scenarios.h"
+#include "udf/builtin_udfs.h"
+#include "workload/datagen.h"
 
 using namespace opd;  // NOLINT: example brevity
 
@@ -43,23 +46,34 @@ plan::Plan FoodiesQuery(double threshold) {
 }  // namespace
 
 int main() {
-  workload::TestBedConfig config;
-  config.data.n_tweets = 8000;  // keep the demo snappy
-  auto bed_result = workload::TestBed::Create(config);
-  if (!bed_result.ok()) {
+  // --- 0. A Session over the synthetic log ----------------------------------
+  workload::DataGenConfig data;
+  data.n_tweets = 8000;  // keep the demo snappy
+  storage::TablePtr twtr = workload::GenerateTwitterLog(data);
+
+  SessionOptions options;
+  options.obs.tracing = true;  // record a span trace per query
+  // The synthetic log stands in for a modeled 800 GB of tweets.
+  options.cost.data_scale =
+      800.0 * 1e9 / static_cast<double>(twtr->ByteSize());
+  auto session_result = Session::Create(options);
+  if (!session_result.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
-                 bed_result.status().ToString().c_str());
+                 session_result.status().ToString().c_str());
     return 1;
   }
-  auto& bed = *bed_result.value();
+  Session& session = *session_result.value();
+
+  if (!udf::RegisterBuiltinUdfs(&session.udfs()).ok() ||
+      !session.RegisterTable(twtr, {"tweet_id"}).ok()) {
+    std::fprintf(stderr, "registration failed\n");
+    return 1;
+  }
 
   std::printf("== Opportunistic physical design quickstart ==\n\n");
-  std::printf("The synthetic TWTR log models %.0f GB of tweets.\n\n",
-              bed.config().modeled_twtr_gb);
 
   // --- 1. The analyst's first query ----------------------------------------
-  plan::Plan v1 = FoodiesQuery(0.5);
-  auto run1 = bed.engine().Execute(&v1);
+  auto run1 = session.Run(FoodiesQuery(0.5), RunOptions{.rewrite = false});
   if (!run1.ok()) {
     std::fprintf(stderr, "v1 failed: %s\n", run1.status().ToString().c_str());
     return 1;
@@ -70,44 +84,49 @@ int main() {
               run1->metrics.jobs, run1->metrics.views_created);
 
   // --- 2. The revised query, rewritten against the views -------------------
-  plan::Plan v2 = FoodiesQuery(1.0);  // analyst tightens the threshold
-  auto rewritten = bed.bfr().Rewrite(&v2);
-  if (!rewritten.ok()) {
-    std::fprintf(stderr, "rewrite failed: %s\n",
-                 rewritten.status().ToString().c_str());
+  auto run2 = session.Run(FoodiesQuery(1.0));  // analyst tightens the bar
+  if (!run2.ok()) {
+    std::fprintf(stderr, "v2 failed: %s\n", run2.status().ToString().c_str());
     return 1;
   }
+  const rewrite::RewriteOutcome& rewr = run2->rewrite;
   std::printf("\nBFREWRITE on v2 (threshold 1.0):\n");
   std::printf("  original plan cost  : %.1f modeled seconds\n",
-              rewritten->original_cost);
+              rewr.original_cost);
   std::printf("  rewritten plan cost : %.1f modeled seconds\n",
-              rewritten->est_cost);
+              rewr.est_cost);
   std::printf("  candidates considered: %zu, rewrite attempts: %zu, "
               "search time: %.3fs\n",
-              rewritten->stats.candidates_considered,
-              rewritten->stats.rewrite_attempts, rewritten->stats.runtime_s);
-  std::printf("\nRewritten plan:\n%s\n", rewritten->plan.ToString().c_str());
+              rewr.stats.candidates_considered, rewr.stats.rewrite_attempts,
+              rewr.stats.runtime_s);
 
-  // --- 3. Execute both and compare -----------------------------------------
-  plan::Plan v2_orig = FoodiesQuery(1.0);
-  auto orig_run = bed.engine().Execute(&v2_orig);
-  plan::Plan best = rewritten->plan;
-  auto rewr_run = bed.engine().Execute(&best);
-  if (!orig_run.ok() || !rewr_run.ok()) {
+  // --- 3. Where did the time go? (EXPLAIN ANALYZE) -------------------------
+  std::printf("\nObserved per-job stats of the rewritten run:\n%s\n",
+              run2->ExplainAnalyze().c_str());
+
+  // --- 4. Compare against running v2 from scratch --------------------------
+  auto orig_run =
+      session.Run(FoodiesQuery(1.0), RunOptions{.rewrite = false});
+  if (!orig_run.ok()) {
     std::fprintf(stderr, "execution failed\n");
     return 1;
   }
   double orig_t = orig_run->metrics.sim_time_s;
-  double rewr_t = rewr_run->metrics.TotalTime() + rewritten->stats.runtime_s;
+  double rewr_t = run2->metrics.TotalTime() + rewr.stats.runtime_s;
   std::printf("v2 ORIG: %.0f modeled seconds  (%zu rows)\n", orig_t,
               orig_run->table->num_rows());
   std::printf("v2 REWR: %.1f modeled seconds  (%zu rows)  -> %.0f%% faster\n",
-              rewr_t, rewr_run->table->num_rows(),
+              rewr_t, run2->table->num_rows(),
               100.0 * (orig_t - rewr_t) / orig_t);
-  if (orig_run->table->num_rows() != rewr_run->table->num_rows()) {
+  if (orig_run->table->num_rows() != run2->table->num_rows()) {
     std::fprintf(stderr, "ERROR: rewritten query returned different rows!\n");
     return 1;
   }
   std::printf("\nResult cardinalities match: the rewrite is equivalent.\n");
+  if (run2->trace != nullptr) {
+    std::printf("The traced run recorded %zu spans (query -> rewrite/job -> "
+                "phase -> task).\n",
+                run2->trace->size());
+  }
   return 0;
 }

@@ -3,7 +3,8 @@
 # timestamped JSON records to BENCH_engine.json (the perf trajectory of the
 # execution engine across PRs — never overwritten). micro_engine --json
 # emits one record per execution mode (row vs. batch), each sweeping
-# threads {1, 2, 4, 8}.
+# threads {1, 2, 4, 8} untraced plus one traced run at 8 threads
+# (traced_rows_per_sec vs untraced_rows_per_sec = tracing overhead).
 #
 # Usage: scripts/bench.sh [--no-build]
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the whole tree with AddressSanitizer + UBSan
 # (cmake -DOPD_SANITIZE=ON, see the top-level CMakeLists.txt) into
-# build-asan/ and runs the full ctest suite under it. Catches lifetime and
-# aliasing bugs in the columnar arena/dictionary code that the plain tier-1
-# build cannot see.
+# build-asan/ and runs the full ctest suite under it — twice: once plain,
+# once with OPD_TRACE=1 so every TestBed-based test records spans (the
+# tracing hot paths run under the sanitizers too). Catches lifetime and
+# aliasing bugs in the columnar arena/dictionary and span-recording code
+# that the plain tier-1 build cannot see.
 #
 # Usage: scripts/check.sh [ctest-args...]
 
@@ -14,3 +16,5 @@ cmake -B build-asan -S . -DOPD_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 cd build-asan
 ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure "$@"
+echo "== re-running suite with tracing enabled (OPD_TRACE=1) =="
+ASAN_OPTIONS=detect_leaks=0 OPD_TRACE=1 ctest --output-on-failure "$@"

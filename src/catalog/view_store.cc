@@ -1,11 +1,20 @@
 #include "catalog/view_store.h"
 
+#include "obs/metrics.h"
+
 namespace opd::catalog {
 
 ViewId ViewStore::Add(ViewDefinition def) {
   const std::string canonical = def.afk.CanonicalString();
   auto it = by_canonical_.find(canonical);
-  if (it != by_canonical_.end()) return it->second;
+  auto& registry = obs::MetricRegistry::Global();
+  if (it != by_canonical_.end()) {
+    // An equivalent view already exists — the new materialization is a
+    // duplicate (a reuse opportunity the store deduplicates).
+    registry.counter("viewstore.add.dedup").Inc();
+    return it->second;
+  }
+  registry.counter("viewstore.add.new").Inc();
   ViewId id = next_id_++;
   def.id = id;
   def.created_at = ++clock_;
@@ -28,8 +37,10 @@ Status ViewStore::RecordAccess(ViewId id, double benefit_s) {
 Result<const ViewDefinition*> ViewStore::Find(ViewId id) const {
   auto it = views_.find(id);
   if (it == views_.end()) {
+    obs::MetricRegistry::Global().counter("viewstore.find.miss").Inc();
     return Status::NotFound("no such view: " + std::to_string(id));
   }
+  obs::MetricRegistry::Global().counter("viewstore.find.hit").Inc();
   return &it->second;
 }
 

@@ -1,0 +1,125 @@
+#include "common/json_writer.h"
+
+#include <cstdio>
+
+namespace opd {
+
+void JsonWriter::NextValue() {
+  if (has_value_.back()) out_.push_back(',');
+  has_value_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  NextValue();
+  out_.push_back('{');
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  NextValue();
+  out_.push_back('[');
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  NextValue();
+  out_ += Quote(key);
+  out_.push_back(':');
+  has_value_.back() = false;  // the value call that follows adds no comma
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  NextValue();
+  out_ += Quote(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  NextValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  NextValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  NextValue();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  NextValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  NextValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  NextValue();
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::Quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace opd

@@ -1,0 +1,60 @@
+// A minimal streaming JSON builder: the single JSON-assembly path shared by
+// ExecMetrics::ToJson(), the Chrome trace export, the metric registry dump,
+// and the bench --json records (which used to hand-roll printf JSON).
+//
+// The writer emits compact one-line JSON; commas and key/value ordering are
+// managed by the writer, so callers can never produce a trailing comma or an
+// unescaped string.
+
+#ifndef OPD_COMMON_JSON_WRITER_H_
+#define OPD_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opd {
+
+/// \brief Builds one compact JSON document (object or array at the root).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts a member inside an object; follow with a value call (or a
+  /// Begin*). Must not be called inside an array.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  /// Doubles are rendered with %.6g (shortest useful form, locale-free).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Splices an already-encoded JSON value (e.g. a nested document built by
+  /// another writer) as the next value.
+  JsonWriter& Raw(std::string_view json);
+
+  /// The finished document. Valid once every Begin* has been closed.
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  /// Escapes `s` per RFC 8259 and wraps it in quotes.
+  static std::string Quote(std::string_view s);
+
+ private:
+  void NextValue();  // emits a separating comma when needed
+
+  std::string out_;
+  // Whether a value has already been written at each nesting level (root
+  // level included as element 0).
+  std::vector<bool> has_value_ = {false};
+};
+
+}  // namespace opd
+
+#endif  // OPD_COMMON_JSON_WRITER_H_

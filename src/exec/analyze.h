@@ -1,0 +1,39 @@
+// EXPLAIN ANALYZE support: renders the executed plan as an annotated
+// operator tree where every non-scan operator carries the *observed* stats
+// of the MR job that ran it (modeled time, real wall time, bytes moved,
+// task counts, straggler time) instead of the optimizer's estimates.
+
+#ifndef OPD_EXEC_ANALYZE_H_
+#define OPD_EXEC_ANALYZE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "plan/plan.h"
+
+namespace opd::exec {
+
+struct AnalyzeOptions {
+  /// Include real wall-clock columns (job wall time, straggler task time).
+  /// These vary run to run; golden tests mask or disable them.
+  bool show_wall = true;
+};
+
+/// Renders a human-readable byte count ("1.2MB", "340B").
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief Renders the EXPLAIN ANALYZE tree for an executed plan.
+///
+/// `plan` must be the plan instance that was executed and `jobs` the
+/// ExecResult::jobs of that execution — operators are matched to job records
+/// by node identity. Operators without a job record (scans) render without
+/// observed columns.
+std::string ExplainAnalyze(const plan::Plan& plan,
+                           const std::vector<JobRun>& jobs,
+                           const ExecMetrics& metrics,
+                           const AnalyzeOptions& options = {});
+
+}  // namespace opd::exec
+
+#endif  // OPD_EXEC_ANALYZE_H_

@@ -1,6 +1,7 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <string>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "exec/udf_exec.h"
+#include "obs/metrics.h"
 #include "plan/fingerprint.h"
 #include "storage/row_batch.h"
 #include "storage/value.h"
@@ -94,6 +96,46 @@ size_t DeriveReduceTasks(int requested, uint64_t shuffle_bytes,
   return std::min<uint64_t>(shuffle_bytes / block_size_bytes + 1, 64);
 }
 
+// Per-job execution context threaded through the phase helpers: the task
+// pool plus the observability hooks (trace span parent, task counter). With
+// a null trace every helper degenerates to a bare ParallelFor.
+struct PhaseCtx {
+  ThreadPool* pool = nullptr;
+  obs::Trace* trace = nullptr;
+  uint64_t job_span = 0;
+  bool trace_tasks = true;
+  size_t* tasks = nullptr;  // accumulates task counts across phases
+};
+
+// Runs one phase of `n` tasks under a "phase" span (and per-task spans when
+// enabled). Span ids are allocated serially before the wave, so the span
+// structure is identical at every thread count.
+Status RunPhase(const PhaseCtx& ctx, const char* phase, size_t n,
+                const std::function<Status(size_t)>& fn,
+                double* max_task_seconds) {
+  if (ctx.tasks != nullptr) *ctx.tasks += n;
+  if (ctx.trace == nullptr) return ParallelFor(ctx.pool, n, fn, max_task_seconds);
+  obs::TraceSpan span(ctx.trace, ctx.job_span, phase, "phase");
+  span.AddArg("tasks", static_cast<uint64_t>(n));
+  if (!ctx.trace_tasks) return ParallelFor(ctx.pool, n, fn, max_task_seconds);
+  return obs::TracedParallelFor(ctx.pool, n, ctx.trace, span.id(), phase, fn,
+                                max_task_seconds);
+}
+
+// Ratio of the fullest shuffle bucket to the mean bucket (1.0 = perfectly
+// balanced); negative when there is nothing to measure.
+template <typename Lists>
+double BucketSkew(const Lists& lists) {
+  size_t total = 0, largest = 0;
+  for (const auto& l : lists) {
+    total += l.size();
+    largest = std::max(largest, l.size());
+  }
+  if (lists.empty() || total == 0) return -1.0;
+  return static_cast<double>(largest) * static_cast<double>(lists.size()) /
+         static_cast<double>(total);
+}
+
 // ---------------------------------------------------------------------------
 // Row-at-a-time helpers (the pre-columnar engine; kept as the fallback for
 // opaque per-row code and selectable via EngineOptions::vectorized=false).
@@ -103,7 +145,7 @@ size_t DeriveReduceTasks(int requested, uint64_t shuffle_bytes,
 // `per_row` streams each task's rows into a task-local output, and the
 // partials are concatenated in task order — byte-identical to a serial
 // row-at-a-time pass over the input.
-Status RunMapTasks(ThreadPool* pool, const Table& in,
+Status RunMapTasks(const PhaseCtx& ctx, const Table& in,
                    uint64_t block_size_bytes,
                    const std::function<Status(const Row&, std::vector<Row>*)>&
                        per_row,
@@ -113,8 +155,8 @@ Status RunMapTasks(ThreadPool* pool, const Table& in,
   const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
       rows.size(), in.AvgRowBytes(), block_size_bytes);
   std::vector<std::vector<Row>> partials(splits.size());
-  OPD_RETURN_NOT_OK(ParallelFor(
-      pool, splits.size(),
+  OPD_RETURN_NOT_OK(RunPhase(
+      ctx, "map", splits.size(),
       [&](size_t t) -> Status {
         std::vector<Row>& local = partials[t];
         local.reserve(splits[t].size());
@@ -136,7 +178,7 @@ Status RunMapTasks(ThreadPool* pool, const Table& in,
 // Computes each row's shuffle bucket (hash of its key columns modulo
 // `num_buckets`) in parallel over block-sized map tasks. Each task writes
 // disjoint indices, so the result is independent of task interleaving.
-Status ComputeBuckets(ThreadPool* pool, const Table& in,
+Status ComputeBuckets(const PhaseCtx& ctx, const char* phase, const Table& in,
                       const std::vector<size_t>& key_idx, size_t num_buckets,
                       uint64_t block_size_bytes,
                       std::vector<uint32_t>* bucket_of,
@@ -149,8 +191,8 @@ Status ComputeBuckets(ThreadPool* pool, const Table& in,
   const std::vector<Row>& rows = in.rows();
   const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
       rows.size(), in.AvgRowBytes(), block_size_bytes);
-  return ParallelFor(
-      pool, splits.size(),
+  return RunPhase(
+      ctx, phase, splits.size(),
       [&](size_t t) -> Status {
         Row key;
         key.reserve(key_idx.size());
@@ -263,7 +305,8 @@ void PackKeys(const RowBatch& batch, size_t row,
 // Computes each row's shuffle bucket from the columnar key data, one batch
 // per task. The hash is RowHash over the key cells (dictionary strings hash
 // once per distinct entry), so bucketing matches the row path exactly.
-Status ComputeBucketsBatch(ThreadPool* pool, const BatchList& in,
+Status ComputeBucketsBatch(const PhaseCtx& ctx, const char* phase,
+                           const BatchList& in,
                            const std::vector<size_t>& key_idx,
                            size_t num_buckets,
                            std::vector<uint32_t>* bucket_of,
@@ -273,8 +316,8 @@ Status ComputeBucketsBatch(ThreadPool* pool, const BatchList& in,
     if (max_task_seconds != nullptr) *max_task_seconds = 0;
     return Status::OK();
   }
-  return ParallelFor(
-      pool, in.size(),
+  return RunPhase(
+      ctx, phase, in.size(),
       [&](size_t t) -> Status {
         const RowBatch& b = in.batch(t);
         uint32_t* out = bucket_of->data() + in.offsets[t];
@@ -427,15 +470,24 @@ void BuildCompareSelection(const ColumnVector& col, afk::CmpOp op,
 
 }  // namespace
 
-Result<ExecResult> Engine::Execute(plan::Plan* plan) {
+Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
+                                   uint64_t parent_span) {
   OPD_RETURN_NOT_OK(optimizer_->Prepare(plan));
   const int run_id = run_counter_++;
   const auto& ctx = optimizer_->context();
   const auto& model = optimizer_->cost_model();
   const uint64_t block_size = dfs_->block_size_bytes();
   const bool vectorized = options_.vectorized;
+  auto& registry = obs::MetricRegistry::Global();
+  // Registry objects live forever; resolve the hot ones once per run.
+  obs::Histogram* skew_hist =
+      options_.metrics ? &registry.histogram("engine.shuffle.skew") : nullptr;
+  obs::Histogram* ht_load_hist =
+      options_.metrics ? &registry.histogram("engine.hash.load_factor")
+                       : nullptr;
 
   ExecMetrics metrics;
+  ExecResult result;
   std::map<const OpNode*, TablePtr> results;
   int job_counter = 0;
 
@@ -472,11 +524,20 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
       in_bytes += it->second->ByteSize();
     }
 
+    obs::TraceSpan job_span(trace, parent_span,
+                            "job:" + node->DisplayName(), "job");
+    size_t job_tasks = 0;
+    const PhaseCtx pctx{pool_.get(), trace, job_span.id(),
+                        options_.trace_tasks, &job_tasks};
+    const auto job_wall_start = std::chrono::steady_clock::now();
+
     Table out("", node->out_schema);
     uint64_t shuffle_bytes = 0;
     bool has_shuffle = false;
     double map_scalar = 1.0, reduce_scalar = 1.0;
     double job_max_task_s = 0;  // critical-path task time across the job
+    size_t job_reduce_tasks = 0;
+    double job_skew = -1.0;
 
     switch (node->kind) {
       case OpKind::kScan:
@@ -501,7 +562,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
                                    std::move(out_batches));
         } else {
           OPD_RETURN_NOT_OK(RunMapTasks(
-              pool_.get(), in, block_size,
+              pctx, in, block_size,
               [&idx](const Row& row, std::vector<Row>* local) -> Status {
                 Row r;
                 r.reserve(idx.size());
@@ -524,8 +585,8 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
             // zero-copy).
             const BatchList in_list(in);
             std::vector<RowBatch> out_batches(in_list.size());
-            OPD_RETURN_NOT_OK(ParallelFor(
-                pool_.get(), in_list.size(),
+            OPD_RETURN_NOT_OK(RunPhase(
+                pctx, "map", in_list.size(),
                 [&](size_t t) -> Status {
                   const RowBatch& b = in_list.batch(t);
                   std::vector<uint32_t> sel;
@@ -539,7 +600,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
                                      std::move(out_batches));
           } else {
             OPD_RETURN_NOT_OK(RunMapTasks(
-                pool_.get(), in, block_size,
+                pctx, in, block_size,
                 [&cond, i](const Row& row,
                            std::vector<Row>* local) -> Status {
                   if (afk::EvalCmp(row[i], cond.op, cond.literal)) {
@@ -562,7 +623,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
           udf::Params params;  // opaque predicate params are pre-bound strings
           if (!cond.params.empty()) params["params"] = Value(cond.params);
           OPD_RETURN_NOT_OK(RunMapTasks(
-              pool_.get(), in, block_size,
+              pctx, in, block_size,
               [&](const Row& row, std::vector<Row>* local) -> Status {
                 std::vector<Value> args;
                 args.reserve(idx.size());
@@ -608,6 +669,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
 
         const size_t num_buckets = DeriveReduceTasks(
             options_.num_reduce_tasks, shuffle_bytes, block_size);
+        job_reduce_tasks = num_buckets;
 
         if (vectorized) {
           const BatchList build_list(build_in);
@@ -617,18 +679,19 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
           // straight off the columnar data.
           double part_build_s = 0, part_probe_s = 0;
           std::vector<uint32_t> build_bucket, probe_bucket;
-          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pool_.get(), build_list,
-                                                build_keys, num_buckets,
-                                                &build_bucket,
+          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:build",
+                                                build_list, build_keys,
+                                                num_buckets, &build_bucket,
                                                 &part_build_s));
-          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pool_.get(), probe_list,
-                                                probe_keys, num_buckets,
-                                                &probe_bucket,
+          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:probe",
+                                                probe_list, probe_keys,
+                                                num_buckets, &probe_bucket,
                                                 &part_probe_s));
           const auto build_lists =
               BucketRefLists(build_list, build_bucket, num_buckets);
           const auto probe_lists =
               BucketRefLists(probe_list, probe_bucket, num_buckets);
+          job_skew = BucketSkew(probe_lists);
 
           // Reduce side: each bucket keys its build rows by their packed
           // key bytes (equal exactly when the key Values are equal) and
@@ -639,8 +702,8 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
           };
           double reduce_max_s = 0;
           std::vector<std::vector<Match>> bucket_out(num_buckets);
-          OPD_RETURN_NOT_OK(ParallelFor(
-              pool_.get(), num_buckets,
+          OPD_RETURN_NOT_OK(RunPhase(
+              pctx, "reduce", num_buckets,
               [&](size_t b) -> Status {
                 std::unordered_map<std::string, std::vector<RowRef>> ht;
                 ht.reserve(build_lists[b].size());
@@ -650,6 +713,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
                   PackKeys(build_list.batch(ref.batch), ref.idx, build_keys,
                            &key);
                   ht[key].push_back(ref);
+                }
+                if (ht_load_hist != nullptr && !ht.empty()) {
+                  ht_load_hist->Observe(ht.load_factor());
                 }
                 auto& local = bucket_out[b];
                 local.reserve(probe_lists[b].size());
@@ -702,6 +768,17 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
             }
             out_cols.push_back(gatherer.Finish());
           }
+          if (options_.metrics) {
+            // Dictionary compression of the gathered string columns: hit
+            // rate is 1 - entries/values across the run.
+            for (const auto& col : out_cols) {
+              if (col->declared_type() == DataType::kString &&
+                  col->is_native() && col->size() > 0) {
+                registry.counter("storage.dict.values").Inc(col->size());
+                registry.counter("storage.dict.entries").Inc(col->dict_size());
+              }
+            }
+          }
           std::vector<RowBatch> out_batches;
           out_batches.push_back(
               RowBatch(std::move(out_cols), merged.size()));
@@ -714,14 +791,15 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         // Map side of the shuffle: hash-partition both inputs by join key.
         double part_build_s = 0, part_probe_s = 0;
         std::vector<uint32_t> build_bucket, probe_bucket;
-        OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), build_in, build_keys,
-                                         num_buckets, block_size,
+        OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:build", build_in,
+                                         build_keys, num_buckets, block_size,
                                          &build_bucket, &part_build_s));
-        OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), probe_in, probe_keys,
-                                         num_buckets, block_size,
+        OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:probe", probe_in,
+                                         probe_keys, num_buckets, block_size,
                                          &probe_bucket, &part_probe_s));
         const auto build_lists = BucketLists(build_bucket, num_buckets);
         const auto probe_lists = BucketLists(probe_bucket, num_buckets);
+        job_skew = BucketSkew(probe_lists);
 
         // Reduce side: each bucket builds an unordered hash table over its
         // build rows and probes it with its probe rows in row order. Output
@@ -729,8 +807,8 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         double reduce_max_s = 0;
         std::vector<std::vector<std::pair<size_t, Row>>> bucket_out(
             num_buckets);
-        OPD_RETURN_NOT_OK(ParallelFor(
-            pool_.get(), num_buckets,
+        OPD_RETURN_NOT_OK(RunPhase(
+            pctx, "reduce", num_buckets,
             [&](size_t b) -> Status {
               std::unordered_map<Row, std::vector<size_t>, RowHash> ht;
               ht.reserve(build_lists[b].size());
@@ -739,6 +817,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
                 key.reserve(build_keys.size());
                 for (size_t i : build_keys) key.push_back(build_in.row(r)[i]);
                 ht[std::move(key)].push_back(r);
+              }
+              if (ht_load_hist != nullptr && !ht.empty()) {
+                ht_load_hist->Observe(ht.load_factor());
               }
               auto& local = bucket_out[b];
               local.reserve(probe_lists[b].size());
@@ -803,6 +884,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         }
         const size_t num_buckets = DeriveReduceTasks(
             options_.num_reduce_tasks, shuffle_bytes, block_size);
+        job_reduce_tasks = num_buckets;
 
         using GroupEntry = std::pair<Row, std::vector<AggState>>;
         double part_s = 0, reduce_max_s = 0;
@@ -812,17 +894,18 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
           const BatchList in_list(in);
           // Map side of the shuffle: hash-partition rows by group key.
           std::vector<uint32_t> bucket_of;
-          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pool_.get(), in_list,
+          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition", in_list,
                                                 key_idx, num_buckets,
                                                 &bucket_of, &part_s));
           const auto lists = BucketRefLists(in_list, bucket_of, num_buckets);
+          job_skew = BucketSkew(lists);
 
           // Reduce side: hash-aggregate each bucket, keying groups by the
           // packed key bytes; the key Row is materialized once per group.
           // Rows of a key fold in original row order, so floating point
           // accumulation matches the serial pass exactly.
-          OPD_RETURN_NOT_OK(ParallelFor(
-              pool_.get(), num_buckets,
+          OPD_RETURN_NOT_OK(RunPhase(
+              pctx, "reduce", num_buckets,
               [&](size_t b) -> Status {
                 std::unordered_map<std::string, size_t> index;
                 index.reserve(lists[b].size());
@@ -852,22 +935,26 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
                             : Value(int64_t{1}));
                   }
                 }
+                if (ht_load_hist != nullptr && !index.empty()) {
+                  ht_load_hist->Observe(index.load_factor());
+                }
                 return Status::OK();
               },
               &reduce_max_s));
         } else {
           // Map side of the shuffle: hash-partition rows by group key.
           std::vector<uint32_t> bucket_of;
-          OPD_RETURN_NOT_OK(ComputeBuckets(pool_.get(), in, key_idx,
+          OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition", in, key_idx,
                                            num_buckets, block_size,
                                            &bucket_of, &part_s));
           const auto lists = BucketLists(bucket_of, num_buckets);
+          job_skew = BucketSkew(lists);
 
           // Reduce side: hash-aggregate each bucket. All rows of a key land
           // in one bucket and are folded in original row order, so floating
           // point accumulation matches the serial pass exactly.
-          OPD_RETURN_NOT_OK(ParallelFor(
-              pool_.get(), num_buckets,
+          OPD_RETURN_NOT_OK(RunPhase(
+              pctx, "reduce", num_buckets,
               [&](size_t b) -> Status {
                 std::unordered_map<Row, size_t, RowHash> index;
                 index.reserve(lists[b].size());
@@ -889,6 +976,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
                     states[a].Update(agg_idx[a] ? row[*agg_idx[a]]
                                                 : Value(int64_t{1}));
                   }
+                }
+                if (ht_load_hist != nullptr && !index.empty()) {
+                  ht_load_hist->Observe(index.load_factor());
                 }
                 return Status::OK();
               },
@@ -934,6 +1024,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
         udf_opts.pool = pool_.get();
         udf_opts.block_size_bytes = block_size;
         udf_opts.num_reduce_tasks = options_.num_reduce_tasks;
+        udf_opts.trace = trace;
+        udf_opts.parent_span = job_span.id();
+        udf_opts.trace_tasks = options_.trace_tasks;
+        udf_opts.tasks = &job_tasks;
         OPD_RETURN_NOT_OK(RunLocalFunctions(*def, *inputs[0],
                                             node->udf.params, &out,
                                             &stage_runs, udf_opts));
@@ -956,6 +1050,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
     }
 
     const uint64_t out_bytes = out.ByteSize();
+    const uint64_t out_rows = out.num_rows();
     plan::JobCostInfo jc = model.JobCost(
         static_cast<double>(in_bytes), static_cast<double>(shuffle_bytes),
         static_cast<double>(out_bytes), map_scalar, reduce_scalar,
@@ -968,12 +1063,47 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
     metrics.max_task_time_s += job_max_task_s;
 
     // Materialize the job output to the DFS (Hive materializes every job).
+    const int job_index = job_counter++;
     const std::string path = "views/run" + std::to_string(run_id) + "/job" +
-                             std::to_string(job_counter++);
+                             std::to_string(job_index);
     out.set_name(path);
     auto table = std::make_shared<const Table>(std::move(out));
     OPD_RETURN_NOT_OK(dfs_->Write(path, table));
     results[node] = table;
+
+    JobRun jr;
+    jr.index = job_index;
+    jr.node = node;
+    jr.op = node->DisplayName();
+    jr.sim_time_s = jc.total_s;
+    jr.wall_time_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - job_wall_start)
+                         .count();
+    jr.bytes_read = in_bytes;
+    jr.bytes_shuffled = shuffle_bytes;
+    jr.bytes_written = out_bytes;
+    jr.rows_out = out_rows;
+    jr.map_tasks = job_tasks >= job_reduce_tasks ? job_tasks - job_reduce_tasks
+                                                 : 0;
+    jr.reduce_tasks = job_reduce_tasks;
+    jr.max_task_time_s = job_max_task_s;
+    result.jobs.push_back(std::move(jr));
+
+    if (job_span) {
+      job_span.AddArg("sim_time_s", jc.total_s);
+      job_span.AddArg("bytes_read", in_bytes);
+      job_span.AddArg("bytes_shuffled", shuffle_bytes);
+      job_span.AddArg("bytes_written", out_bytes);
+      job_span.AddArg("rows_out", out_rows);
+      job_span.AddArg("max_task_time_s", job_max_task_s);
+    }
+    if (options_.metrics) {
+      registry.counter("engine.jobs").Inc();
+      registry.counter("engine.bytes_read").Inc(in_bytes);
+      registry.counter("engine.bytes_shuffled").Inc(shuffle_bytes);
+      registry.counter("engine.bytes_written").Inc(out_bytes);
+      if (job_skew > 0) skew_hist->Observe(job_skew);
+    }
 
     if (options_.retain_views) {
       catalog::ViewDefinition def;
@@ -985,6 +1115,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
       def.bytes = out_bytes;
       def.producer = plan->name();
       if (options_.collect_stats) {
+        obs::TraceSpan stats_span(trace, job_span.id(), "stats", "phase");
         def.stats = stats_.Collect(*table, pool_.get());
         metrics.stats_time_s += stats_.JobTime(*table, model);
       } else {
@@ -993,7 +1124,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
       }
       size_t before = views_->size();
       views_->Add(std::move(def));
-      if (views_->size() > before) metrics.views_created += 1;
+      if (views_->size() > before) {
+        metrics.views_created += 1;
+        if (options_.metrics) registry.counter("engine.views_created").Inc();
+      }
     }
   }
 
@@ -1001,7 +1135,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan) {
   if (sink == results.end()) {
     return Status::Internal("plan produced no sink result");
   }
-  return ExecResult{sink->second, metrics};
+  result.table = sink->second;
+  result.metrics = metrics;
+  return result;
 }
 
 }  // namespace opd::exec

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
@@ -19,6 +20,7 @@
 #include "common/status.h"
 #include "exec/metrics.h"
 #include "exec/stats_collector.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan.h"
 #include "storage/dfs.h"
@@ -48,12 +50,37 @@ struct EngineOptions {
   /// row-at-a-time operators; results are byte-identical either way (UDF
   /// stages and opaque predicates always run row-at-a-time).
   bool vectorized = true;
+  /// Publish per-job observations (shuffle skew, hash-table load factors,
+  /// dictionary compression, byte counts) into obs::MetricRegistry::Global().
+  bool metrics = true;
+  /// Emit one span per map/partition/reduce task when a Trace is attached to
+  /// Execute. Off keeps only the job/phase spans (cheaper for huge jobs).
+  bool trace_tasks = true;
+};
+
+/// Observed execution record of one MR job — the raw material for
+/// EXPLAIN ANALYZE and for the per-job args of the trace.
+struct JobRun {
+  int index = 0;                        ///< job position in submission order
+  const plan::OpNode* node = nullptr;   ///< plan node this job executed
+  std::string op;                       ///< node DisplayName at run time
+  double sim_time_s = 0;                ///< modeled cluster time
+  double wall_time_s = 0;               ///< real wall-clock of the job
+  uint64_t bytes_read = 0;
+  uint64_t bytes_shuffled = 0;
+  uint64_t bytes_written = 0;
+  uint64_t rows_out = 0;
+  size_t map_tasks = 0;                 ///< tasks across map/partition waves
+  size_t reduce_tasks = 0;              ///< shuffle buckets (0 = map-only)
+  double max_task_time_s = 0;           ///< modeled straggler (critical path)
 };
 
 /// Result of executing one plan.
 struct ExecResult {
   storage::TablePtr table;
   ExecMetrics metrics;
+  /// One record per executed MR job, in submission order.
+  std::vector<JobRun> jobs;
 };
 
 /// \brief Executes plans over the simulated cluster.
@@ -73,7 +100,13 @@ class Engine {
   /// Prepares (annotates/costs) and executes `plan`. The sink's output table
   /// and the run's metrics are returned; intermediate materializations are
   /// registered as opportunistic views when retention is on.
-  Result<ExecResult> Execute(plan::Plan* plan);
+  ///
+  /// When `trace` is non-null each MR job opens a "job:<op>" span under
+  /// `parent_span`, with nested map/partition/reduce phase spans (and task
+  /// spans if EngineOptions::trace_tasks). Span structure is deterministic:
+  /// identical at every thread count; only durations vary.
+  Result<ExecResult> Execute(plan::Plan* plan, obs::Trace* trace = nullptr,
+                             uint64_t parent_span = 0);
 
   const EngineOptions& options() const { return options_; }
   /// Number of Execute calls so far (used to build unique DFS paths).

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/json_writer.h"
+
 namespace opd::exec {
 
 ExecMetrics& ExecMetrics::operator+=(const ExecMetrics& other) {
@@ -20,8 +22,26 @@ std::string ExecMetrics::ToString() const {
   std::ostringstream os;
   os << "time=" << sim_time_s << "s (+stats " << stats_time_s << "s), jobs="
      << jobs << ", read=" << bytes_read << "B, shuffled=" << bytes_shuffled
-     << "B, written=" << bytes_written << "B, views=" << views_created;
+     << "B, written=" << bytes_written << "B, views=" << views_created
+     << ", max_task=" << max_task_time_s << "s";
   return os.str();
+}
+
+std::string ExecMetrics::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("sim_time_s").Double(sim_time_s);
+  w.Key("stats_time_s").Double(stats_time_s);
+  w.Key("total_time_s").Double(TotalTime());
+  w.Key("bytes_read").UInt(bytes_read);
+  w.Key("bytes_shuffled").UInt(bytes_shuffled);
+  w.Key("bytes_written").UInt(bytes_written);
+  w.Key("bytes_manipulated").UInt(BytesManipulated());
+  w.Key("jobs").Int(jobs);
+  w.Key("views_created").Int(views_created);
+  w.Key("max_task_time_s").Double(max_task_time_s);
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace opd::exec

@@ -38,6 +38,9 @@ struct ExecMetrics {
 
   ExecMetrics& operator+=(const ExecMetrics& other);
   std::string ToString() const;
+  /// One flat JSON object with every field plus the derived totals — the
+  /// single serialization used by bench --json and the trace export.
+  std::string ToJson() const;
 };
 
 }  // namespace opd::exec

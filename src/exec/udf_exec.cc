@@ -35,6 +35,23 @@ size_t DeriveReduceTasks(int requested, uint64_t in_bytes,
   return std::min<uint64_t>(in_bytes / block_size_bytes + 1, 64);
 }
 
+// Runs one wave of `n` parallel tasks, wrapped in a phase span (plus task
+// spans when enabled). Ids are allocated before the wave starts, keeping the
+// span structure identical at every thread count.
+Status RunWave(const UdfExecOptions& opts, uint64_t parent, const char* name,
+               size_t n, const std::function<Status(size_t)>& fn,
+               double* max_task_seconds) {
+  if (opts.tasks != nullptr) *opts.tasks += n;
+  if (opts.trace == nullptr) {
+    return ParallelFor(opts.pool, n, fn, max_task_seconds);
+  }
+  obs::TraceSpan span(opts.trace, parent, name, "phase");
+  span.AddArg("tasks", static_cast<uint64_t>(n));
+  if (!opts.trace_tasks) return ParallelFor(opts.pool, n, fn, max_task_seconds);
+  return obs::TracedParallelFor(opts.pool, n, opts.trace, span.id(), name, fn,
+                                max_task_seconds);
+}
+
 // One key group gathered during the shuffle, and what the reduce call over
 // it emitted. Keeping outputs attached to their key lets the merge step
 // re-establish the global key order independent of bucket/thread counts.
@@ -49,13 +66,13 @@ struct ReduceGroup {
 // pass since map functions are applied row-at-a-time in order).
 Status RunMapStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
                    const std::vector<Row>& rows, double avg_row_bytes,
-                   const UdfExecOptions& opts, std::vector<Row>* out,
-                   double* max_task_seconds) {
+                   const UdfExecOptions& opts, uint64_t stage_span,
+                   std::vector<Row>* out, double* max_task_seconds) {
   const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
       rows.size(), avg_row_bytes, opts.block_size_bytes);
   std::vector<std::vector<Row>> partials(splits.size());
-  OPD_RETURN_NOT_OK(ParallelFor(
-      opts.pool, splits.size(),
+  OPD_RETURN_NOT_OK(RunWave(
+      opts, stage_span, "map", splits.size(),
       [&](size_t t) -> Status {
         std::vector<Row>& local = partials[t];
         local.reserve(splits[t].size());
@@ -81,7 +98,8 @@ Status RunMapStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
 Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
                       const Schema& in_schema, std::vector<Row>* rows,
                       uint64_t in_bytes, const UdfExecOptions& opts,
-                      std::vector<Row>* out, double* max_task_seconds) {
+                      uint64_t stage_span, std::vector<Row>* out,
+                      double* max_task_seconds) {
   std::vector<size_t> key_idx;
   for (const std::string& key : lf.group_keys) {
     auto idx = in_schema.IndexOf(key);
@@ -109,8 +127,8 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
         n == 0 ? 0.0 : static_cast<double>(in_bytes) / static_cast<double>(n);
     const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
         n, avg_row_bytes, opts.block_size_bytes);
-    OPD_RETURN_NOT_OK(ParallelFor(
-        opts.pool, splits.size(),
+    OPD_RETURN_NOT_OK(RunWave(
+        opts, stage_span, "partition", splits.size(),
         [&](size_t t) -> Status {
           for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
             bucket_of[r] = static_cast<uint32_t>(RowHash()(key_of((*rows)[r])) %
@@ -129,8 +147,8 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
   // Reduce side: each bucket groups its rows and applies the reduce fn.
   double reduce_max_s = 0;
   std::vector<std::vector<ReduceGroup>> bucket_groups(num_buckets);
-  OPD_RETURN_NOT_OK(ParallelFor(
-      opts.pool, num_buckets,
+  OPD_RETURN_NOT_OK(RunWave(
+      opts, stage_span, "reduce", num_buckets,
       [&](size_t b) -> Status {
         std::unordered_map<Row, size_t, RowHash> group_index;
         std::vector<ReduceGroup>& groups = bucket_groups[b];
@@ -212,6 +230,8 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
     run.in_rows = cur_rows->size();
     for (const Row& r : *cur_rows) run.in_bytes += storage::RowByteSize(r);
 
+    obs::TraceSpan stage_span(exec_options.trace, exec_options.parent_span,
+                              "stage:" + lf.name, "stage");
     std::vector<Row> next_rows;
     auto start = std::chrono::steady_clock::now();
     if (lf.kind == udf::LfKind::kMap) {
@@ -223,7 +243,7 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
                             : static_cast<double>(run.in_bytes) /
                                   static_cast<double>(cur_rows->size());
       OPD_RETURN_NOT_OK(RunMapStage(lf, ctx, *cur_rows, avg_row_bytes,
-                                    exec_options, &next_rows,
+                                    exec_options, stage_span.id(), &next_rows,
                                     &run.max_task_seconds));
     } else {
       if (!lf.reduce_fn) {
@@ -235,11 +255,17 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
         cur_rows = &owned;
       }
       OPD_RETURN_NOT_OK(RunReduceStage(lf, ctx, cur_schema, &owned,
-                                       run.in_bytes, exec_options, &next_rows,
+                                       run.in_bytes, exec_options,
+                                       stage_span.id(), &next_rows,
                                        &run.max_task_seconds));
     }
     auto end = std::chrono::steady_clock::now();
     run.wall_seconds = std::chrono::duration<double>(end - start).count();
+    if (stage_span) {
+      stage_span.AddArg("in_rows", run.in_rows);
+      stage_span.AddArg("in_bytes", run.in_bytes);
+      stage_span.End();
+    }
 
     // Validate arity of produced rows (cheap sanity check on user code).
     for (const Row& r : next_rows) {

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 #include "udf/udf.h"
 
@@ -34,6 +35,14 @@ struct UdfExecOptions {
   ThreadPool* pool = nullptr;     // null => run tasks inline
   uint64_t block_size_bytes = 64 * 1024;  // map split size (Dfs default)
   int num_reduce_tasks = 0;       // 0 => derived from stage input size
+  /// Tracing hooks (see obs/trace.h): each local function opens a
+  /// "stage:<name>" span under `parent_span`, with per-wave phase spans
+  /// (and task spans when `trace_tasks`). Null trace = no overhead.
+  obs::Trace* trace = nullptr;
+  uint64_t parent_span = 0;
+  bool trace_tasks = true;
+  /// Optional accumulator for the number of tasks launched across stages.
+  size_t* tasks = nullptr;
 };
 
 /// \brief Runs all local functions of `udf` over `input`.

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/json_writer.h"
+
+namespace opd::obs {
+
+namespace {
+
+int BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN land in bucket 0
+  // Bucket b (1..63) covers (2^(b-33), 2^(b-32)].
+  const int e = static_cast<int>(std::ceil(std::log2(v)));
+  const int b = e + 32;
+  if (b < 1) return 1;
+  if (b >= Histogram::kNumBuckets) return Histogram::kNumBuckets - 1;
+  return b;
+}
+
+void AtomicAdd(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+  bool had = has_.exchange(true, std::memory_order_relaxed);
+  if (!had) {
+    // First observer seeds min/max; races with concurrent observers are
+    // resolved by the CAS loops below (both run unconditionally).
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+}
+
+double Histogram::min() const {
+  return has_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return has_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0.0;
+  return std::ldexp(1.0, b - 32);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_.store(false, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << "=" << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << "=" << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << "=count:" << h->count() << " mean:" << h->mean()
+       << " max:" << h->max() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w.Key(name).UInt(c->value());
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w.Key(name).Double(g->value());
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(h->count());
+    w.Key("sum").Double(h->sum());
+    w.Key("min").Double(h->min());
+    w.Key("max").Double(h->max());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::vector<std::string> MetricRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+}  // namespace opd::obs

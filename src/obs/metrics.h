@@ -1,0 +1,112 @@
+// Process-wide metric registry: named counters, gauges, and histograms that
+// the engine, rewriter, DFS, and view store publish into (replacing the
+// ad-hoc per-subsystem counters for anything that wants a global view).
+//
+// Naming scheme (DESIGN.md "Observability"): dot-separated
+// `<subsystem>.<object>.<event>`, e.g. `engine.shuffle.skew`,
+// `viewstore.find.hit`, `dfs.bytes_read`.
+//
+// Concurrency: metric objects are created under the registry mutex once and
+// never destroyed (pointers are stable for the process lifetime — callers
+// may cache them, including via function-local statics). Updates are
+// lock-free relaxed atomics; per-value hot loops should aggregate locally
+// and publish per task or per job.
+
+#ifndef OPD_OBS_METRICS_H_
+#define OPD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace opd::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-written level (e.g. a load factor, a store size).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Distribution sketch over power-of-two buckets spanning [2^-31, 2^31),
+/// plus exact count/sum/min/max. All updates are atomic; concurrent
+/// Observe() calls never lose events.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket `b` (bucket 0 holds v <= 0).
+  static double BucketUpperBound(int b);
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min/max stored as doubles updated by CAS; +-inf sentinels when empty.
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_{false};
+};
+
+/// \brief The process-wide named-metric table.
+class MetricRegistry {
+ public:
+  /// The global registry every subsystem publishes into.
+  static MetricRegistry& Global();
+
+  /// Finds or creates; returned references stay valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every metric's value; registrations (and pointers) survive.
+  void ResetAll();
+
+  /// Sorted "name=value" lines (histograms as count/mean/max).
+  std::string ToString() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  std::vector<std::string> CounterNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace opd::obs
+
+#endif  // OPD_OBS_METRICS_H_

@@ -1,5 +1,6 @@
 #include "oql/parser.h"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "oql/lexer.h"
@@ -284,6 +285,54 @@ Result<plan::Plan> ParseQuery(const std::string& source) {
   plan::Plan plan = program.ToPlan();
   if (plan.empty()) return Status::Internal("program produced no plan");
   return plan;
+}
+
+namespace {
+
+// Case-insensitive word match at `pos`; returns the index past the word and
+// any following whitespace, or std::string::npos on no match. The word must
+// end at a non-identifier character so `explained = ...` still parses as a
+// binding.
+size_t ConsumeWord(const std::string& s, size_t pos, const char* word) {
+  size_t i = pos;
+  for (const char* w = word; *w != '\0'; ++w, ++i) {
+    if (i >= s.size() || std::tolower(static_cast<unsigned char>(s[i])) != *w) {
+      return std::string::npos;
+    }
+  }
+  if (i < s.size() &&
+      (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_')) {
+    return std::string::npos;
+  }
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+}  // namespace
+
+ExplainMode ConsumeExplainPrefix(std::string* source) {
+  // Skip whitespace and `#` comment lines: scripts routinely open with a
+  // banner comment above the EXPLAIN keyword.
+  size_t start = 0;
+  while (start < source->size()) {
+    const char c = (*source)[start];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++start;
+    } else if (c == '#') {
+      while (start < source->size() && (*source)[start] != '\n') ++start;
+    } else {
+      break;
+    }
+  }
+  const size_t after_explain = ConsumeWord(*source, start, "explain");
+  if (after_explain == std::string::npos) return ExplainMode::kNone;
+  const size_t after_analyze = ConsumeWord(*source, after_explain, "analyze");
+  if (after_analyze != std::string::npos) {
+    source->erase(0, after_analyze);
+    return ExplainMode::kExplainAnalyze;
+  }
+  source->erase(0, after_explain);
+  return ExplainMode::kExplain;
 }
 
 }  // namespace opd::oql

@@ -53,6 +53,18 @@ Result<Program> Parse(const std::string& source);
 /// Convenience: parse and return the result plan directly.
 Result<plan::Plan> ParseQuery(const std::string& source);
 
+/// How a program asked to be explained (shell-level prefix keywords).
+enum class ExplainMode {
+  kNone,            ///< run normally
+  kExplain,         ///< print the estimated plan, don't execute
+  kExplainAnalyze,  ///< execute, then print observed per-job stats
+};
+
+/// Strips a leading `explain` / `explain analyze` prefix (case-insensitive)
+/// from `source` in place and returns which mode was requested. The rest of
+/// the program is left untouched for Parse().
+ExplainMode ConsumeExplainPrefix(std::string* source);
+
 }  // namespace opd::oql
 
 #endif  // OPD_OQL_PARSER_H_

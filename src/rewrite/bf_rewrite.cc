@@ -117,7 +117,10 @@ struct SearchState {
 
 }  // namespace
 
-Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan) const {
+Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
+                                           obs::Trace* trace,
+                                           uint64_t parent_span) const {
+  obs::TraceSpan rewrite_span(trace, parent_span, "rewrite", "rewrite");
   OPD_RETURN_NOT_OK(optimizer_->Prepare(plan));
   OPD_ASSIGN_OR_RETURN(plan::JobDag dag, plan::JobDag::Build(*plan));
   const size_t n = dag.size();
@@ -151,15 +154,26 @@ Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan) const {
   constexpr size_t kMaxIterations = 10'000'000;
   for (size_t iter = 0; iter < kMaxIterations; ++iter) {
     auto [target, d] = state.FindNextMinTarget(dag.sink());
-    (void)d;
     if (target == -1) break;
+    obs::TraceSpan round_span(trace, rewrite_span.id(),
+                              "round:" + std::to_string(iter), "rewrite");
+    round_span.AddArg("target", static_cast<int64_t>(target));
+    round_span.AddArg("peek_cost", d);
     OPD_RETURN_NOT_OK(state.RefineTarget(target));
+    round_span.AddArg("best_cost", state.best_cost[dag.sink()]);
   }
 
   outcome.plan = plan::Plan(state.best_plan[dag.sink()], plan->name());
   outcome.est_cost = state.best_cost[dag.sink()];
   outcome.improved = outcome.est_cost + kEps < outcome.original_cost;
   outcome.stats.runtime_s = state.Elapsed();
+  if (rewrite_span) {
+    rewrite_span.AddArg("original_cost", outcome.original_cost);
+    rewrite_span.AddArg("est_cost", outcome.est_cost);
+    rewrite_span.AddArg("improved", outcome.improved);
+    rewrite_span.AddArg("candidates",
+                        static_cast<uint64_t>(outcome.stats.candidates_considered));
+  }
   return outcome;
 }
 

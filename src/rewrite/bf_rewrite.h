@@ -12,6 +12,7 @@
 
 #include "catalog/view_store.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan.h"
 #include "rewrite/rewriter.h"
@@ -28,7 +29,12 @@ class BfRewriter {
   /// Finds the minimum-cost rewrite of `plan` using the current views.
   /// `plan` is prepared (annotated + costed) in place; the returned outcome
   /// contains the best plan (possibly the original) and search statistics.
-  Result<RewriteOutcome> Rewrite(plan::Plan* plan) const;
+  ///
+  /// When `trace` is non-null the search opens a "rewrite" span under
+  /// `parent_span` with one "round" span per refinement iteration.
+  Result<RewriteOutcome> Rewrite(plan::Plan* plan,
+                                 obs::Trace* trace = nullptr,
+                                 uint64_t parent_span = 0) const;
 
   const RewriteOptions& options() const { return options_; }
 

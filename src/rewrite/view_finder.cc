@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "rewrite/guess_complete.h"
 #include "rewrite/merge.h"
 #include "rewrite/opt_cost.h"
@@ -63,6 +64,10 @@ std::optional<EnumResult> ViewFinder::Refine() {
   CandidateView v = std::move(heap_.back());
   heap_.pop_back();
   if (stats_ != nullptr) stats_->candidates_considered += 1;
+  // Mirror the per-search stats into the process-wide registry so cumulative
+  // search effort is visible across queries.
+  auto& registry = obs::MetricRegistry::Global();
+  registry.counter("rewrite.candidates_considered").Inc();
 
   // Grow the space: merge v with every previously-seen candidate. MiniCon-
   // style pruning: a merge is only created when each side contributes a
@@ -89,13 +94,17 @@ std::optional<EnumResult> ViewFinder::Refine() {
     return std::nullopt;
   }
   if (stats_ != nullptr) stats_->rewrite_attempts += 1;
+  registry.counter("rewrite.attempts").Inc();
   auto result = RewriteEnum(target_, v, deps_);
   if (!result.ok()) {
     status_ = result.status();
     return std::nullopt;
   }
-  if (result.value().has_value() && stats_ != nullptr) {
-    stats_->rewrites_found += result.value()->rewrites_found;
+  if (result.value().has_value()) {
+    if (stats_ != nullptr) {
+      stats_->rewrites_found += result.value()->rewrites_found;
+    }
+    registry.counter("rewrite.found").Inc(result.value()->rewrites_found);
   }
   return std::move(result).value();
 }

@@ -1,0 +1,88 @@
+#include "session/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "catalog/eviction.h"
+#include "oql/parser.h"
+
+namespace opd {
+
+Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
+  // The session-level obs toggles are the single source of truth; mirror
+  // them into the engine's own knobs.
+  options.engine.metrics = options.obs.metrics;
+  options.engine.trace_tasks = options.obs.trace_tasks;
+
+  auto session = std::unique_ptr<Session>(new Session());
+  session->options_ = options;
+  session->dfs_ = std::make_unique<storage::Dfs>();
+  session->catalog_ = std::make_unique<catalog::Catalog>();
+  session->views_ = std::make_unique<catalog::ViewStore>();
+  session->udfs_ = std::make_unique<udf::UdfRegistry>();
+
+  plan::AnnotationContext ctx;
+  ctx.catalog = session->catalog_.get();
+  ctx.views = session->views_.get();
+  ctx.udfs = session->udfs_.get();
+  session->optimizer_ = std::make_unique<optimizer::Optimizer>(
+      ctx, optimizer::CostModel(options.cost), options.optimizer);
+  session->engine_ = std::make_unique<exec::Engine>(
+      session->dfs_.get(), session->views_.get(), session->optimizer_.get(),
+      options.engine);
+  session->bfr_ = std::make_unique<rewrite::BfRewriter>(
+      session->optimizer_.get(), session->views_.get(), options.rewrite);
+  return session;
+}
+
+Status Session::RegisterTable(const storage::TablePtr& table,
+                              const std::vector<std::string>& key_columns) {
+  return catalog_->RegisterBase(table, key_columns, dfs_.get());
+}
+
+Result<RunResult> Session::Run(const std::string& oql,
+                               const RunOptions& opts) {
+  OPD_ASSIGN_OR_RETURN(plan::Plan plan, oql::ParseQuery(oql));
+  return Run(std::move(plan), opts);
+}
+
+Result<RunResult> Session::Run(plan::Plan plan, const RunOptions& opts) {
+  RunResult out;
+  if (options_.obs.tracing) out.trace = std::make_shared<obs::Trace>();
+  obs::Trace* trace = out.trace.get();
+  obs::TraceSpan query_span(trace, 0, "query:" + plan.name(), "query");
+
+  if (opts.rewrite) {
+    OPD_ASSIGN_OR_RETURN(out.rewrite,
+                         bfr_->Rewrite(&plan, trace, query_span.id()));
+    out.rewritten = true;
+    // Credit the views the rewrite uses (drives the retention policies).
+    OPD_RETURN_NOT_OK(catalog::RecordPlanAccesses(
+        views_.get(), out.rewrite.plan,
+        std::max(out.rewrite.original_cost - out.rewrite.est_cost, 0.0)));
+    plan = out.rewrite.plan;
+  }
+
+  OPD_ASSIGN_OR_RETURN(exec::ExecResult exec,
+                       engine_->Execute(&plan, trace, query_span.id()));
+  query_span.End();
+
+  out.table = std::move(exec.table);
+  out.metrics = exec.metrics;
+  out.jobs = std::move(exec.jobs);
+  out.plan = std::move(plan);
+  return out;
+}
+
+Result<std::string> Session::ExplainAnalyze(const std::string& oql,
+                                            const RunOptions& opts) {
+  OPD_ASSIGN_OR_RETURN(RunResult run, Run(oql, opts));
+  return run.ExplainAnalyze();
+}
+
+std::string RunResult::ExplainAnalyze(
+    const exec::AnalyzeOptions& options) const {
+  return exec::ExplainAnalyze(plan, jobs, metrics, options);
+}
+
+}  // namespace opd

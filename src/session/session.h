@@ -1,0 +1,120 @@
+// opd::Session — the single entry point into the system.
+//
+// A Session owns the whole stack (simulated DFS, catalog, opportunistic view
+// store, UDF registry, optimizer, MR engine, and the BFREWRITE rewriter) and
+// wires it together, so embedders no longer assemble the pieces by hand.
+// `Session::Run` takes an OQL program or a plan and returns the result table
+// together with the run's metrics, the per-job observations, the rewrite
+// outcome, and — when tracing is on — the query's span trace.
+
+#ifndef OPD_SESSION_SESSION_H_
+#define OPD_SESSION_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/view_store.h"
+#include "common/status.h"
+#include "exec/analyze.h"
+#include "exec/engine.h"
+#include "obs/trace.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+#include "rewrite/bf_rewrite.h"
+#include "storage/dfs.h"
+#include "udf/udf_registry.h"
+
+namespace opd {
+
+/// Observability knobs, session-wide.
+struct ObsOptions {
+  /// Record a span trace per Run (query -> rewrite/job -> phase -> task).
+  bool tracing = false;
+  /// Publish counters/gauges/histograms into obs::MetricRegistry::Global().
+  bool metrics = true;
+  /// Emit per-task spans inside traced phases (tracing only).
+  bool trace_tasks = true;
+};
+
+/// Every knob of a session, grouped by subsystem. The nested structs are the
+/// same ones the subsystems take directly (EngineOptions, RewriteOptions,
+/// ...), so existing code keeps compiling; the session copies the obs
+/// toggles into the engine options at creation.
+struct SessionOptions {
+  optimizer::CostParams cost;
+  optimizer::OptimizerOptions optimizer;
+  exec::EngineOptions engine;
+  rewrite::RewriteOptions rewrite;
+  ObsOptions obs;
+};
+
+/// Per-Run knobs.
+struct RunOptions {
+  /// Rewrite against the view store (BFREWRITE) before executing.
+  bool rewrite = true;
+};
+
+/// What one Run produced.
+struct RunResult {
+  storage::TablePtr table;
+  exec::ExecMetrics metrics;
+  /// One record per executed MR job (matches `plan`'s nodes by identity).
+  std::vector<exec::JobRun> jobs;
+  /// The plan that was executed (the rewrite's best plan when rewriting).
+  plan::Plan plan;
+  /// Rewrite search outcome; meaningful when `rewritten`.
+  rewrite::RewriteOutcome rewrite;
+  bool rewritten = false;
+  /// The query's span trace; non-null iff ObsOptions::tracing.
+  std::shared_ptr<obs::Trace> trace;
+
+  /// Renders the EXPLAIN ANALYZE tree of this run.
+  std::string ExplainAnalyze(const exec::AnalyzeOptions& options = {}) const;
+};
+
+/// \brief A fully-wired system instance behind one coherent API.
+class Session {
+ public:
+  static Result<std::unique_ptr<Session>> Create(SessionOptions options = {});
+
+  /// Registers `table` as a base relation keyed on `key_columns` (writes its
+  /// data to the session DFS and computes exact statistics).
+  Status RegisterTable(const storage::TablePtr& table,
+                       const std::vector<std::string>& key_columns);
+
+  /// Parses and runs an OQL program.
+  Result<RunResult> Run(const std::string& oql, const RunOptions& opts = {});
+  /// Runs a plan (prepared in place).
+  Result<RunResult> Run(plan::Plan plan, const RunOptions& opts = {});
+
+  /// Runs `oql` and renders the observed per-job stats as a tree.
+  Result<std::string> ExplainAnalyze(const std::string& oql,
+                                     const RunOptions& opts = {});
+
+  storage::Dfs& dfs() { return *dfs_; }
+  catalog::Catalog& catalog() { return *catalog_; }
+  catalog::ViewStore& views() { return *views_; }
+  udf::UdfRegistry& udfs() { return *udfs_; }
+  const optimizer::Optimizer& optimizer() const { return *optimizer_; }
+  exec::Engine& engine() { return *engine_; }
+  const rewrite::BfRewriter& rewriter() const { return *bfr_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  Session() = default;
+
+  SessionOptions options_;
+  std::unique_ptr<storage::Dfs> dfs_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<catalog::ViewStore> views_;
+  std::unique_ptr<udf::UdfRegistry> udfs_;
+  std::unique_ptr<optimizer::Optimizer> optimizer_;
+  std::unique_ptr<exec::Engine> engine_;
+  std::unique_ptr<rewrite::BfRewriter> bfr_;
+};
+
+}  // namespace opd
+
+#endif  // OPD_SESSION_SESSION_H_

@@ -1,6 +1,7 @@
 #include "storage/dfs.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace opd::storage {
 
@@ -19,6 +20,10 @@ Status Dfs::Write(const std::string& path, TablePtr table) {
   used_ += size;
   metrics_.bytes_written += size;
   metrics_.files_written += 1;
+  auto& registry = obs::MetricRegistry::Global();
+  registry.counter("dfs.bytes_written").Inc(size);
+  registry.counter("dfs.files_written").Inc();
+  registry.gauge("dfs.used_bytes").Set(static_cast<double>(used_));
   return Status::OK();
 }
 
@@ -26,6 +31,8 @@ Result<TablePtr> Dfs::Read(const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   metrics_.bytes_read += it->second->ByteSize();
+  obs::MetricRegistry::Global().counter("dfs.bytes_read")
+      .Inc(it->second->ByteSize());
   return it->second;
 }
 
@@ -45,6 +52,9 @@ Status Dfs::Delete(const std::string& path) {
   used_ -= it->second->ByteSize();
   files_.erase(it);
   metrics_.files_deleted += 1;
+  auto& registry = obs::MetricRegistry::Global();
+  registry.counter("dfs.files_deleted").Inc();
+  registry.gauge("dfs.used_bytes").Set(static_cast<double>(used_));
   return Status::OK();
 }
 
@@ -59,6 +69,11 @@ size_t Dfs::DeletePrefix(const std::string& prefix) {
     } else {
       ++it;
     }
+  }
+  if (count > 0) {
+    auto& registry = obs::MetricRegistry::Global();
+    registry.counter("dfs.files_deleted").Inc(count);
+    registry.gauge("dfs.used_bytes").Set(static_cast<double>(used_));
   }
   return count;
 }

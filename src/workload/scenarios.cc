@@ -1,6 +1,7 @@
 #include "workload/scenarios.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "catalog/eviction.h"
 #include "exec/udf_exec.h"
@@ -19,44 +20,33 @@ constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
 Result<std::unique_ptr<TestBed>> TestBed::Create(TestBedConfig config) {
   auto bed = std::unique_ptr<TestBed>(new TestBed());
   bed->config_ = config;
-  bed->dfs_ = std::make_unique<storage::Dfs>();
-  bed->catalog_ = std::make_unique<catalog::Catalog>();
-  bed->views_ = std::make_unique<catalog::ViewStore>();
-  bed->udfs_ = std::make_unique<udf::UdfRegistry>();
-  OPD_RETURN_NOT_OK(udf::RegisterBuiltinUdfs(bed->udfs_.get()));
 
   storage::TablePtr twtr = GenerateTwitterLog(config.data);
   storage::TablePtr fsq = GenerateFoursquareLog(config.data);
   storage::TablePtr land = GenerateLandmarks(config.data);
-  OPD_RETURN_NOT_OK(
-      bed->catalog_->RegisterBase(twtr, {"tweet_id"}, bed->dfs_.get()));
-  OPD_RETURN_NOT_OK(
-      bed->catalog_->RegisterBase(fsq, {"checkin_id"}, bed->dfs_.get()));
-  OPD_RETURN_NOT_OK(
-      bed->catalog_->RegisterBase(land, {"location_id"}, bed->dfs_.get()));
 
   // Derive the byte scale so the synthetic TWTR log models the paper's
   // 800 GB Twitter log.
-  optimizer::CostParams cost = config.cost;
+  SessionOptions sopts = config.session;
   const double twtr_bytes = static_cast<double>(twtr->ByteSize());
   if (twtr_bytes > 0) {
-    cost.data_scale = config.modeled_twtr_gb * kGB / twtr_bytes;
+    sopts.cost.data_scale = config.modeled_twtr_gb * kGB / twtr_bytes;
   }
-  plan::AnnotationContext ctx;
-  ctx.catalog = bed->catalog_.get();
-  ctx.views = bed->views_.get();
-  ctx.udfs = bed->udfs_.get();
-  bed->optimizer_ = std::make_unique<optimizer::Optimizer>(
-      ctx, optimizer::CostModel(cost), config.optimizer);
-  bed->engine_ = std::make_unique<exec::Engine>(
-      bed->dfs_.get(), bed->views_.get(), bed->optimizer_.get(),
-      config.engine);
-  bed->bfr_ = std::make_unique<rewrite::BfRewriter>(
-      bed->optimizer_.get(), bed->views_.get(), config.rewrite);
+  if (std::getenv("OPD_TRACE") != nullptr) sopts.obs.tracing = true;
+
+  OPD_ASSIGN_OR_RETURN(bed->session_, Session::Create(sopts));
+  OPD_RETURN_NOT_OK(udf::RegisterBuiltinUdfs(&bed->session_->udfs()));
+  OPD_RETURN_NOT_OK(bed->session_->RegisterTable(twtr, {"tweet_id"}));
+  OPD_RETURN_NOT_OK(bed->session_->RegisterTable(fsq, {"checkin_id"}));
+  OPD_RETURN_NOT_OK(bed->session_->RegisterTable(land, {"location_id"}));
+
+  // The comparison rewriters (ablations) share the session's optimizer and
+  // view store.
   bed->dp_ = std::make_unique<rewrite::DpRewriter>(
-      bed->optimizer_.get(), bed->views_.get(), config.rewrite);
+      &bed->session_->optimizer(), &bed->session_->views(),
+      config.session.rewrite);
   bed->syntactic_ = std::make_unique<rewrite::SyntacticRewriter>(
-      bed->optimizer_.get(), bed->views_.get());
+      &bed->session_->optimizer(), &bed->session_->views());
 
   if (config.calibrate_udfs) {
     OPD_RETURN_NOT_OK(bed->Calibrate());
@@ -66,19 +56,19 @@ Result<std::unique_ptr<TestBed>> TestBed::Create(TestBedConfig config) {
 
 Status TestBed::Calibrate() {
   OPD_ASSIGN_OR_RETURN(const catalog::BaseTableEntry* twtr_entry,
-                       catalog_->Find("TWTR"));
+                       catalog().Find("TWTR"));
   OPD_ASSIGN_OR_RETURN(const catalog::BaseTableEntry* land_entry,
-                       catalog_->Find("LAND"));
+                       catalog().Find("LAND"));
   OPD_ASSIGN_OR_RETURN(storage::TablePtr twtr,
-                       dfs_->Peek(twtr_entry->dfs_path));
+                       dfs().Peek(twtr_entry->dfs_path));
   OPD_ASSIGN_OR_RETURN(storage::TablePtr land,
-                       dfs_->Peek(land_entry->dfs_path));
+                       dfs().Peek(land_entry->dfs_path));
 
   optimizer::CalibrationOptions copts;
   auto calibrate = [&](const std::string& name, const storage::Table& input,
                        const udf::Params& params) -> Status {
     OPD_ASSIGN_OR_RETURN(udf::UdfDefinition * def,
-                         udfs_->FindMutable(name));
+                         udfs().FindMutable(name));
     return optimizer::CalibrateUdf(def, input, params, copts);
   };
 
@@ -98,7 +88,7 @@ Status TestBed::Calibrate() {
   // UDFs whose inputs are other UDFs' outputs: chain the sampled stages.
   storage::Table sample = optimizer::SampleTable(*twtr, 0.05, copts.seed);
   OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* latlon,
-                       udfs_->Find("UDF_EXTRACT_LATLON"));
+                       udfs().Find("UDF_EXTRACT_LATLON"));
   storage::Table with_latlon;
   OPD_RETURN_NOT_OK(
       exec::RunLocalFunctions(*latlon, sample, {}, &with_latlon));
@@ -106,13 +96,13 @@ Status TestBed::Calibrate() {
                               {{"tile_size", storage::Value(1.0)}}));
 
   OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* tokenize,
-                       udfs_->Find("UDF_TOKENIZE"));
+                       udfs().Find("UDF_TOKENIZE"));
   storage::Table tokens;
   OPD_RETURN_NOT_OK(exec::RunLocalFunctions(*tokenize, sample, {}, &tokens));
   OPD_RETURN_NOT_OK(calibrate("UDF_WORD_COUNT", tokens, {}));
 
   OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* friendship,
-                       udfs_->Find("UDF_FRIENDSHIP_STRENGTH"));
+                       udfs().Find("UDF_FRIENDSHIP_STRENGTH"));
   storage::Table pairs;
   OPD_RETURN_NOT_OK(exec::RunLocalFunctions(
       *friendship, *twtr, {{"min_strength", storage::Value(1.0)}}, &pairs));
@@ -121,32 +111,35 @@ Status TestBed::Calibrate() {
 }
 
 void TestBed::DropAllViews() {
-  views_->DropAll();
-  dfs_->DeletePrefix("views/");
-  dfs_->DeletePrefix("synth/");
+  views().DropAll();
+  dfs().DeletePrefix("views/");
+  dfs().DeletePrefix("synth/");
 }
 
 Result<exec::ExecResult> TestBed::RunOriginal(int analyst, int version) {
   OPD_ASSIGN_OR_RETURN(plan::Plan plan, BuildQuery(analyst, version));
-  return engine_->Execute(&plan);
+  OPD_ASSIGN_OR_RETURN(RunResult run, session_->Run(std::move(plan),
+                                                    RunOptions{.rewrite = false}));
+  exec::ExecResult exec;
+  exec.table = std::move(run.table);
+  exec.metrics = run.metrics;
+  exec.jobs = std::move(run.jobs);
+  return exec;
 }
 
 Result<TestBed::RewrittenRun> TestBed::RunRewritten(int analyst,
                                                     int version) {
   OPD_ASSIGN_OR_RETURN(plan::Plan plan, BuildQuery(analyst, version));
-  OPD_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome,
-                       bfr_->Rewrite(&plan));
-  // Credit the views the rewrite uses (drives the retention policies).
-  OPD_RETURN_NOT_OK(catalog::RecordPlanAccesses(
-      views_.get(), outcome.plan,
-      std::max(outcome.original_cost - outcome.est_cost, 0.0)));
-  plan::Plan best = outcome.plan;
-  OPD_ASSIGN_OR_RETURN(exec::ExecResult exec, engine_->Execute(&best));
-  return RewrittenRun{std::move(exec), std::move(outcome)};
+  OPD_ASSIGN_OR_RETURN(RunResult run, session_->Run(std::move(plan)));
+  exec::ExecResult exec;
+  exec.table = std::move(run.table);
+  exec.metrics = run.metrics;
+  exec.jobs = std::move(run.jobs);
+  return RewrittenRun{std::move(exec), std::move(run.rewrite)};
 }
 
 Status TestBed::RegisterPlanViews(plan::Plan* plan) {
-  OPD_RETURN_NOT_OK(optimizer_->Prepare(plan));
+  OPD_RETURN_NOT_OK(session_->optimizer().Prepare(plan));
   static int synth_counter = 0;
   for (const plan::OpNodePtr& node : plan->TopoOrder()) {
     if (node->kind == plan::OpKind::kScan) continue;
@@ -167,8 +160,8 @@ Status TestBed::RegisterPlanViews(plan::Plan* plan) {
     // study never executes these plans.
     auto placeholder =
         std::make_shared<const storage::Table>(def.dfs_path, def.schema);
-    OPD_RETURN_NOT_OK(dfs_->Write(def.dfs_path, placeholder));
-    views_->Add(std::move(def));
+    OPD_RETURN_NOT_OK(dfs().Write(def.dfs_path, placeholder));
+    views().Add(std::move(def));
   }
   return Status::OK();
 }

@@ -18,6 +18,7 @@
 #include "rewrite/bf_rewrite.h"
 #include "rewrite/dp_rewrite.h"
 #include "rewrite/syntactic.h"
+#include "session/session.h"
 #include "storage/dfs.h"
 #include "udf/udf_registry.h"
 #include "workload/datagen.h"
@@ -27,10 +28,9 @@ namespace opd::workload {
 
 struct TestBedConfig {
   DataGenConfig data;
-  optimizer::CostParams cost;
-  exec::EngineOptions engine;
-  rewrite::RewriteOptions rewrite;
-  optimizer::OptimizerOptions optimizer;
+  /// Every subsystem knob (cost params, optimizer, engine, rewrite, obs),
+  /// consolidated under the session they configure.
+  SessionOptions session;
   /// Calibrate UDF cost scalars on 1% samples at startup (Section 4.2).
   bool calibrate_udfs = true;
   /// Modeled size of the TWTR log; data_scale is derived so the synthetic
@@ -38,10 +38,13 @@ struct TestBedConfig {
   double modeled_twtr_gb = 800.0;
 };
 
-/// \brief A fully-wired system instance: data, catalog, views, UDFs,
-/// optimizer, engine, and the three rewriters.
+/// \brief The experiment environment: an opd::Session loaded with the
+/// paper's synthetic data and UDF workload, plus the two comparison
+/// rewriters (DP and syntactic caching) used by the ablation studies.
 class TestBed {
  public:
+  /// Creates the bed. Setting the OPD_TRACE environment variable turns on
+  /// session tracing (used by scripts/check.sh to exercise traced runs).
   static Result<std::unique_ptr<TestBed>> Create(TestBedConfig config = {});
 
   /// Drops all views (metadata + DFS files). Base tables survive.
@@ -70,13 +73,15 @@ class TestBed {
   /// scalability study to populate large view stores cheaply).
   Status RegisterPlanViews(plan::Plan* plan);
 
-  storage::Dfs& dfs() { return *dfs_; }
-  catalog::Catalog& catalog() { return *catalog_; }
-  catalog::ViewStore& views() { return *views_; }
-  udf::UdfRegistry& udfs() { return *udfs_; }
-  const optimizer::Optimizer& optimizer() { return *optimizer_; }
-  exec::Engine& engine() { return *engine_; }
-  const rewrite::BfRewriter& bfr() { return *bfr_; }
+  /// The underlying session; everything below delegates to it.
+  Session& session() { return *session_; }
+  storage::Dfs& dfs() { return session_->dfs(); }
+  catalog::Catalog& catalog() { return session_->catalog(); }
+  catalog::ViewStore& views() { return session_->views(); }
+  udf::UdfRegistry& udfs() { return session_->udfs(); }
+  const optimizer::Optimizer& optimizer() { return session_->optimizer(); }
+  exec::Engine& engine() { return session_->engine(); }
+  const rewrite::BfRewriter& bfr() { return session_->rewriter(); }
   const rewrite::DpRewriter& dp() { return *dp_; }
   const rewrite::SyntacticRewriter& syntactic() { return *syntactic_; }
   const TestBedConfig& config() const { return config_; }
@@ -86,13 +91,7 @@ class TestBed {
   Status Calibrate();
 
   TestBedConfig config_;
-  std::unique_ptr<storage::Dfs> dfs_;
-  std::unique_ptr<catalog::Catalog> catalog_;
-  std::unique_ptr<catalog::ViewStore> views_;
-  std::unique_ptr<udf::UdfRegistry> udfs_;
-  std::unique_ptr<optimizer::Optimizer> optimizer_;
-  std::unique_ptr<exec::Engine> engine_;
-  std::unique_ptr<rewrite::BfRewriter> bfr_;
+  std::unique_ptr<Session> session_;
   std::unique_ptr<rewrite::DpRewriter> dp_;
   std::unique_ptr<rewrite::SyntacticRewriter> syntactic_;
 };

@@ -179,6 +179,28 @@ TEST_F(IntegrationTest, RegisterPlanViewsWithoutExecution) {
   EXPECT_TRUE(outcome->improved);
 }
 
+TEST_F(IntegrationTest, SessionRunsOqlEndToEnd) {
+  auto run = bed_->session().Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_NE(run->table, nullptr);
+  EXPECT_GT(run->table->num_rows(), 0u);
+  EXPECT_TRUE(run->rewritten);
+  // One JobRun per executed job, matching the metrics totals.
+  EXPECT_EQ(static_cast<int>(run->jobs.size()), run->metrics.jobs);
+  uint64_t bytes_read = 0;
+  for (const auto& job : run->jobs) bytes_read += job.bytes_read;
+  EXPECT_EQ(bytes_read, run->metrics.bytes_read);
+  // EXPLAIN ANALYZE renders one [job] line per job.
+  const std::string analyzed = run->ExplainAnalyze();
+  size_t job_lines = 0, pos = 0;
+  while ((pos = analyzed.find("[job ", pos)) != std::string::npos) {
+    ++job_lines;
+    pos += 5;
+  }
+  EXPECT_EQ(job_lines, run->jobs.size());
+}
+
 TEST_F(IntegrationTest, StatsCollectionTimeIsSmallFraction) {
   auto result = bed_->RunOriginal(1, 1);
   ASSERT_TRUE(result.ok());

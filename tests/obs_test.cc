@@ -1,0 +1,268 @@
+// Observability subsystem tests: TraceSpan/Trace recording and Chrome JSON
+// export, MetricRegistry correctness under concurrency, and the span-tree
+// determinism contract (identical structure at every thread count, identical
+// results with tracing on or off).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/scenarios.h"
+
+namespace opd::obs {
+namespace {
+
+TEST(TraceTest, SpansNestAndRecordOnEnd) {
+  Trace trace;
+  {
+    TraceSpan query(&trace, 0, "query:q", "query");
+    EXPECT_EQ(trace.size(), 0u);  // nothing recorded until End()
+    TraceSpan job(&trace, query.id(), "job:JOIN", "job");
+    job.AddArg("rows_out", uint64_t{42});
+    job.End();
+    EXPECT_EQ(trace.size(), 1u);
+  }
+  ASSERT_EQ(trace.size(), 2u);
+
+  std::vector<SpanRecord> spans = trace.Sorted();
+  EXPECT_EQ(spans[0].name, "query:q");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "job:JOIN");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  ASSERT_EQ(spans[1].args.size(), 1u);
+  EXPECT_EQ(spans[1].args[0].first, "rows_out");
+  EXPECT_EQ(spans[1].args[0].second, "42");
+}
+
+TEST(TraceTest, NullTraceSpanIsInert) {
+  TraceSpan span(nullptr, 0, "ignored");
+  EXPECT_FALSE(span);
+  span.AddArg("k", int64_t{1});
+  span.End();  // must not crash
+  TraceSpan defaulted;
+  EXPECT_FALSE(defaulted);
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  Trace trace;
+  TraceSpan span(&trace, 0, "s");
+  span.End();
+  span.End();
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceTest, TracedParallelForPreallocatesDeterministicIds) {
+  // The task-id block must not depend on thread interleaving: run the same
+  // wave with 1 and 8 threads and require identical structure.
+  auto run = [](int threads) {
+    Trace trace;
+    ThreadPool pool(threads);
+    TraceSpan root(&trace, 0, "wave");
+    Status st = TracedParallelFor(&pool, 16, &trace, root.id(), "task",
+                                  [](size_t) { return Status::OK(); });
+    EXPECT_TRUE(st.ok());
+    root.End();
+    return trace.StructureString();
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, 0, "query:\"quoted\"", "query");
+    span.AddArg("note", std::string_view("a\nb"));
+  }
+  const std::string json = trace.ToChromeJson();
+  // Structural sanity: the document is one object with a traceEvents array
+  // of complete ("X") events, and special characters are escaped.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query:\\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("a\\nb"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one-line document
+  // Braces and brackets balance.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(TraceTest, WriteChromeTraceFileMergesTraces) {
+  Trace a, b;
+  { TraceSpan s(&a, 0, "qa", "query"); }
+  { TraceSpan s(&b, 0, "qb", "query"); }
+  const std::string path = ::testing::TempDir() + "/opd_obs_trace.json";
+  ASSERT_TRUE(WriteChromeTraceFile(path, {&a, &b}).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"qa\""), std::string::npos);
+  EXPECT_NE(json.find("\"qb\""), std::string::npos);
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  MetricRegistry registry;
+  registry.counter("t.c").Inc(3);
+  registry.counter("t.c").Inc();
+  EXPECT_EQ(registry.counter("t.c").value(), 4u);
+
+  registry.gauge("t.g").Set(2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("t.g").value(), 2.5);
+
+  Histogram& h = registry.histogram("t.h");
+  h.Observe(1.0);
+  h.Observe(4.0);
+  h.Observe(0.25);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.25 / 3);
+
+  registry.ResetAll();
+  EXPECT_EQ(registry.counter("t.c").value(), 0u);
+  EXPECT_EQ(registry.histogram("t.h").count(), 0u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsNeverLoseEvents) {
+  MetricRegistry registry;
+  ThreadPool pool(8);
+  constexpr size_t kTasks = 64;
+  constexpr int kPerTask = 1000;
+  Status st = ParallelFor(&pool, kTasks, [&](size_t) {
+    // Mix registration (name lookup under the mutex) with updates to
+    // exercise both paths concurrently.
+    Counter& c = registry.counter("concurrent.c");
+    Histogram& h = registry.histogram("concurrent.h");
+    for (int i = 0; i < kPerTask; ++i) {
+      c.Inc();
+      h.Observe(static_cast<double>(i % 7) + 0.5);
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(registry.counter("concurrent.c").value(), kTasks * kPerTask);
+  EXPECT_EQ(registry.histogram("concurrent.h").count(), kTasks * kPerTask);
+  EXPECT_DOUBLE_EQ(registry.histogram("concurrent.h").min(), 0.5);
+  EXPECT_DOUBLE_EQ(registry.histogram("concurrent.h").max(), 6.5);
+}
+
+TEST(MetricsTest, JsonAndStringDumps) {
+  MetricRegistry registry;
+  registry.counter("a.b").Inc(7);
+  registry.gauge("c.d").Set(1.5);
+  registry.histogram("e.f").Observe(2.0);
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json.find('{'), 0u);
+  EXPECT_NE(json.find("\"a.b\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"c.d\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"e.f\""), std::string::npos);
+  const std::string text = registry.ToString();
+  EXPECT_NE(text.find("a.b=7"), std::string::npos);
+}
+
+// --- Determinism across thread counts --------------------------------------
+
+// A query slice covering every traced shape: map-only ops, a shuffle join,
+// a shuffle aggregation, and a UDF pipeline.
+constexpr const char* kWorkloadOql = R"(
+extract = scan TWTR | project user_id, tweet_text, mention_user;
+wine    = extract | udf UDF_CLASSIFY_WINE_SCORE(threshold = 0.5);
+counts  = scan TWTR | groupby user_id count(*) as n;
+result  = join wine counts on user_id = user_id;
+)";
+
+struct TracedRun {
+  std::string structure;
+  std::vector<storage::Row> rows;
+  uint64_t bytes_read = 0;
+};
+
+TracedRun RunTraced(int num_threads, bool vectorized, bool tracing) {
+  workload::TestBedConfig config;
+  config.data.n_tweets = 600;
+  config.data.n_checkins = 300;
+  config.data.n_locations = 60;
+  config.calibrate_udfs = false;
+  config.session.engine.num_threads = num_threads;
+  config.session.engine.vectorized = vectorized;
+  config.session.obs.tracing = tracing;
+  auto bed = workload::TestBed::Create(config);
+  EXPECT_TRUE(bed.ok()) << bed.status().ToString();
+  auto run = (*bed)->session().Run(kWorkloadOql);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+
+  TracedRun out;
+  if (run->trace != nullptr) out.structure = run->trace->StructureString();
+  out.rows = run->table->rows();
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const storage::Row& a, const storage::Row& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                if (a[i] < b[i]) return true;
+                if (b[i] < a[i]) return false;
+              }
+              return a.size() < b.size();
+            });
+  out.bytes_read = run->metrics.bytes_read;
+  return out;
+}
+
+TEST(TraceDeterminismTest, SpanStructureInvariantAcrossThreadCountsRowMode) {
+  TracedRun one = RunTraced(1, /*vectorized=*/false, /*tracing=*/true);
+  TracedRun eight = RunTraced(8, /*vectorized=*/false, /*tracing=*/true);
+  ASSERT_FALSE(one.structure.empty());
+  EXPECT_EQ(one.structure, eight.structure);
+  EXPECT_EQ(one.rows, eight.rows);
+}
+
+TEST(TraceDeterminismTest, SpanStructureInvariantAcrossThreadCountsBatchMode) {
+  TracedRun one = RunTraced(1, /*vectorized=*/true, /*tracing=*/true);
+  TracedRun eight = RunTraced(8, /*vectorized=*/true, /*tracing=*/true);
+  ASSERT_FALSE(one.structure.empty());
+  EXPECT_EQ(one.structure, eight.structure);
+  EXPECT_EQ(one.rows, eight.rows);
+}
+
+TEST(TraceDeterminismTest, ResultsIdenticalWithTracingOnOrOff) {
+  TracedRun off = RunTraced(4, /*vectorized=*/false, /*tracing=*/false);
+  TracedRun on = RunTraced(4, /*vectorized=*/false, /*tracing=*/true);
+  if (std::getenv("OPD_TRACE") == nullptr) {
+    // (OPD_TRACE=1 — the scripts/check.sh traced pass — force-enables
+    // tracing in TestBed, so "off" only stays off without the override.)
+    EXPECT_TRUE(off.structure.empty());
+  }
+  EXPECT_FALSE(on.structure.empty());
+  EXPECT_EQ(off.rows, on.rows);
+  EXPECT_EQ(off.bytes_read, on.bytes_read);
+}
+
+}  // namespace
+}  // namespace opd::obs

@@ -35,8 +35,8 @@ WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0) {
   config.data.n_locations = 60;
   config.data.n_users = 40;
   config.calibrate_udfs = false;
-  config.engine.num_threads = num_threads;
-  config.engine.num_reduce_tasks = num_reduce_tasks;
+  config.session.engine.num_threads = num_threads;
+  config.session.engine.num_reduce_tasks = num_reduce_tasks;
   auto bed_result = TestBed::Create(config);
   EXPECT_TRUE(bed_result.ok()) << bed_result.status().ToString();
   std::unique_ptr<TestBed> bed = std::move(bed_result).value();

@@ -1,0 +1,202 @@
+// Tests for the opd::Session facade: wiring, Run over OQL and plans, option
+// consolidation, the EXPLAIN ANALYZE rendering (golden shape), and the
+// ExecMetrics serializations shared by bench --json and the trace export.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "exec/metrics.h"
+#include "oql/parser.h"
+#include "session/session.h"
+#include "udf/builtin_udfs.h"
+#include "workload/datagen.h"
+
+namespace opd {
+namespace {
+
+std::unique_ptr<Session> MakeSession(SessionOptions options = {}) {
+  auto session = Session::Create(options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  workload::DataGenConfig data;
+  data.n_tweets = 500;
+  data.n_checkins = 200;
+  data.n_locations = 50;
+  storage::TablePtr twtr = workload::GenerateTwitterLog(data);
+  EXPECT_TRUE(udf::RegisterBuiltinUdfs(&(*session)->udfs()).ok());
+  EXPECT_TRUE((*session)->RegisterTable(twtr, {"tweet_id"}).ok());
+  return std::move(session).value();
+}
+
+TEST(SessionTest, CreateWiresTheWholeStack) {
+  auto session = MakeSession();
+  EXPECT_TRUE(session->catalog().Has("TWTR"));
+  EXPECT_GE(session->udfs().size(), 10u);
+  EXPECT_EQ(session->views().size(), 0u);
+}
+
+TEST(SessionTest, RunOqlReturnsTableMetricsAndJobs) {
+  auto session = MakeSession();
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_NE(run->table, nullptr);
+  EXPECT_GT(run->table->num_rows(), 0u);
+  EXPECT_GT(run->metrics.jobs, 0);
+  EXPECT_EQ(static_cast<int>(run->jobs.size()), run->metrics.jobs);
+  EXPECT_TRUE(run->rewritten);
+  EXPECT_EQ(run->trace, nullptr);  // tracing is off by default
+  // Executing retained the job outputs as opportunistic views.
+  EXPECT_GT(session->views().size(), 0u);
+}
+
+TEST(SessionTest, RunParseErrorsPropagate) {
+  auto session = MakeSession();
+  auto run = session->Run("this is not OQL");
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(SessionTest, TracingProducesQueryRootedSpans) {
+  SessionOptions options;
+  options.obs.tracing = true;
+  auto session = MakeSession(options);
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;",
+      RunOptions{.rewrite = false});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_NE(run->trace, nullptr);
+  auto spans = run->trace->Sorted();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].name.rfind("query:", 0), 0u);
+  // Every other span hangs off the query root (transitively).
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_NE(spans[i].parent, 0u) << spans[i].name;
+  }
+}
+
+TEST(SessionTest, ObsOptionsMirrorIntoEngineOptions) {
+  SessionOptions options;
+  options.obs.metrics = false;
+  options.obs.trace_tasks = false;
+  auto session = Session::Create(options);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE((*session)->options().engine.metrics);
+  EXPECT_FALSE((*session)->options().engine.trace_tasks);
+}
+
+// Masks every number (and byte-unit suffix) so the golden pins the layout
+// while times/bytes stay free to vary run to run.
+std::string MaskNumbers(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size();) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      while (i < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.')) {
+        ++i;
+      }
+      if (i + 1 < s.size() && (s[i] == 'K' || s[i] == 'M' || s[i] == 'G') &&
+          s[i + 1] == 'B') {
+        i += 2;
+      } else if (i < s.size() && s[i] == 'B') {
+        ++i;
+      }
+      out += '#';
+      continue;
+    }
+    out += s[i++];
+  }
+  return out;
+}
+
+TEST(SessionTest, ExplainAnalyzeGoldenShape) {
+  auto session = MakeSession();
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;",
+      RunOptions{.rewrite = false});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const std::string masked =
+      MaskNumbers(run->ExplainAnalyze(exec::AnalyzeOptions{.show_wall = false}));
+  auto pad = [](std::string s) {
+    if (s.size() < 44) s.append(44 - s.size(), ' ');
+    return s;
+  };
+  const std::string expected =
+      pad("GROUPBY(user_id)") +
+      "  [job #] time=#s rows=# read=# shuffled=# written=# tasks=#m+#r\n" +
+      pad("  SCAN(TWTR)") + "  (scan)\n" +
+      "jobs: #  sim time: #s (+stats #s)  read: #  shuffled: #  written: #  "
+      "views: #\n";
+  EXPECT_EQ(masked, expected);
+}
+
+TEST(SessionTest, ExplainAnalyzeOverOqlIncludesWallStats) {
+  auto session = MakeSession();
+  auto text = session->ExplainAnalyze(
+      "r = scan TWTR | project user_id, retweets | "
+      "filter retweets > 1;");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("[job "), std::string::npos);
+  EXPECT_NE(text->find("wall="), std::string::npos);
+  EXPECT_NE(text->find("straggler="), std::string::npos);
+}
+
+TEST(ExecMetricsTest, ToStringIncludesMaxTaskTime) {
+  exec::ExecMetrics m;
+  m.sim_time_s = 2.0;
+  m.max_task_time_s = 0.125;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("max_task="), std::string::npos);
+  EXPECT_NE(s.find("0.125"), std::string::npos);
+}
+
+TEST(ExecMetricsTest, ToJsonHasEveryField) {
+  exec::ExecMetrics m;
+  m.sim_time_s = 1.5;
+  m.stats_time_s = 0.5;
+  m.bytes_read = 10;
+  m.bytes_shuffled = 20;
+  m.bytes_written = 30;
+  m.jobs = 2;
+  m.views_created = 1;
+  m.max_task_time_s = 0.25;
+  const std::string json = m.ToJson();
+  EXPECT_EQ(json.find('{'), 0u);
+  EXPECT_NE(json.find("\"sim_time_s\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"total_time_s\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_read\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_manipulated\":60"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"max_task_time_s\":0.25"), std::string::npos);
+}
+
+TEST(OqlTest, ConsumeExplainPrefixModes) {
+  std::string plain = "x = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeExplainPrefix(&plain), oql::ExplainMode::kNone);
+  EXPECT_EQ(plain, "x = scan TWTR;");
+
+  std::string explain = "EXPLAIN x = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeExplainPrefix(&explain), oql::ExplainMode::kExplain);
+  EXPECT_EQ(explain, "x = scan TWTR;");
+
+  std::string analyze = "  explain analyze\nx = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeExplainPrefix(&analyze),
+            oql::ExplainMode::kExplainAnalyze);
+  EXPECT_EQ(analyze, "x = scan TWTR;");
+
+  // A binding that merely starts with the word is left alone.
+  std::string binding = "explained = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeExplainPrefix(&binding), oql::ExplainMode::kNone);
+  EXPECT_EQ(binding, "explained = scan TWTR;");
+
+  // Leading comment lines don't hide the keyword.
+  std::string commented = "# banner\n# more\nEXPLAIN ANALYZE x = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeExplainPrefix(&commented),
+            oql::ExplainMode::kExplainAnalyze);
+  EXPECT_EQ(commented, "x = scan TWTR;");
+}
+
+}  // namespace
+}  // namespace opd
