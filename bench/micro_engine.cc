@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/json_writer.h"
+#include "common/thread_pool.h"
 #include "exec/udf_exec.h"
 #include "obs/trace.h"
 #include "udf/builtin_udfs.h"
@@ -133,11 +135,13 @@ namespace {
 struct JsonRun {
   double wall_ms = 0;
   double rows_per_sec = 0;
+  uint64_t output_hash = 0;   // order-sensitive hash of every result table
   exec::ExecMetrics metrics;  // accumulated across iterations
 };
 
 JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
-                          bool vectorized, bool traced = false,
+                          bool vectorized, bool pipelined,
+                          bool traced = false,
                           std::vector<std::shared_ptr<obs::Trace>>* traces =
                               nullptr) {
   workload::TestBedConfig config;
@@ -149,6 +153,7 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
   config.session.engine.collect_stats = false;
   config.session.engine.num_threads = num_threads;
   config.session.engine.vectorized = vectorized;
+  config.session.engine.pipelined = pipelined;
   config.session.obs.tracing = traced;
   auto bed_result = workload::TestBed::Create(config);
   if (!bed_result.ok()) std::abort();
@@ -180,6 +185,13 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
           bed->session().Run(std::move(*p), RunOptions{.rewrite = false});
       if (!result.ok()) std::abort();
       run.metrics += result.value().metrics;
+      if (it == 0 && result.value().table != nullptr) {
+        // Determinism receipt: every mode/thread-count must produce the
+        // same bytes in the same order, so hash rows in order.
+        for (const storage::Row& r : result.value().table->rows()) {
+          HashCombine(&run.output_hash, storage::RowHash{}(r));
+        }
+      }
       if (traces != nullptr && it == 0 && result.value().trace != nullptr) {
         traces->push_back(result.value().trace);
       }
@@ -195,36 +207,63 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
   return run;
 }
 
-// Prints one JSON record per mode (row-at-a-time vs. vectorized batch
-// kernels), each sweeping thread counts {1, 2, 4, 8} untraced plus one traced
-// run at the top thread count (the traced-vs-untraced delta is the tracing
-// overhead). scripts/bench.sh timestamps and appends every line to
-// BENCH_engine.json, so the perf trajectory across PRs accumulates instead of
-// being overwritten.
+// Prints one JSON record per execution mode — "row" and "batch" keep the
+// phased (pre-pipelining) engine for trajectory continuity with earlier
+// BENCH entries; "pipelined" is the current default engine (batch kernels +
+// morsel-driven pipelined shuffle). Each record sweeps thread counts
+// {1, 2, 4, 8} untraced plus one traced run at the top thread count (the
+// traced-vs-untraced delta is the tracing overhead). Every record carries an
+// order-sensitive hash of the result tables; `outputs_match_row_mode`
+// asserts the determinism contract across modes, and `hw_cores` records how
+// much real parallelism backed the numbers (speedups are meaningless on a
+// 1-core runner). scripts/bench.sh timestamps and appends every line to
+// BENCH_engine.json, so the perf trajectory across PRs accumulates instead
+// of being overwritten.
 int RunJsonMode(const char* trace_path) {
   constexpr size_t kTweets = 12000;
   constexpr int kIters = 3;
   constexpr int kThreads[] = {1, 2, 4, 8};
   constexpr size_t kNumThreads = sizeof(kThreads) / sizeof(kThreads[0]);
+  const int hw_cores = ThreadPool::DefaultThreads(0);
   std::vector<std::shared_ptr<obs::Trace>> traces;
-  for (bool vectorized : {false, true}) {
+  struct Mode {
+    const char* name;
+    bool vectorized;
+    bool pipelined;
+  };
+  constexpr Mode kModes[] = {
+      {"row", false, false},
+      {"batch", true, false},
+      {"pipelined", true, true},
+  };
+  uint64_t row_mode_hash = 0;
+  for (const Mode& mode : kModes) {
     JsonRun runs[kNumThreads];
     for (size_t i = 0; i < kNumThreads; ++i) {
-      runs[i] = RunEngineWorkload(kThreads[i], kTweets, kIters, vectorized);
+      runs[i] = RunEngineWorkload(kThreads[i], kTweets, kIters,
+                                  mode.vectorized, mode.pipelined);
     }
     JsonRun traced = RunEngineWorkload(
-        kThreads[kNumThreads - 1], kTweets, kIters, vectorized,
-        /*traced=*/true, trace_path != nullptr ? &traces : nullptr);
+        kThreads[kNumThreads - 1], kTweets, kIters, mode.vectorized,
+        mode.pipelined, /*traced=*/true,
+        trace_path != nullptr ? &traces : nullptr);
     const double speedup = runs[kNumThreads - 1].wall_ms > 0
                                ? runs[0].wall_ms / runs[kNumThreads - 1].wall_ms
                                : 0;
+    if (&mode == &kModes[0]) row_mode_hash = runs[0].output_hash;
+    bool outputs_match = true;
+    for (const JsonRun& r : runs) {
+      outputs_match = outputs_match && r.output_hash == row_mode_hash;
+    }
 
     JsonWriter w;
     w.BeginObject();
     w.Key("bench").String("micro_engine");
-    w.Key("mode").String(vectorized ? "batch" : "row");
+    w.Key("mode").String(mode.name);
+    w.Key("pipelined").Bool(mode.pipelined);
     w.Key("n_tweets").UInt(kTweets);
     w.Key("iterations").Int(kIters);
+    w.Key("hw_cores").Int(hw_cores);
     w.Key("threads").BeginArray();
     for (int t : kThreads) w.Int(t);
     w.EndArray();
@@ -235,6 +274,15 @@ int RunJsonMode(const char* trace_path) {
     for (const JsonRun& r : runs) w.Double(r.rows_per_sec);
     w.EndArray();
     w.Key("speedup_8v1").Double(speedup);
+    w.Key("output_hash").UInt(runs[0].output_hash);
+    w.Key("outputs_match_row_mode").Bool(outputs_match);
+    if (mode.pipelined) {
+      // The floor scripts/bench.sh --check enforces: honest about hardware.
+      // A 1-core runner cannot demonstrate a parallel speedup at all.
+      const double floor =
+          hw_cores >= 8 ? 3.0 : (hw_cores >= 2 ? 1.2 : 0.0);
+      w.Key("speedup_floor_8v1").Double(floor);
+    }
     w.Key("traced_rows_per_sec").Double(traced.rows_per_sec);
     w.Key("untraced_rows_per_sec").Double(runs[kNumThreads - 1].rows_per_sec);
     w.Key("metrics").Raw(runs[kNumThreads - 1].metrics.ToJson());

@@ -2,18 +2,84 @@
 # Runs the engine microbenchmark after the tier-1 build and APPENDS its
 # timestamped JSON records to BENCH_engine.json (the perf trajectory of the
 # execution engine across PRs — never overwritten). micro_engine --json
-# emits one record per execution mode (row vs. batch), each sweeping
+# emits one record per execution mode (row and batch stay on the phased
+# engine for continuity; pipelined is the current default), each sweeping
 # threads {1, 2, 4, 8} untraced plus one traced run at 8 threads
 # (traced_rows_per_sec vs untraced_rows_per_sec = tracing overhead).
 #
-# Usage: scripts/bench.sh [--no-build]
+# Usage: scripts/bench.sh [--no-build] [--check]
+#
+# --check is the perf-floor gate: instead of appending to the trajectory it
+# runs the benchmark once and fails (exit 1) if the pipelined record's
+# speedup_8v1 falls below its recorded speedup_floor_8v1, or if any mode's
+# output hash diverges from row mode (determinism regression). The speedup
+# floor is skipped — with a note — when the runner has fewer than 2 cores,
+# since no parallel speedup is measurable there; the determinism check
+# always applies. Sanitizer builds (scripts/check.sh) run the gate against
+# the regular build, never the instrumented one: sanitizer overhead would
+# make any timing floor meaningless.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" != "--no-build" ]]; then
+build=1
+check=0
+for arg in "$@"; do
+  case "${arg}" in
+    --no-build) build=0 ;;
+    --check) check=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "${build}" == 1 ]]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j >/dev/null
+fi
+
+if [[ "${check}" == 1 ]]; then
+  out="$(mktemp)"
+  trap 'rm -f "${out}"' EXIT
+  ./build/bench/micro_engine --json > "${out}"
+  python3 - "${out}" <<'EOF'
+import json
+import sys
+
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+failures = []
+pipelined = None
+for rec in records:
+    if not rec.get("outputs_match_row_mode", False):
+        failures.append(
+            f"mode {rec['mode']!r}: output hash diverges from row mode "
+            "(determinism regression)")
+    if rec.get("mode") == "pipelined":
+        pipelined = rec
+
+if pipelined is None:
+    failures.append("no 'pipelined' record in benchmark output")
+else:
+    cores = pipelined.get("hw_cores", 0)
+    floor = pipelined.get("speedup_floor_8v1", 0.0)
+    speedup = pipelined.get("speedup_8v1", 0.0)
+    if cores < 2:
+        print(f"bench --check: {cores} core(s) available -- speedup floor "
+              "not measurable, skipping (determinism still checked)")
+    elif speedup < floor:
+        failures.append(
+            f"pipelined speedup_8v1 {speedup:.2f} is below the floor "
+            f"{floor:.2f} (hw_cores={cores})")
+    else:
+        print(f"bench --check: pipelined speedup_8v1 {speedup:.2f} >= "
+              f"floor {floor:.2f} (hw_cores={cores})")
+
+if failures:
+    for f in failures:
+        print(f"bench --check FAILED: {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench --check: OK")
+EOF
+  exit 0
 fi
 
 ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"

@@ -7,6 +7,10 @@
 # aliasing bugs in the columnar arena/dictionary and span-recording code
 # that the plain tier-1 build cannot see.
 #
+# After the sanitizer suites pass, runs the perf-floor gate
+# (scripts/bench.sh --check) against the REGULAR build — never the
+# instrumented one, whose overhead would make any timing floor meaningless.
+#
 # Usage: scripts/check.sh [ctest-args...]
 
 set -euo pipefail
@@ -18,3 +22,6 @@ cd build-asan
 ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure "$@"
 echo "== re-running suite with tracing enabled (OPD_TRACE=1) =="
 ASAN_OPTIONS=detect_leaks=0 OPD_TRACE=1 ctest --output-on-failure "$@"
+cd ..
+echo "== perf-floor gate (regular build, see scripts/bench.sh --check) =="
+scripts/bench.sh --check

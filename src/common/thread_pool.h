@@ -6,7 +6,9 @@
 #ifndef OPD_COMMON_THREAD_POOL_H_
 #define OPD_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
@@ -38,6 +40,12 @@ class ThreadPool {
   /// An exception thrown by `fn` is captured in the future.
   std::future<void> Submit(std::function<void()> fn);
 
+  /// Pops and runs one queued task on the calling thread; returns false
+  /// without blocking when the queue is empty. This is how threads blocked
+  /// on a CountdownLatch help drain the pool instead of idling — it also
+  /// makes latch waits deadlock-free when pool tasks submit more tasks.
+  bool TryRunOne();
+
   /// Resolves a `num_threads` option: values <= 0 mean "one per core".
   static int DefaultThreads(int requested);
 
@@ -49,6 +57,45 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// \brief A one-shot countdown used for pipelined task handoff.
+///
+/// Producers call `CountDown()` as they finish; the thread that drives the
+/// final count to zero observes `true` (and may e.g. schedule a dependent
+/// task). `Wait()` blocks until the count reaches zero, cooperatively
+/// running queued pool tasks while it waits so the waiting thread keeps
+/// making progress on the very work it is waiting for.
+///
+/// Destruction safety: once Wait() returns, every CountDown() call has
+/// fully completed (all counter and cv access happens inside one critical
+/// section, and Wait's final zero check goes through the same mutex), so a
+/// task whose *last* action is CountDown() can never touch a latch its
+/// waiter has already destroyed. CountDown is one mutex acquisition per
+/// finishing task — nowhere near the hot path.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count) : remaining_(count) {}
+
+  CountdownLatch(const CountdownLatch&) = delete;
+  CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+  /// Decrements the count by `n` (clamped at zero); returns true exactly
+  /// once — for the call that reaches zero. All writes made before a
+  /// CountDown() happen-before Wait() returns (the shared mutex orders
+  /// them).
+  bool CountDown(size_t n = 1);
+
+  bool Done() const;
+
+  /// Blocks until Done(). With a non-null `pool`, drains queued tasks on
+  /// this thread while waiting instead of sleeping.
+  void Wait(ThreadPool* pool = nullptr);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;  // guarded by mu_
 };
 
 /// \brief Runs `fn(0) .. fn(n-1)` as pool tasks and waits for all of them.

@@ -43,15 +43,17 @@ void Render(const OpNodePtr& node, int depth,
   } else {
     const JobRun& jr = *it->second;
     char buf[224];
+    // Pipelined jobs report fused pipeline tasks ("p"); phased jobs report
+    // their map/partition waves ("m").
     std::snprintf(buf, sizeof(buf),
                   "  [job %d] time=%.2fs rows=%llu read=%s shuffled=%s "
-                  "written=%s tasks=%zum+%zur",
+                  "written=%s tasks=%zu%s+%zur",
                   jr.index, jr.sim_time_s,
                   static_cast<unsigned long long>(jr.rows_out),
                   HumanBytes(jr.bytes_read).c_str(),
                   HumanBytes(jr.bytes_shuffled).c_str(),
                   HumanBytes(jr.bytes_written).c_str(), jr.map_tasks,
-                  jr.reduce_tasks);
+                  jr.pipelined ? "p" : "m", jr.reduce_tasks);
     line += buf;
     if (options.show_wall) {
       std::snprintf(buf, sizeof(buf), " wall=%.1fms straggler=%.2fms",

@@ -1,16 +1,21 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "exec/pipeline.h"
 #include "exec/udf_exec.h"
 #include "obs/metrics.h"
 #include "plan/fingerprint.h"
+#include "storage/partition_buffer.h"
 #include "storage/row_batch.h"
 #include "storage/value.h"
 
@@ -22,6 +27,7 @@ using plan::OpNodePtr;
 using storage::ColumnVector;
 using storage::DataType;
 using storage::DictRemap;
+using storage::PartitionBuffer;
 using storage::Row;
 using storage::RowBatch;
 using storage::RowHash;
@@ -136,6 +142,21 @@ double BucketSkew(const Lists& lists) {
          static_cast<double>(total);
 }
 
+// BucketSkew over a pipelined partition buffer: same definition, computed
+// from per-bucket totals instead of scattered index lists.
+template <typename T>
+double BufferSkew(const PartitionBuffer<T>& buf) {
+  size_t total = 0, largest = 0;
+  for (size_t b = 0; b < buf.num_buckets(); ++b) {
+    const size_t s = buf.BucketSize(b);
+    total += s;
+    largest = std::max(largest, s);
+  }
+  if (total == 0) return -1.0;
+  return static_cast<double>(largest) *
+         static_cast<double>(buf.num_buckets()) / static_cast<double>(total);
+}
+
 // ---------------------------------------------------------------------------
 // Row-at-a-time helpers (the pre-columnar engine; kept as the fallback for
 // opaque per-row code and selectable via EngineOptions::vectorized=false).
@@ -144,8 +165,9 @@ double BucketSkew(const Lists& lists) {
 // Runs a map-only operator: the input is split into block-sized map tasks,
 // `per_row` streams each task's rows into a task-local output, and the
 // partials are concatenated in task order — byte-identical to a serial
-// row-at-a-time pass over the input.
-Status RunMapTasks(const PhaseCtx& ctx, const Table& in,
+// row-at-a-time pass over the input. `phase` names the wave's span ("map"
+// phased, "pipeline" when the fused engine runs it).
+Status RunMapTasks(const PhaseCtx& ctx, const char* phase, const Table& in,
                    uint64_t block_size_bytes,
                    const std::function<Status(const Row&, std::vector<Row>*)>&
                        per_row,
@@ -156,7 +178,7 @@ Status RunMapTasks(const PhaseCtx& ctx, const Table& in,
       rows.size(), in.AvgRowBytes(), block_size_bytes);
   std::vector<std::vector<Row>> partials(splits.size());
   OPD_RETURN_NOT_OK(RunPhase(
-      ctx, "map", splits.size(),
+      ctx, phase, splits.size(),
       [&](size_t t) -> Status {
         std::vector<Row>& local = partials[t];
         local.reserve(splits[t].size());
@@ -478,6 +500,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
   const auto& model = optimizer_->cost_model();
   const uint64_t block_size = dfs_->block_size_bytes();
   const bool vectorized = options_.vectorized;
+  const bool pipelined = options_.pipelined;
+  // Fused map+partition waves carry the "pipeline" phase name; the phased
+  // fallback keeps the historical "map".
+  const char* map_phase = pipelined ? "pipeline" : "map";
   auto& registry = obs::MetricRegistry::Global();
   // Registry objects live forever; resolve the hot ones once per run.
   obs::Histogram* skew_hist =
@@ -489,11 +515,22 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
   ExecMetrics metrics;
   ExecResult result;
   std::map<const OpNode*, TablePtr> results;
-  int job_counter = 0;
 
-  for (const OpNodePtr& node_ptr : plan->TopoOrder()) {
+  // --- Plan the run ---------------------------------------------------------
+  // Scans resolve serially up front (catalog/DFS lookups); every other
+  // operator becomes one job. Job indices — and therefore DFS output paths
+  // and ViewStore insertion order — are fixed here, in topological order, so
+  // they cannot depend on the execution schedule below.
+  const std::vector<OpNodePtr> topo = plan->TopoOrder();
+  struct JobSpec {
+    const OpNodePtr* node = nullptr;    // owned by `topo`
+    std::string path;                   // DFS output path
+    std::vector<size_t> producers;      // indices of non-scan input jobs
+  };
+  std::vector<JobSpec> specs;
+  std::map<const OpNode*, size_t> job_of;
+  for (const OpNodePtr& node_ptr : topo) {
     OpNode* node = node_ptr.get();
-
     if (node->kind == OpKind::kScan) {
       std::string path;
       if (node->view_id >= 0) {
@@ -510,25 +547,80 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
       // Scan bytes are accounted in the consuming job's read phase below.
       continue;
     }
-
-    // Gather inputs.
-    std::vector<TablePtr> inputs;
-    uint64_t in_bytes = 0;
+    JobSpec spec;
+    spec.node = &node_ptr;
+    spec.path = "views/run" + std::to_string(run_id) + "/job" +
+                std::to_string(specs.size());
     for (const OpNodePtr& child : node->children) {
-      auto it = results.find(child.get());
-      if (it == results.end()) {
+      if (child->kind == OpKind::kScan) continue;
+      auto it = job_of.find(child.get());
+      if (it == job_of.end()) {
         return Status::Internal("missing child result for " +
                                 node->DisplayName());
       }
-      inputs.push_back(it->second);
-      in_bytes += it->second->ByteSize();
+      spec.producers.push_back(it->second);
     }
+    job_of[node] = specs.size();
+    specs.push_back(std::move(spec));
+  }
 
-    obs::TraceSpan job_span(trace, parent_span,
-                            "job:" + node->DisplayName(), "job");
+  // Observed state of one job, written by run_job (possibly on a pool
+  // thread) and consumed by the serial finalize loop.
+  struct JobState {
+    Status status = Status::OK();
+    TablePtr table;  // sealed output (named, not yet written to the DFS)
+    uint64_t in_bytes = 0;
+    uint64_t shuffle_bytes = 0;
+    uint64_t out_bytes = 0;
+    uint64_t out_rows = 0;
+    bool has_shuffle = false;
+    double max_task_s = 0;
+    size_t reduce_tasks = 0;
+    size_t tasks = 0;
+    double skew = -1.0;
+    double wall_s = 0;
+    plan::JobCostInfo cost;
+  };
+  std::vector<JobState> states(specs.size());
+
+  // --- Per-job execution ----------------------------------------------------
+  // Everything here is schedule-independent: inputs come from immutable
+  // tables, all side effects land in this job's JobState slot, and the
+  // shared metric histograms are thread-safe.
+  auto run_job = [&](size_t j, obs::TraceSpan* job_span) {
+    JobState& st = states[j];
+    const OpNodePtr& node_ptr = *specs[j].node;
+    OpNode* node = node_ptr.get();
+
+    // Gather inputs: scans from the resolved map, operator inputs from the
+    // producing job's sealed output.
+    std::vector<TablePtr> inputs;
+    for (const OpNodePtr& child : node->children) {
+      TablePtr t;
+      if (child->kind == OpKind::kScan) {
+        auto it = results.find(child.get());
+        if (it != results.end()) t = it->second;
+      } else {
+        t = states[job_of.at(child.get())].table;
+      }
+      if (t == nullptr) {
+        // A producer failed (its own status carries the root cause, and it
+        // has the lower job index, so it wins the error report).
+        st.status = Status::Internal("missing child result for " +
+                                     node->DisplayName());
+        return;
+      }
+      st.in_bytes += t->ByteSize();
+      inputs.push_back(std::move(t));
+    }
+    const uint64_t in_bytes = st.in_bytes;
+
     size_t job_tasks = 0;
-    const PhaseCtx pctx{pool_.get(), trace, job_span.id(),
-                        options_.trace_tasks, &job_tasks};
+    const uint64_t span_id = job_span != nullptr ? job_span->id() : 0;
+    const PhaseCtx pctx{pool_.get(), trace, span_id, options_.trace_tasks,
+                        &job_tasks};
+    const PipelineCtx pipe{pool_.get(), trace, span_id, options_.trace_tasks,
+                           &job_tasks};
     const auto job_wall_start = std::chrono::steady_clock::now();
 
     Table out("", node->out_schema);
@@ -539,6 +631,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     size_t job_reduce_tasks = 0;
     double job_skew = -1.0;
 
+    Status body = [&]() -> Status {
     switch (node->kind) {
       case OpKind::kScan:
         break;  // handled above
@@ -562,7 +655,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                                    std::move(out_batches));
         } else {
           OPD_RETURN_NOT_OK(RunMapTasks(
-              pctx, in, block_size,
+              pctx, map_phase, in, block_size,
               [&idx](const Row& row, std::vector<Row>* local) -> Status {
                 Row r;
                 r.reserve(idx.size());
@@ -586,7 +679,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             const BatchList in_list(in);
             std::vector<RowBatch> out_batches(in_list.size());
             OPD_RETURN_NOT_OK(RunPhase(
-                pctx, "map", in_list.size(),
+                pctx, map_phase, in_list.size(),
                 [&](size_t t) -> Status {
                   const RowBatch& b = in_list.batch(t);
                   std::vector<uint32_t> sel;
@@ -600,7 +693,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                                      std::move(out_batches));
           } else {
             OPD_RETURN_NOT_OK(RunMapTasks(
-                pctx, in, block_size,
+                pctx, map_phase, in, block_size,
                 [&cond, i](const Row& row,
                            std::vector<Row>* local) -> Status {
                   if (afk::EvalCmp(row[i], cond.op, cond.literal)) {
@@ -623,7 +716,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           udf::Params params;  // opaque predicate params are pre-bound strings
           if (!cond.params.empty()) params["params"] = Value(cond.params);
           OPD_RETURN_NOT_OK(RunMapTasks(
-              pctx, in, block_size,
+              pctx, map_phase, in, block_size,
               [&](const Row& row, std::vector<Row>* local) -> Status {
                 std::vector<Value> args;
                 args.reserve(idx.size());
@@ -674,67 +767,130 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         if (vectorized) {
           const BatchList build_list(build_in);
           const BatchList probe_list(probe_in);
+          double part_s = 0, reduce_max_s = 0;
+          std::vector<uint32_t> probe_bucket;
 
-          // Map side of the shuffle: hash-partition both inputs by key,
-          // straight off the columnar data.
-          double part_build_s = 0, part_probe_s = 0;
-          std::vector<uint32_t> build_bucket, probe_bucket;
-          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:build",
-                                                build_list, build_keys,
-                                                num_buckets, &build_bucket,
-                                                &part_build_s));
-          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:probe",
-                                                probe_list, probe_keys,
-                                                num_buckets, &probe_bucket,
-                                                &part_probe_s));
-          const auto build_lists =
-              BucketRefLists(build_list, build_bucket, num_buckets);
-          const auto probe_lists =
-              BucketRefLists(probe_list, probe_bucket, num_buckets);
-          job_skew = BucketSkew(probe_lists);
-
-          // Reduce side: each bucket keys its build rows by their packed
-          // key bytes (equal exactly when the key Values are equal) and
-          // probes in row order, emitting (probe ref, build ref) matches.
+          // Reduce body shared by both schedules: each bucket keys its
+          // build rows by their packed key bytes (equal exactly when the
+          // key Values are equal) and probes in row order, emitting
+          // (probe ref, build ref) matches.
           struct Match {
             size_t probe_global;
             RowRef probe, build;
           };
-          double reduce_max_s = 0;
           std::vector<std::vector<Match>> bucket_out(num_buckets);
-          OPD_RETURN_NOT_OK(RunPhase(
-              pctx, "reduce", num_buckets,
-              [&](size_t b) -> Status {
-                std::unordered_map<std::string, std::vector<RowRef>> ht;
-                ht.reserve(build_lists[b].size());
-                std::string key;
-                for (RowRef ref : build_lists[b]) {
-                  key.clear();
-                  PackKeys(build_list.batch(ref.batch), ref.idx, build_keys,
-                           &key);
-                  ht[key].push_back(ref);
-                }
-                if (ht_load_hist != nullptr && !ht.empty()) {
-                  ht_load_hist->Observe(ht.load_factor());
-                }
-                auto& local = bucket_out[b];
-                local.reserve(probe_lists[b].size());
-                for (RowRef pref : probe_lists[b]) {
-                  key.clear();
-                  PackKeys(probe_list.batch(pref.batch), pref.idx,
-                           probe_keys, &key);
-                  auto it = ht.find(key);
-                  if (it == ht.end()) continue;
-                  const size_t pg =
-                      probe_list.offsets[pref.batch] + pref.idx;
-                  for (RowRef bref : it->second) {
-                    local.push_back(Match{pg, pref, bref});
+          auto reduce_bucket = [&](size_t b, size_t build_n,
+                                   const auto& build_each, size_t probe_n,
+                                   const auto& probe_each) -> Status {
+            std::unordered_map<std::string, std::vector<RowRef>> ht;
+            ht.reserve(build_n);
+            std::string key;
+            build_each([&](RowRef ref) {
+              key.clear();
+              PackKeys(build_list.batch(ref.batch), ref.idx, build_keys,
+                       &key);
+              ht[key].push_back(ref);
+            });
+            if (ht_load_hist != nullptr && !ht.empty()) {
+              ht_load_hist->Observe(ht.load_factor());
+            }
+            auto& local = bucket_out[b];
+            local.reserve(probe_n);
+            probe_each([&](RowRef pref) {
+              key.clear();
+              PackKeys(probe_list.batch(pref.batch), pref.idx, probe_keys,
+                       &key);
+              auto it = ht.find(key);
+              if (it == ht.end()) return;
+              const size_t pg = probe_list.offsets[pref.batch] + pref.idx;
+              for (RowRef bref : it->second) {
+                local.push_back(Match{pg, pref, bref});
+              }
+            });
+            return Status::OK();
+          };
+
+          if (pipelined) {
+            // Fused map+partition: one producer per batch (build batches
+            // first, then probe batches) hashes straight into its own
+            // per-bucket buffer slots; no bucket_of scatter pass.
+            PartitionBuffer<RowRef> bbuf(build_list.size(), num_buckets);
+            PartitionBuffer<RowRef> pbuf(probe_list.size(), num_buckets);
+            probe_bucket.assign(probe_list.num_rows, 0);
+            const size_t nb = build_list.size();
+            OPD_RETURN_NOT_OK(RunPipelinedShuffle(
+                pipe, nb + probe_list.size(),
+                [&](size_t t) -> Status {
+                  const bool is_build = t < nb;
+                  const size_t side_t = is_build ? t : t - nb;
+                  const BatchList& list = is_build ? build_list : probe_list;
+                  const std::vector<size_t>& keys =
+                      is_build ? build_keys : probe_keys;
+                  PartitionBuffer<RowRef>& buf = is_build ? bbuf : pbuf;
+                  const RowBatch& batch = list.batch(side_t);
+                  buf.ReserveProducer(side_t, batch.num_rows());
+                  uint32_t* pb = is_build
+                                     ? nullptr
+                                     : probe_bucket.data() +
+                                           probe_list.offsets[side_t];
+                  for (size_t i = 0; i < batch.num_rows(); ++i) {
+                    const uint32_t b =
+                        num_buckets <= 1
+                            ? 0
+                            : static_cast<uint32_t>(
+                                  batch.HashKeysAt(i, keys) % num_buckets);
+                    if (pb != nullptr) pb[i] = b;
+                    buf.Append(side_t, b,
+                               RowRef{static_cast<uint32_t>(side_t),
+                                      static_cast<uint32_t>(i)});
                   }
-                }
-                return Status::OK();
-              },
-              &reduce_max_s));
-          job_max_task_s = part_build_s + part_probe_s + reduce_max_s;
+                  return Status::OK();
+                },
+                num_buckets,
+                [&](size_t b) -> Status {
+                  return reduce_bucket(
+                      b, bbuf.BucketSize(b),
+                      [&](auto&& f) { bbuf.ForEachInBucket(b, f); },
+                      pbuf.BucketSize(b),
+                      [&](auto&& f) { pbuf.ForEachInBucket(b, f); });
+                },
+                &part_s, &reduce_max_s));
+            job_skew = BufferSkew(pbuf);
+          } else {
+            // Phased: partition both inputs (barrier), scatter, then the
+            // reduce wave.
+            double part_build_s = 0, part_probe_s = 0;
+            std::vector<uint32_t> build_bucket;
+            OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:build",
+                                                  build_list, build_keys,
+                                                  num_buckets, &build_bucket,
+                                                  &part_build_s));
+            OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:probe",
+                                                  probe_list, probe_keys,
+                                                  num_buckets, &probe_bucket,
+                                                  &part_probe_s));
+            part_s = part_build_s + part_probe_s;
+            const auto build_lists =
+                BucketRefLists(build_list, build_bucket, num_buckets);
+            const auto probe_lists =
+                BucketRefLists(probe_list, probe_bucket, num_buckets);
+            job_skew = BucketSkew(probe_lists);
+            OPD_RETURN_NOT_OK(RunPhase(
+                pctx, "reduce", num_buckets,
+                [&](size_t b) -> Status {
+                  return reduce_bucket(
+                      b, build_lists[b].size(),
+                      [&](auto&& f) {
+                        for (RowRef ref : build_lists[b]) f(ref);
+                      },
+                      probe_lists[b].size(),
+                      [&](auto&& f) {
+                        for (RowRef ref : probe_lists[b]) f(ref);
+                      });
+                },
+                &reduce_max_s));
+          }
+          job_max_task_s = part_s + reduce_max_s;
 
           // Deterministic merge: matches in probe-row order (each bucket's
           // output is already ordered by probe index, so a cursor per
@@ -787,65 +943,140 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           break;
         }
 
-        // Row-at-a-time join.
-        // Map side of the shuffle: hash-partition both inputs by join key.
-        double part_build_s = 0, part_probe_s = 0;
-        std::vector<uint32_t> build_bucket, probe_bucket;
-        OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:build", build_in,
-                                         build_keys, num_buckets, block_size,
-                                         &build_bucket, &part_build_s));
-        OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:probe", probe_in,
-                                         probe_keys, num_buckets, block_size,
-                                         &probe_bucket, &part_probe_s));
-        const auto build_lists = BucketLists(build_bucket, num_buckets);
-        const auto probe_lists = BucketLists(probe_bucket, num_buckets);
-        job_skew = BucketSkew(probe_lists);
-
-        // Reduce side: each bucket builds an unordered hash table over its
-        // build rows and probes it with its probe rows in row order. Output
-        // rows carry their probe-row index for the deterministic merge.
-        double reduce_max_s = 0;
+        // Row-at-a-time join. Reduce body shared by both schedules: each
+        // bucket builds an unordered hash table over its build rows and
+        // probes it with its probe rows in row order. Output rows carry
+        // their probe-row index for the deterministic merge.
+        double part_s = 0, reduce_max_s = 0;
+        std::vector<uint32_t> probe_bucket;
         std::vector<std::vector<std::pair<size_t, Row>>> bucket_out(
             num_buckets);
-        OPD_RETURN_NOT_OK(RunPhase(
-            pctx, "reduce", num_buckets,
-            [&](size_t b) -> Status {
-              std::unordered_map<Row, std::vector<size_t>, RowHash> ht;
-              ht.reserve(build_lists[b].size());
-              for (size_t r : build_lists[b]) {
+        auto reduce_bucket = [&](size_t b, size_t build_n,
+                                 const auto& build_each, size_t probe_n,
+                                 const auto& probe_each) -> Status {
+          std::unordered_map<Row, std::vector<size_t>, RowHash> ht;
+          ht.reserve(build_n);
+          build_each([&](size_t r) {
+            Row key;
+            key.reserve(build_keys.size());
+            for (size_t i : build_keys) key.push_back(build_in.row(r)[i]);
+            ht[std::move(key)].push_back(r);
+          });
+          if (ht_load_hist != nullptr && !ht.empty()) {
+            ht_load_hist->Observe(ht.load_factor());
+          }
+          auto& local = bucket_out[b];
+          local.reserve(probe_n);
+          Row key;
+          probe_each([&](size_t p) {
+            const Row& prow = probe_in.row(p);
+            key.clear();
+            for (size_t i : probe_keys) key.push_back(prow[i]);
+            auto it = ht.find(key);
+            if (it == ht.end()) return;
+            for (size_t m : it->second) {
+              const Row& brow = build_in.row(m);
+              const Row& lrow = build_right ? prow : brow;
+              const Row& rrow = build_right ? brow : prow;
+              Row r;
+              r.reserve(out_map.size());
+              for (const auto& [from_left, i] : out_map) {
+                r.push_back(from_left ? lrow[i] : rrow[i]);
+              }
+              local.emplace_back(p, std::move(r));
+            }
+          });
+          return Status::OK();
+        };
+
+        if (pipelined) {
+          // Fused map+partition: producers cover the build splits first,
+          // then the probe splits, each hashing its rows directly into its
+          // per-bucket buffer slots.
+          const std::vector<Row>& build_rows = build_in.rows();
+          const std::vector<Row>& probe_rows = probe_in.rows();
+          const std::vector<RowRange> bsplits =
+              storage::SplitRowsByBlockSize(build_rows.size(),
+                                            build_in.AvgRowBytes(),
+                                            block_size);
+          const std::vector<RowRange> psplits =
+              storage::SplitRowsByBlockSize(probe_rows.size(),
+                                            probe_in.AvgRowBytes(),
+                                            block_size);
+          PartitionBuffer<size_t> bbuf(bsplits.size(), num_buckets);
+          PartitionBuffer<size_t> pbuf(psplits.size(), num_buckets);
+          probe_bucket.assign(probe_rows.size(), 0);
+          const size_t nb = bsplits.size();
+          OPD_RETURN_NOT_OK(RunPipelinedShuffle(
+              pipe, nb + psplits.size(),
+              [&](size_t t) -> Status {
+                const bool is_build = t < nb;
+                const size_t side_t = is_build ? t : t - nb;
+                const RowRange& split =
+                    is_build ? bsplits[side_t] : psplits[side_t];
+                const std::vector<Row>& rows =
+                    is_build ? build_rows : probe_rows;
+                const std::vector<size_t>& keys =
+                    is_build ? build_keys : probe_keys;
+                PartitionBuffer<size_t>& buf = is_build ? bbuf : pbuf;
+                buf.ReserveProducer(side_t, split.size());
                 Row key;
-                key.reserve(build_keys.size());
-                for (size_t i : build_keys) key.push_back(build_in.row(r)[i]);
-                ht[std::move(key)].push_back(r);
-              }
-              if (ht_load_hist != nullptr && !ht.empty()) {
-                ht_load_hist->Observe(ht.load_factor());
-              }
-              auto& local = bucket_out[b];
-              local.reserve(probe_lists[b].size());
-              Row key;
-              for (size_t p : probe_lists[b]) {
-                const Row& prow = probe_in.row(p);
-                key.clear();
-                for (size_t i : probe_keys) key.push_back(prow[i]);
-                auto it = ht.find(key);
-                if (it == ht.end()) continue;
-                for (size_t m : it->second) {
-                  const Row& brow = build_in.row(m);
-                  const Row& lrow = build_right ? prow : brow;
-                  const Row& rrow = build_right ? brow : prow;
-                  Row r;
-                  r.reserve(out_map.size());
-                  for (const auto& [from_left, i] : out_map) {
-                    r.push_back(from_left ? lrow[i] : rrow[i]);
+                key.reserve(keys.size());
+                for (size_t r = split.begin; r < split.end; ++r) {
+                  uint32_t b = 0;
+                  if (num_buckets > 1) {
+                    key.clear();
+                    for (size_t i : keys) key.push_back(rows[r][i]);
+                    b = static_cast<uint32_t>(RowHash()(key) % num_buckets);
                   }
-                  local.emplace_back(p, std::move(r));
+                  if (!is_build) probe_bucket[r] = b;
+                  buf.Append(side_t, b, r);
                 }
-              }
-              return Status::OK();
-            },
-            &reduce_max_s));
-        job_max_task_s = part_build_s + part_probe_s + reduce_max_s;
+                return Status::OK();
+              },
+              num_buckets,
+              [&](size_t b) -> Status {
+                return reduce_bucket(
+                    b, bbuf.BucketSize(b),
+                    [&](auto&& f) { bbuf.ForEachInBucket(b, f); },
+                    pbuf.BucketSize(b),
+                    [&](auto&& f) { pbuf.ForEachInBucket(b, f); });
+              },
+              &part_s, &reduce_max_s));
+          job_skew = BufferSkew(pbuf);
+        } else {
+          // Phased: partition both inputs (barrier), scatter, then the
+          // reduce wave.
+          double part_build_s = 0, part_probe_s = 0;
+          std::vector<uint32_t> build_bucket;
+          OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:build", build_in,
+                                           build_keys, num_buckets,
+                                           block_size, &build_bucket,
+                                           &part_build_s));
+          OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:probe", probe_in,
+                                           probe_keys, num_buckets,
+                                           block_size, &probe_bucket,
+                                           &part_probe_s));
+          part_s = part_build_s + part_probe_s;
+          const auto build_lists = BucketLists(build_bucket, num_buckets);
+          const auto probe_lists = BucketLists(probe_bucket, num_buckets);
+          job_skew = BucketSkew(probe_lists);
+          OPD_RETURN_NOT_OK(RunPhase(
+              pctx, "reduce", num_buckets,
+              [&](size_t b) -> Status {
+                return reduce_bucket(
+                    b, build_lists[b].size(),
+                    [&](auto&& f) {
+                      for (size_t r : build_lists[b]) f(r);
+                    },
+                    probe_lists[b].size(),
+                    [&](auto&& f) {
+                      for (size_t p : probe_lists[b]) f(p);
+                    });
+              },
+              &reduce_max_s));
+        }
+        job_max_task_s = part_s + reduce_max_s;
 
         // Deterministic merge: emit matches in probe-row order (each
         // bucket's output is already ordered by probe index, so a cursor
@@ -892,97 +1123,175 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
 
         if (vectorized) {
           const BatchList in_list(in);
-          // Map side of the shuffle: hash-partition rows by group key.
-          std::vector<uint32_t> bucket_of;
-          OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition", in_list,
-                                                key_idx, num_buckets,
-                                                &bucket_of, &part_s));
-          const auto lists = BucketRefLists(in_list, bucket_of, num_buckets);
-          job_skew = BucketSkew(lists);
 
-          // Reduce side: hash-aggregate each bucket, keying groups by the
-          // packed key bytes; the key Row is materialized once per group.
-          // Rows of a key fold in original row order, so floating point
-          // accumulation matches the serial pass exactly.
-          OPD_RETURN_NOT_OK(RunPhase(
-              pctx, "reduce", num_buckets,
-              [&](size_t b) -> Status {
-                std::unordered_map<std::string, size_t> index;
-                index.reserve(lists[b].size());
-                std::vector<GroupEntry>& groups = bucket_groups[b];
-                std::string key;
-                for (RowRef ref : lists[b]) {
-                  const RowBatch& batch = in_list.batch(ref.batch);
-                  key.clear();
-                  PackKeys(batch, ref.idx, key_idx, &key);
-                  auto [it, inserted] =
-                      index.try_emplace(key, groups.size());
-                  if (inserted) {
-                    Row krow;
-                    krow.reserve(key_idx.size());
-                    for (size_t c : key_idx) {
-                      krow.push_back(batch.column(c).GetValue(ref.idx));
-                    }
-                    groups.emplace_back(
-                        std::move(krow),
-                        std::vector<AggState>(node->group.aggs.size()));
-                  }
-                  auto& states = groups[it->second].second;
-                  for (size_t a = 0; a < states.size(); ++a) {
-                    states[a].Update(
-                        agg_idx[a]
-                            ? batch.column(*agg_idx[a]).GetValue(ref.idx)
-                            : Value(int64_t{1}));
-                  }
+          // Reduce body shared by both schedules: hash-aggregate one
+          // bucket, keying groups by the packed key bytes; the key Row is
+          // materialized once per group. Rows of a key fold in original row
+          // order, so floating point accumulation matches the serial pass.
+          auto reduce_bucket = [&](size_t b, size_t bucket_n,
+                                   const auto& for_each) -> Status {
+            std::unordered_map<std::string, size_t> index;
+            index.reserve(bucket_n);
+            std::vector<GroupEntry>& groups = bucket_groups[b];
+            std::string key;
+            for_each([&](RowRef ref) {
+              const RowBatch& batch = in_list.batch(ref.batch);
+              key.clear();
+              PackKeys(batch, ref.idx, key_idx, &key);
+              auto [it, inserted] = index.try_emplace(key, groups.size());
+              if (inserted) {
+                Row krow;
+                krow.reserve(key_idx.size());
+                for (size_t c : key_idx) {
+                  krow.push_back(batch.column(c).GetValue(ref.idx));
                 }
-                if (ht_load_hist != nullptr && !index.empty()) {
-                  ht_load_hist->Observe(index.load_factor());
-                }
-                return Status::OK();
-              },
-              &reduce_max_s));
+                groups.emplace_back(
+                    std::move(krow),
+                    std::vector<AggState>(node->group.aggs.size()));
+              }
+              auto& states_ = groups[it->second].second;
+              for (size_t a = 0; a < states_.size(); ++a) {
+                states_[a].Update(
+                    agg_idx[a]
+                        ? batch.column(*agg_idx[a]).GetValue(ref.idx)
+                        : Value(int64_t{1}));
+              }
+            });
+            if (ht_load_hist != nullptr && !index.empty()) {
+              ht_load_hist->Observe(index.load_factor());
+            }
+            return Status::OK();
+          };
+
+          if (pipelined) {
+            // Fused map+partition: one producer per batch hashes straight
+            // into its per-bucket buffer slots.
+            PartitionBuffer<RowRef> buf(in_list.size(), num_buckets);
+            OPD_RETURN_NOT_OK(RunPipelinedShuffle(
+                pipe, in_list.size(),
+                [&](size_t t) -> Status {
+                  const RowBatch& batch = in_list.batch(t);
+                  buf.ReserveProducer(t, batch.num_rows());
+                  for (size_t i = 0; i < batch.num_rows(); ++i) {
+                    const uint32_t b =
+                        num_buckets <= 1
+                            ? 0
+                            : static_cast<uint32_t>(
+                                  batch.HashKeysAt(i, key_idx) %
+                                  num_buckets);
+                    buf.Append(t, b,
+                               RowRef{static_cast<uint32_t>(t),
+                                      static_cast<uint32_t>(i)});
+                  }
+                  return Status::OK();
+                },
+                num_buckets,
+                [&](size_t b) -> Status {
+                  return reduce_bucket(b, buf.BucketSize(b), [&](auto&& f) {
+                    buf.ForEachInBucket(b, f);
+                  });
+                },
+                &part_s, &reduce_max_s));
+            job_skew = BufferSkew(buf);
+          } else {
+            // Phased: partition (barrier), scatter, then the reduce wave.
+            std::vector<uint32_t> bucket_of;
+            OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition", in_list,
+                                                  key_idx, num_buckets,
+                                                  &bucket_of, &part_s));
+            const auto lists =
+                BucketRefLists(in_list, bucket_of, num_buckets);
+            job_skew = BucketSkew(lists);
+            OPD_RETURN_NOT_OK(RunPhase(
+                pctx, "reduce", num_buckets,
+                [&](size_t b) -> Status {
+                  return reduce_bucket(b, lists[b].size(), [&](auto&& f) {
+                    for (RowRef ref : lists[b]) f(ref);
+                  });
+                },
+                &reduce_max_s));
+          }
         } else {
-          // Map side of the shuffle: hash-partition rows by group key.
-          std::vector<uint32_t> bucket_of;
-          OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition", in, key_idx,
-                                           num_buckets, block_size,
-                                           &bucket_of, &part_s));
-          const auto lists = BucketLists(bucket_of, num_buckets);
-          job_skew = BucketSkew(lists);
+          // Row-at-a-time group-by; same structure as the batch path with
+          // Row keys instead of packed key bytes.
+          auto reduce_bucket = [&](size_t b, size_t bucket_n,
+                                   const auto& for_each) -> Status {
+            std::unordered_map<Row, size_t, RowHash> index;
+            index.reserve(bucket_n);
+            std::vector<GroupEntry>& groups = bucket_groups[b];
+            for_each([&](size_t r) {
+              const Row& row = in.row(r);
+              Row key;
+              key.reserve(key_idx.size());
+              for (size_t i : key_idx) key.push_back(row[i]);
+              auto [it, inserted] =
+                  index.try_emplace(std::move(key), groups.size());
+              if (inserted) {
+                groups.emplace_back(it->first,
+                                    std::vector<AggState>(
+                                        node->group.aggs.size()));
+              }
+              auto& states_ = groups[it->second].second;
+              for (size_t a = 0; a < states_.size(); ++a) {
+                states_[a].Update(agg_idx[a] ? row[*agg_idx[a]]
+                                             : Value(int64_t{1}));
+              }
+            });
+            if (ht_load_hist != nullptr && !index.empty()) {
+              ht_load_hist->Observe(index.load_factor());
+            }
+            return Status::OK();
+          };
 
-          // Reduce side: hash-aggregate each bucket. All rows of a key land
-          // in one bucket and are folded in original row order, so floating
-          // point accumulation matches the serial pass exactly.
-          OPD_RETURN_NOT_OK(RunPhase(
-              pctx, "reduce", num_buckets,
-              [&](size_t b) -> Status {
-                std::unordered_map<Row, size_t, RowHash> index;
-                index.reserve(lists[b].size());
-                std::vector<GroupEntry>& groups = bucket_groups[b];
-                for (size_t r : lists[b]) {
-                  const Row& row = in.row(r);
+          if (pipelined) {
+            const std::vector<Row>& rows = in.rows();
+            const std::vector<RowRange> splits =
+                storage::SplitRowsByBlockSize(rows.size(), in.AvgRowBytes(),
+                                              block_size);
+            PartitionBuffer<size_t> buf(splits.size(), num_buckets);
+            OPD_RETURN_NOT_OK(RunPipelinedShuffle(
+                pipe, splits.size(),
+                [&](size_t t) -> Status {
+                  const RowRange& split = splits[t];
+                  buf.ReserveProducer(t, split.size());
                   Row key;
                   key.reserve(key_idx.size());
-                  for (size_t i : key_idx) key.push_back(row[i]);
-                  auto [it, inserted] =
-                      index.try_emplace(std::move(key), groups.size());
-                  if (inserted) {
-                    groups.emplace_back(it->first,
-                                        std::vector<AggState>(
-                                            node->group.aggs.size()));
+                  for (size_t r = split.begin; r < split.end; ++r) {
+                    uint32_t b = 0;
+                    if (num_buckets > 1) {
+                      key.clear();
+                      for (size_t i : key_idx) key.push_back(rows[r][i]);
+                      b = static_cast<uint32_t>(RowHash()(key) %
+                                                num_buckets);
+                    }
+                    buf.Append(t, b, r);
                   }
-                  auto& states = groups[it->second].second;
-                  for (size_t a = 0; a < states.size(); ++a) {
-                    states[a].Update(agg_idx[a] ? row[*agg_idx[a]]
-                                                : Value(int64_t{1}));
-                  }
-                }
-                if (ht_load_hist != nullptr && !index.empty()) {
-                  ht_load_hist->Observe(index.load_factor());
-                }
-                return Status::OK();
-              },
-              &reduce_max_s));
+                  return Status::OK();
+                },
+                num_buckets,
+                [&](size_t b) -> Status {
+                  return reduce_bucket(b, buf.BucketSize(b), [&](auto&& f) {
+                    buf.ForEachInBucket(b, f);
+                  });
+                },
+                &part_s, &reduce_max_s));
+            job_skew = BufferSkew(buf);
+          } else {
+            std::vector<uint32_t> bucket_of;
+            OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition", in, key_idx,
+                                             num_buckets, block_size,
+                                             &bucket_of, &part_s));
+            const auto lists = BucketLists(bucket_of, num_buckets);
+            job_skew = BucketSkew(lists);
+            OPD_RETURN_NOT_OK(RunPhase(
+                pctx, "reduce", num_buckets,
+                [&](size_t b) -> Status {
+                  return reduce_bucket(b, lists[b].size(), [&](auto&& f) {
+                    for (size_t r : lists[b]) f(r);
+                  });
+                },
+                &reduce_max_s));
+          }
         }
         job_max_task_s = part_s + reduce_max_s;
 
@@ -1016,7 +1325,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
       case OpKind::kUdf: {
         // UDF local functions are opaque per-row/per-group user code: the
         // engine falls back to row-at-a-time execution at this boundary
-        // (batch-primary inputs materialize their rows lazily).
+        // (batch-primary inputs materialize their rows lazily). In
+        // pipelined mode consecutive map stages fuse into one row loop and
+        // reduce stages use the latch-scheduled shuffle.
         OPD_ASSIGN_OR_RETURN(const udf::UdfDefinition* def,
                              ctx.udfs->Find(node->udf.udf_name));
         std::vector<LfStageRun> stage_runs;
@@ -1024,8 +1335,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         udf_opts.pool = pool_.get();
         udf_opts.block_size_bytes = block_size;
         udf_opts.num_reduce_tasks = options_.num_reduce_tasks;
+        udf_opts.pipelined = pipelined;
         udf_opts.trace = trace;
-        udf_opts.parent_span = job_span.id();
+        udf_opts.parent_span = span_id;
         udf_opts.trace_tasks = options_.trace_tasks;
         udf_opts.tasks = &job_tasks;
         OPD_RETURN_NOT_OK(RunLocalFunctions(*def, *inputs[0],
@@ -1048,79 +1360,104 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         break;
       }
     }
+    return Status::OK();
+    }();
+    if (!body.ok()) {
+      st.status = std::move(body);
+      return;
+    }
 
-    const uint64_t out_bytes = out.ByteSize();
-    const uint64_t out_rows = out.num_rows();
-    plan::JobCostInfo jc = model.JobCost(
+    st.out_bytes = out.ByteSize();
+    st.out_rows = out.num_rows();
+    st.cost = model.JobCost(
         static_cast<double>(in_bytes), static_cast<double>(shuffle_bytes),
-        static_cast<double>(out_bytes), map_scalar, reduce_scalar,
+        static_cast<double>(st.out_bytes), map_scalar, reduce_scalar,
         has_shuffle);
-    metrics.sim_time_s += jc.total_s;
-    metrics.bytes_read += in_bytes;
-    metrics.bytes_shuffled += shuffle_bytes;
-    metrics.bytes_written += out_bytes;
+    st.shuffle_bytes = shuffle_bytes;
+    st.has_shuffle = has_shuffle;
+    st.max_task_s = job_max_task_s;
+    st.reduce_tasks = job_reduce_tasks;
+    st.tasks = job_tasks;
+    st.skew = job_skew;
+    st.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - job_wall_start)
+                    .count();
+    out.set_name(specs[j].path);
+    st.table = std::make_shared<const Table>(std::move(out));
+  };
+
+  // --- Serial finalize ------------------------------------------------------
+  // Every ordering-sensitive side effect happens here, in job-index (topo)
+  // order, regardless of the execution schedule: DFS writes, metric and
+  // JobRun accumulation, and ViewStore insertion (ViewIds are assigned in
+  // insertion order and must not depend on thread timing).
+  auto finalize_job = [&](size_t j, obs::TraceSpan* job_span) -> Status {
+    JobState& st = states[j];
+    const OpNodePtr& node_ptr = *specs[j].node;
+    OpNode* node = node_ptr.get();
+
+    metrics.sim_time_s += st.cost.total_s;
+    metrics.bytes_read += st.in_bytes;
+    metrics.bytes_shuffled += st.shuffle_bytes;
+    metrics.bytes_written += st.out_bytes;
     metrics.jobs += 1;
-    metrics.max_task_time_s += job_max_task_s;
+    metrics.max_task_time_s += st.max_task_s;
 
     // Materialize the job output to the DFS (Hive materializes every job).
-    const int job_index = job_counter++;
-    const std::string path = "views/run" + std::to_string(run_id) + "/job" +
-                             std::to_string(job_index);
-    out.set_name(path);
-    auto table = std::make_shared<const Table>(std::move(out));
-    OPD_RETURN_NOT_OK(dfs_->Write(path, table));
-    results[node] = table;
+    OPD_RETURN_NOT_OK(dfs_->Write(specs[j].path, st.table));
+    results[node] = st.table;
 
     JobRun jr;
-    jr.index = job_index;
+    jr.index = static_cast<int>(j);
     jr.node = node;
     jr.op = node->DisplayName();
-    jr.sim_time_s = jc.total_s;
-    jr.wall_time_s = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - job_wall_start)
-                         .count();
-    jr.bytes_read = in_bytes;
-    jr.bytes_shuffled = shuffle_bytes;
-    jr.bytes_written = out_bytes;
-    jr.rows_out = out_rows;
-    jr.map_tasks = job_tasks >= job_reduce_tasks ? job_tasks - job_reduce_tasks
-                                                 : 0;
-    jr.reduce_tasks = job_reduce_tasks;
-    jr.max_task_time_s = job_max_task_s;
+    jr.sim_time_s = st.cost.total_s;
+    jr.wall_time_s = st.wall_s;
+    jr.bytes_read = st.in_bytes;
+    jr.bytes_shuffled = st.shuffle_bytes;
+    jr.bytes_written = st.out_bytes;
+    jr.rows_out = st.out_rows;
+    jr.map_tasks = st.tasks >= st.reduce_tasks ? st.tasks - st.reduce_tasks
+                                               : 0;
+    jr.reduce_tasks = st.reduce_tasks;
+    jr.max_task_time_s = st.max_task_s;
+    jr.pipelined = pipelined;
     result.jobs.push_back(std::move(jr));
 
-    if (job_span) {
-      job_span.AddArg("sim_time_s", jc.total_s);
-      job_span.AddArg("bytes_read", in_bytes);
-      job_span.AddArg("bytes_shuffled", shuffle_bytes);
-      job_span.AddArg("bytes_written", out_bytes);
-      job_span.AddArg("rows_out", out_rows);
-      job_span.AddArg("max_task_time_s", job_max_task_s);
+    if (job_span != nullptr && *job_span) {
+      job_span->AddArg("sim_time_s", st.cost.total_s);
+      job_span->AddArg("bytes_read", st.in_bytes);
+      job_span->AddArg("bytes_shuffled", st.shuffle_bytes);
+      job_span->AddArg("bytes_written", st.out_bytes);
+      job_span->AddArg("rows_out", st.out_rows);
+      job_span->AddArg("max_task_time_s", st.max_task_s);
     }
     if (options_.metrics) {
       registry.counter("engine.jobs").Inc();
-      registry.counter("engine.bytes_read").Inc(in_bytes);
-      registry.counter("engine.bytes_shuffled").Inc(shuffle_bytes);
-      registry.counter("engine.bytes_written").Inc(out_bytes);
-      if (job_skew > 0) skew_hist->Observe(job_skew);
+      registry.counter("engine.bytes_read").Inc(st.in_bytes);
+      registry.counter("engine.bytes_shuffled").Inc(st.shuffle_bytes);
+      registry.counter("engine.bytes_written").Inc(st.out_bytes);
+      if (st.skew > 0) skew_hist->Observe(st.skew);
     }
 
     if (options_.retain_views) {
       catalog::ViewDefinition def;
-      def.dfs_path = path;
+      def.dfs_path = specs[j].path;
       def.afk = node->afk;
       def.out_attrs = node->out_attrs;
       def.schema = node->out_schema;
       def.fingerprint = plan::Fingerprint(node_ptr);
-      def.bytes = out_bytes;
+      def.bytes = st.out_bytes;
       def.producer = plan->name();
       if (options_.collect_stats) {
-        obs::TraceSpan stats_span(trace, job_span.id(), "stats", "phase");
-        def.stats = stats_.Collect(*table, pool_.get());
-        metrics.stats_time_s += stats_.JobTime(*table, model);
+        obs::TraceSpan stats_span(trace,
+                                  job_span != nullptr ? job_span->id() : 0,
+                                  "stats", "phase");
+        def.stats = stats_.Collect(*st.table, pool_.get());
+        metrics.stats_time_s += stats_.JobTime(*st.table, model);
       } else {
-        def.stats.rows = static_cast<double>(table->num_rows());
-        def.stats.avg_row_bytes = table->AvgRowBytes();
+        def.stats.rows = static_cast<double>(st.table->num_rows());
+        def.stats.avg_row_bytes = st.table->AvgRowBytes();
       }
       size_t before = views_->size();
       views_->Add(std::move(def));
@@ -1128,6 +1465,58 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         metrics.views_created += 1;
         if (options_.metrics) registry.counter("engine.views_created").Inc();
       }
+    }
+    return Status::OK();
+  };
+
+  // --- Schedule -------------------------------------------------------------
+  // Cross-job DAG scheduling runs independent jobs concurrently on the
+  // shared pool. It is an untraced-only optimization: span ids must be
+  // allocated in deterministic order, which requires serial job execution.
+  const bool dag_schedule = pipelined && pool_ != nullptr &&
+                            trace == nullptr && specs.size() > 1;
+  if (!dag_schedule) {
+    for (size_t j = 0; j < specs.size(); ++j) {
+      obs::TraceSpan job_span(trace, parent_span,
+                              "job:" + (*specs[j].node)->DisplayName(),
+                              "job");
+      run_job(j, &job_span);
+      OPD_RETURN_NOT_OK(states[j].status);
+      OPD_RETURN_NOT_OK(finalize_job(j, &job_span));
+    }
+  } else {
+    const size_t n = specs.size();
+    std::vector<std::vector<size_t>> consumers(n);
+    auto remaining_deps = std::make_unique<std::atomic<size_t>[]>(n);
+    for (size_t j = 0; j < n; ++j) {
+      remaining_deps[j].store(specs[j].producers.size(),
+                              std::memory_order_relaxed);
+      for (size_t p : specs[j].producers) consumers[p].push_back(j);
+    }
+    CountdownLatch all_done(n);
+    // Each job runs as one pool task; finishing a job releases its
+    // consumers (dependency countdown), failed producers leave their table
+    // null and consumers report "missing child result" — the finalize loop
+    // below still returns the lowest-index (root cause) error.
+    std::function<void(size_t)> submit_job = [&](size_t j) {
+      pool_->Submit([&, j] {
+        run_job(j, nullptr);
+        for (size_t c : consumers[j]) {
+          if (remaining_deps[c].fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            submit_job(c);
+          }
+        }
+        all_done.CountDown();
+      });
+    };
+    for (size_t j = 0; j < n; ++j) {
+      if (specs[j].producers.empty()) submit_job(j);
+    }
+    all_done.Wait(pool_.get());
+    for (size_t j = 0; j < n; ++j) {
+      OPD_RETURN_NOT_OK(states[j].status);
+      OPD_RETURN_NOT_OK(finalize_job(j, nullptr));
     }
   }
 

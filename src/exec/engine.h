@@ -50,6 +50,14 @@ struct EngineOptions {
   /// row-at-a-time operators; results are byte-identical either way (UDF
   /// stages and opaque predicates always run row-at-a-time).
   bool vectorized = true;
+  /// Morsel-driven pipelined execution (the default): each map task fuses
+  /// scan->operator->partition into one loop writing thread-local
+  /// per-bucket buffers, reduce tasks start per bucket as soon as that
+  /// bucket's producers finish (countdown latch, no phase barrier), and
+  /// independent jobs of a plan run concurrently on the shared pool when
+  /// untraced. Off falls back to the phased (barrier-per-wave) engine.
+  /// Results are byte-identical either way, at every thread count.
+  bool pipelined = true;
   /// Publish per-job observations (shuffle skew, hash-table load factors,
   /// dictionary compression, byte counts) into obs::MetricRegistry::Global().
   bool metrics = true;
@@ -73,6 +81,10 @@ struct JobRun {
   size_t map_tasks = 0;                 ///< tasks across map/partition waves
   size_t reduce_tasks = 0;              ///< shuffle buckets (0 = map-only)
   double max_task_time_s = 0;           ///< modeled straggler (critical path)
+  /// True when the job ran fused pipeline tasks (map+partition in one
+  /// loop) instead of separate phased map/partition waves; EXPLAIN ANALYZE
+  /// renders the task counts as "#p+#r" vs "#m+#r" accordingly.
+  bool pipelined = false;
 };
 
 /// Result of executing one plan.
@@ -102,9 +114,12 @@ class Engine {
   /// registered as opportunistic views when retention is on.
   ///
   /// When `trace` is non-null each MR job opens a "job:<op>" span under
-  /// `parent_span`, with nested map/partition/reduce phase spans (and task
-  /// spans if EngineOptions::trace_tasks). Span structure is deterministic:
-  /// identical at every thread count; only durations vary.
+  /// `parent_span`, with nested phase spans (map/partition/reduce when
+  /// phased; pipeline/reduce with per-bucket spans when pipelined) and task
+  /// spans if EngineOptions::trace_tasks. Span structure is deterministic:
+  /// identical at every thread count; only durations vary. Tracing forces
+  /// jobs to execute serially (cross-job DAG scheduling is an untraced
+  /// optimization), so the span tree is also job-order deterministic.
   Result<ExecResult> Execute(plan::Plan* plan, obs::Trace* trace = nullptr,
                              uint64_t parent_span = 0);
 

@@ -1,0 +1,60 @@
+// Morsel-driven pipelined shuffle execution (DESIGN.md "Parallel execution
+// model").
+//
+// A shuffle runs as one wave of fused producer tasks (scan -> operator ->
+// partition in a single loop over an input split, writing into a
+// storage::PartitionBuffer) plus one consumer task per shuffle bucket. There
+// is no phase barrier: each bucket carries a countdown latch initialized to
+// the producer count, every finishing producer decrements every bucket's
+// latch, and the decrement that reaches zero schedules that bucket's
+// consumer immediately — buckets whose inputs are complete reduce while
+// other producers are still running.
+//
+// Determinism contract (same as the phased engine): every task runs to
+// completion, the lowest-index failure wins (producers before consumers),
+// and trace span ids are allocated serially before any task starts, so the
+// span structure is identical at every thread count.
+
+#ifndef OPD_EXEC_PIPELINE_H_
+#define OPD_EXEC_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace opd::exec {
+
+/// Execution context for one pipelined shuffle: the task pool plus the
+/// observability hooks. A null trace makes all span work vanish.
+struct PipelineCtx {
+  ThreadPool* pool = nullptr;  // null => run every task inline
+  obs::Trace* trace = nullptr;
+  uint64_t parent_span = 0;  // job (or UDF stage) span
+  bool trace_tasks = true;
+  size_t* tasks = nullptr;  // accumulates producer + consumer task counts
+};
+
+/// \brief Runs `num_producers` fused producer tasks and, once per bucket's
+/// producers have all finished, that bucket's consumer task.
+///
+/// `num_buckets == 0` degenerates to a map-only pipeline wave (no
+/// consumers). Under a trace this opens a "pipeline" phase span (task spans
+/// "pipeline:<i>") and, when buckets exist, a "reduce" phase span with one
+/// "bucket:<b>" span per consumer.
+///
+/// \param[out] max_producer_seconds / max_consumer_seconds  wall time of the
+///   slowest producer / consumer task (the wave's modeled stragglers).
+Status RunPipelinedShuffle(const PipelineCtx& ctx, size_t num_producers,
+                           const std::function<Status(size_t)>& producer,
+                           size_t num_buckets,
+                           const std::function<Status(size_t)>& consumer,
+                           double* max_producer_seconds = nullptr,
+                           double* max_consumer_seconds = nullptr);
+
+}  // namespace opd::exec
+
+#endif  // OPD_EXEC_PIPELINE_H_

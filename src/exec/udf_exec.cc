@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "exec/pipeline.h"
+#include "storage/partition_buffer.h"
 
 namespace opd::exec {
 
@@ -119,60 +123,103 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
     return key;
   };
 
-  // Map side of the shuffle: compute each row's bucket in parallel.
-  double partition_max_s = 0;
-  std::vector<uint32_t> bucket_of(n, 0);
-  if (num_buckets > 1) {
-    const double avg_row_bytes =
-        n == 0 ? 0.0 : static_cast<double>(in_bytes) / static_cast<double>(n);
+  // Grouping + reduce of one bucket, shared by both schedules. `for_each`
+  // yields the bucket's row indices in original row order, so per-key input
+  // order — and therefore the reduce function's view of each group — is
+  // schedule-independent. Rows are moved out of the shared vector; buckets
+  // partition the index space, so concurrent consumers touch disjoint rows.
+  std::vector<std::vector<ReduceGroup>> bucket_groups(num_buckets);
+  auto reduce_bucket = [&](size_t b, const auto& for_each) -> Status {
+    std::unordered_map<Row, size_t, RowHash> group_index;
+    std::vector<ReduceGroup>& groups = bucket_groups[b];
+    for_each([&](size_t r) {
+      Row key = key_of((*rows)[r]);
+      auto [it, inserted] =
+          group_index.try_emplace(std::move(key), groups.size());
+      if (inserted) {
+        groups.emplace_back();
+        groups.back().key = it->first;
+      }
+      groups[it->second].rows.push_back(std::move((*rows)[r]));
+    });
+    std::sort(groups.begin(), groups.end(),
+              [](const ReduceGroup& a, const ReduceGroup& g) {
+                return RowLess()(a.key, g.key);
+              });
+    for (ReduceGroup& g : groups) {
+      lf.reduce_fn(g.rows, ctx, &g.emitted);
+      g.rows.clear();
+    }
+    return Status::OK();
+  };
+
+  const double avg_row_bytes =
+      n == 0 ? 0.0 : static_cast<double>(in_bytes) / static_cast<double>(n);
+  double partition_max_s = 0, reduce_max_s = 0;
+
+  if (opts.pipelined) {
+    // Fused partition: each producer hashes its split's keys straight into
+    // its own per-bucket buffer slots; a bucket's reduce starts the moment
+    // its last producer finishes (no partition barrier, no global scatter).
     const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
         n, avg_row_bytes, opts.block_size_bytes);
-    OPD_RETURN_NOT_OK(RunWave(
-        opts, stage_span, "partition", splits.size(),
+    storage::PartitionBuffer<size_t> buf(splits.size(), num_buckets);
+    const PipelineCtx pctx{opts.pool, opts.trace, stage_span,
+                           opts.trace_tasks, opts.tasks};
+    OPD_RETURN_NOT_OK(RunPipelinedShuffle(
+        pctx, splits.size(),
         [&](size_t t) -> Status {
-          for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
-            bucket_of[r] = static_cast<uint32_t>(RowHash()(key_of((*rows)[r])) %
-                                                 num_buckets);
+          const RowRange& split = splits[t];
+          buf.ReserveProducer(t, split.size());
+          for (size_t r = split.begin; r < split.end; ++r) {
+            const uint32_t b =
+                num_buckets <= 1
+                    ? 0
+                    : static_cast<uint32_t>(RowHash()(key_of((*rows)[r])) %
+                                            num_buckets);
+            buf.Append(t, b, r);
           }
           return Status::OK();
         },
-        &partition_max_s));
+        num_buckets,
+        [&](size_t b) -> Status {
+          return reduce_bucket(
+              b, [&](auto&& f) { buf.ForEachInBucket(b, f); });
+        },
+        &partition_max_s, &reduce_max_s));
+  } else {
+    // Map side of the shuffle: compute each row's bucket in parallel.
+    std::vector<uint32_t> bucket_of(n, 0);
+    if (num_buckets > 1) {
+      const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
+          n, avg_row_bytes, opts.block_size_bytes);
+      OPD_RETURN_NOT_OK(RunWave(
+          opts, stage_span, "partition", splits.size(),
+          [&](size_t t) -> Status {
+            for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
+              bucket_of[r] = static_cast<uint32_t>(
+                  RowHash()(key_of((*rows)[r])) % num_buckets);
+            }
+            return Status::OK();
+          },
+          &partition_max_s));
+    }
+
+    // Scatter row indices to buckets, preserving original row order per key.
+    std::vector<std::vector<size_t>> bucket_rows(num_buckets);
+    for (auto& b : bucket_rows) b.reserve(n / num_buckets + 1);
+    for (size_t r = 0; r < n; ++r) bucket_rows[bucket_of[r]].push_back(r);
+
+    // Reduce side: each bucket groups its rows and applies the reduce fn.
+    OPD_RETURN_NOT_OK(RunWave(
+        opts, stage_span, "reduce", num_buckets,
+        [&](size_t b) -> Status {
+          return reduce_bucket(b, [&](auto&& f) {
+            for (size_t r : bucket_rows[b]) f(r);
+          });
+        },
+        &reduce_max_s));
   }
-
-  // Scatter row indices to buckets, preserving original row order per key.
-  std::vector<std::vector<size_t>> bucket_rows(num_buckets);
-  for (auto& b : bucket_rows) b.reserve(n / num_buckets + 1);
-  for (size_t r = 0; r < n; ++r) bucket_rows[bucket_of[r]].push_back(r);
-
-  // Reduce side: each bucket groups its rows and applies the reduce fn.
-  double reduce_max_s = 0;
-  std::vector<std::vector<ReduceGroup>> bucket_groups(num_buckets);
-  OPD_RETURN_NOT_OK(RunWave(
-      opts, stage_span, "reduce", num_buckets,
-      [&](size_t b) -> Status {
-        std::unordered_map<Row, size_t, RowHash> group_index;
-        std::vector<ReduceGroup>& groups = bucket_groups[b];
-        for (size_t r : bucket_rows[b]) {
-          Row key = key_of((*rows)[r]);
-          auto [it, inserted] =
-              group_index.try_emplace(std::move(key), groups.size());
-          if (inserted) {
-            groups.emplace_back();
-            groups.back().key = it->first;
-          }
-          groups[it->second].rows.push_back(std::move((*rows)[r]));
-        }
-        std::sort(groups.begin(), groups.end(),
-                  [](const ReduceGroup& a, const ReduceGroup& g) {
-                    return RowLess()(a.key, g.key);
-                  });
-        for (ReduceGroup& g : groups) {
-          lf.reduce_fn(g.rows, ctx, &g.emitted);
-          g.rows.clear();
-        }
-        return Status::OK();
-      },
-      &reduce_max_s));
   if (max_task_seconds != nullptr) {
     *max_task_seconds = partition_max_s + reduce_max_s;
   }
@@ -200,6 +247,160 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
   return Status::OK();
 }
 
+// Checks one emitted row against the stage's output schema; the error text
+// matches the end-of-stage validation in RunLocalFunctions exactly.
+Status CheckArity(const udf::LocalFunction& lf, const Row& r,
+                  const Schema& out_schema) {
+  if (r.size() == out_schema.num_columns()) return Status::OK();
+  return Status::Internal("local function " + lf.name +
+                          " emitted row of arity " + std::to_string(r.size()) +
+                          ", schema has " +
+                          std::to_string(out_schema.num_columns()));
+}
+
+// Runs the consecutive map stages [s, e) of `udf` as ONE fused wave over
+// `rows`: each task streams its input split through every stage's map
+// function in turn (ping-pong buffers), so intermediate stage outputs never
+// materialize globally. Task-order concatenation of the final partials is
+// identical to running the stages one wave at a time, because map functions
+// are applied row-at-a-time in order either way.
+//
+// Accounting stays per stage: boundary row/byte counts are summed across
+// tasks, and the group's wall/straggler time is attributed to the first
+// stage of the group (so per-kind wall sums, which calibration consumes,
+// are preserved). Appends one LfStageRun per fused stage and leaves the
+// group's output in `*out`.
+Status RunFusedMapStages(const udf::UdfDefinition& udf, size_t s, size_t e,
+                         const std::vector<Row>& rows,
+                         const udf::Params& params,
+                         const UdfExecOptions& opts, Schema* cur_schema,
+                         std::vector<Row>* out,
+                         std::vector<LfStageRun>* stages) {
+  const auto& lfs = udf.local_functions;
+  const size_t k = e - s;
+
+  // Resolve the schema chain and per-stage contexts up front.
+  std::vector<Schema> schemas;
+  schemas.reserve(k + 1);
+  schemas.push_back(std::move(*cur_schema));
+  std::string fused_name;
+  for (size_t i = s; i < e; ++i) {
+    if (!lfs[i].map_fn) {
+      return Status::Internal("map local function missing body: " +
+                              lfs[i].name);
+    }
+    OPD_ASSIGN_OR_RETURN(Schema next,
+                         lfs[i].out_schema(schemas.back(), params));
+    schemas.push_back(std::move(next));
+    if (!fused_name.empty()) fused_name += "+";
+    fused_name += lfs[i].name;
+  }
+  std::vector<udf::LfContext> ctxs(k);
+  for (size_t i = 0; i < k; ++i) {
+    ctxs[i].in_schema = &schemas[i];
+    ctxs[i].out_schema = &schemas[i + 1];
+    ctxs[i].params = &params;
+  }
+
+  uint64_t in_bytes = 0;
+  for (const Row& r : rows) in_bytes += storage::RowByteSize(r);
+  const double avg_row_bytes =
+      rows.empty() ? 0.0
+                   : static_cast<double>(in_bytes) /
+                         static_cast<double>(rows.size());
+  const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
+      rows.size(), avg_row_bytes, opts.block_size_bytes);
+
+  obs::TraceSpan stage_span(opts.trace, opts.parent_span,
+                            "stage:" + fused_name, "stage");
+  const auto start = std::chrono::steady_clock::now();
+
+  // Per-task outputs plus per-task counts at each intermediate stage
+  // boundary (boundary j = output of stage s+j, 0 <= j < k-1).
+  std::vector<std::vector<Row>> partials(splits.size());
+  std::vector<std::vector<uint64_t>> mid_rows(splits.size());
+  std::vector<std::vector<uint64_t>> mid_bytes(splits.size());
+  double wave_max_s = 0;
+  OPD_RETURN_NOT_OK(RunWave(
+      opts, stage_span.id(), "pipeline", splits.size(),
+      [&](size_t t) -> Status {
+        const RowRange& split = splits[t];
+        mid_rows[t].assign(k - 1, 0);
+        mid_bytes[t].assign(k - 1, 0);
+        std::vector<Row> cur, next;
+        cur.reserve(split.size());
+        for (size_t r = split.begin; r < split.end; ++r) {
+          lfs[s].map_fn(rows[r], ctxs[0], &cur);
+        }
+        for (size_t i = 1; i < k; ++i) {
+          // Account + validate the boundary feeding stage s+i (the last
+          // stage's output is validated by the caller, like phased runs).
+          for (const Row& r : cur) {
+            OPD_RETURN_NOT_OK(CheckArity(lfs[s + i - 1], r, schemas[i]));
+            mid_bytes[t][i - 1] += storage::RowByteSize(r);
+          }
+          mid_rows[t][i - 1] = cur.size();
+          next.clear();
+          for (const Row& r : cur) lfs[s + i].map_fn(r, ctxs[i], &next);
+          cur.swap(next);
+        }
+        partials[t] = std::move(cur);
+        return Status::OK();
+      },
+      &wave_max_s));
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+  size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  out->clear();
+  out->reserve(total);
+  for (auto& p : partials) {
+    for (Row& r : p) out->push_back(std::move(r));
+  }
+  uint64_t out_bytes = 0;
+  for (const Row& r : *out) {
+    OPD_RETURN_NOT_OK(CheckArity(lfs[e - 1], r, schemas[k]));
+    out_bytes += storage::RowByteSize(r);
+  }
+
+  if (stage_span) {
+    stage_span.AddArg("in_rows", static_cast<uint64_t>(rows.size()));
+    stage_span.AddArg("in_bytes", in_bytes);
+    stage_span.AddArg("fused_stages", static_cast<uint64_t>(k));
+    stage_span.End();
+  }
+
+  if (stages != nullptr) {
+    for (size_t i = 0; i < k; ++i) {
+      LfStageRun run;
+      run.lf_name = lfs[s + i].name;
+      run.kind = udf::LfKind::kMap;
+      if (i == 0) {
+        run.in_rows = rows.size();
+        run.in_bytes = in_bytes;
+        run.wall_seconds = wall_s;
+        run.max_task_seconds = wave_max_s;
+      } else {
+        for (const auto& m : mid_rows) run.in_rows += m[i - 1];
+        for (const auto& m : mid_bytes) run.in_bytes += m[i - 1];
+      }
+      if (i == k - 1) {
+        run.out_rows = out->size();
+        run.out_bytes = out_bytes;
+      } else {
+        for (const auto& m : mid_rows) run.out_rows += m[i];
+        for (const auto& m : mid_bytes) run.out_bytes += m[i];
+      }
+      stages->push_back(std::move(run));
+    }
+  }
+
+  *cur_schema = std::move(schemas[k]);
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RunLocalFunctions(const udf::UdfDefinition& udf,
@@ -217,7 +418,29 @@ Status RunLocalFunctions(const udf::UdfDefinition& udf,
   std::vector<Row> owned;
   const std::vector<Row>* cur_rows = &input.rows();
 
-  for (const udf::LocalFunction& lf : udf.local_functions) {
+  const auto& lfs = udf.local_functions;
+  for (size_t stage_i = 0; stage_i < lfs.size();) {
+    // Pipelined mode fuses a maximal run of consecutive map stages into one
+    // wave (no intermediate materialization, one task set, one stage span).
+    if (exec_options.pipelined && lfs[stage_i].kind == udf::LfKind::kMap &&
+        stage_i + 1 < lfs.size() &&
+        lfs[stage_i + 1].kind == udf::LfKind::kMap) {
+      size_t stage_e = stage_i + 2;
+      while (stage_e < lfs.size() && lfs[stage_e].kind == udf::LfKind::kMap) {
+        ++stage_e;
+      }
+      std::vector<Row> fused_out;
+      OPD_RETURN_NOT_OK(RunFusedMapStages(udf, stage_i, stage_e, *cur_rows,
+                                          params, exec_options, &cur_schema,
+                                          &fused_out, stages));
+      owned = std::move(fused_out);
+      cur_rows = &owned;
+      stage_i = stage_e;
+      continue;
+    }
+
+    const udf::LocalFunction& lf = lfs[stage_i];
+    ++stage_i;
     OPD_ASSIGN_OR_RETURN(Schema out_schema, lf.out_schema(cur_schema, params));
     udf::LfContext ctx;
     ctx.in_schema = &cur_schema;

@@ -35,6 +35,13 @@ struct UdfExecOptions {
   ThreadPool* pool = nullptr;     // null => run tasks inline
   uint64_t block_size_bytes = 64 * 1024;  // map split size (Dfs default)
   int num_reduce_tasks = 0;       // 0 => derived from stage input size
+  /// Morsel-driven pipelined stage execution: consecutive map stages fuse
+  /// into one row loop per split, and reduce-stage shuffles run latch
+  /// scheduled (storage::PartitionBuffer + RunPipelinedShuffle) instead of
+  /// partition-barrier-scatter-reduce. Off by default so standalone users
+  /// (e.g. cost-model calibration) keep the phased waves; the engine opts
+  /// in via EngineOptions::pipelined. Results are byte-identical.
+  bool pipelined = false;
   /// Tracing hooks (see obs/trace.h): each local function opens a
   /// "stage:<name>" span under `parent_span`, with per-wave phase spans
   /// (and task spans when `trace_tasks`). Null trace = no overhead.

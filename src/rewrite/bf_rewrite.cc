@@ -3,8 +3,14 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <string>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "plan/fingerprint.h"
 #include "plan/job.h"
+#include "rewrite/candidate.h"
 #include "rewrite/view_finder.h"
 
 namespace opd::rewrite {
@@ -141,11 +147,36 @@ Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
   state.best_plan.resize(n);
   state.best_cost.resize(n);
   state.finders.resize(n);
+  auto& registry = obs::MetricRegistry::Global();
   for (size_t i = 0; i < n; ++i) {
     state.best_plan[i] = dag.job(i).op;
     state.best_cost[i] = dag.TargetCost(i);
-    state.finders[i].Init(MakeTargetContext(dag.job(i).op, options_), deps,
-                          all_views, &outcome.stats);
+    // Target-side setup is memoized on the subplan fingerprint (see
+    // bf_rewrite.h): repeated structurally identical targets skip the
+    // TargetContext derivation and the useful-signature computation.
+    const std::string fp = plan::Fingerprint(dag.job(i).op);
+    TargetMemoEntry entry;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      auto it = target_memo_.find(fp);
+      if (it != target_memo_.end()) {
+        entry = it->second;
+        hit = true;
+      }
+    }
+    if (!hit) {
+      entry.target = MakeTargetContext(dag.job(i).op, options_);
+      entry.useful_sigs = UsefulSignatures(entry.target.afk);
+      std::lock_guard<std::mutex> lock(memo_mu_);
+      target_memo_.emplace(fp, entry);
+    }
+    registry
+        .counter(hit ? "rewrite.viewfinder.memo_hit"
+                     : "rewrite.viewfinder.memo_miss")
+        .Inc();
+    state.finders[i].Init(std::move(entry.target), deps, all_views,
+                          &outcome.stats, std::move(entry.useful_sigs));
   }
   outcome.original_cost = state.best_cost[dag.sink()];
   outcome.stats.convergence.emplace_back(0.0, outcome.original_cost);

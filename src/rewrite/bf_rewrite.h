@@ -10,11 +10,18 @@
 #ifndef OPD_REWRITE_BF_REWRITE_H_
 #define OPD_REWRITE_BF_REWRITE_H_
 
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "catalog/view_store.h"
 #include "common/status.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan.h"
+#include "rewrite/rewrite_enum.h"
 #include "rewrite/rewriter.h"
 
 namespace opd::rewrite {
@@ -42,6 +49,21 @@ class BfRewriter {
   const optimizer::Optimizer* optimizer_;
   const catalog::ViewStore* views_;
   RewriteOptions options_;
+
+  /// Per-target setup cache, keyed by the target subplan's fingerprint.
+  /// Analysts re-run structurally identical (sub)queries constantly, and
+  /// the target side of ViewFinder::Init — the TargetContext and its
+  /// useful-signature set — depends only on the subplan and the fixed
+  /// RewriteOptions, never on the (growing) view store, so it is safe to
+  /// reuse across Rewrite() calls. Hits/misses are published as
+  /// `rewrite.viewfinder.memo_hit` / `..._miss`. Guarded by `memo_mu_`
+  /// (Rewrite is const and may run from concurrent sessions).
+  struct TargetMemoEntry {
+    TargetContext target;
+    std::vector<std::string> useful_sigs;
+  };
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_map<std::string, TargetMemoEntry> target_memo_;
 };
 
 }  // namespace opd::rewrite

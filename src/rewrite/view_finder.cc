@@ -22,11 +22,13 @@ struct HeapGreater {
 
 void ViewFinder::Init(TargetContext target, EnumDeps deps,
                       const std::vector<const catalog::ViewDefinition*>& views,
-                      RewriteStats* stats) {
+                      RewriteStats* stats,
+                      std::optional<std::vector<std::string>> useful_sigs) {
   target_ = std::move(target);
   deps_ = std::move(deps);
   stats_ = stats;
-  useful_sigs_ = UsefulSignatures(target_.afk);
+  useful_sigs_ = useful_sigs ? std::move(*useful_sigs)
+                             : UsefulSignatures(target_.afk);
   heap_.clear();
   seen_.clear();
   enqueued_.clear();

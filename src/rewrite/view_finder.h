@@ -34,9 +34,16 @@ class ViewFinder {
 
   /// INIT: seeds the queue with every relevant view in `views`, ordered by
   /// OPTCOST w.r.t. the target.
+  ///
+  /// `useful_sigs` optionally injects the target's precomputed useful
+  /// signatures (they depend only on the target AFK, so callers that see
+  /// the same subplan repeatedly — BfRewriter keys them by plan
+  /// fingerprint — can skip recomputing them here).
   void Init(TargetContext target, EnumDeps deps,
             const std::vector<const catalog::ViewDefinition*>& views,
-            RewriteStats* stats);
+            RewriteStats* stats,
+            std::optional<std::vector<std::string>> useful_sigs =
+                std::nullopt);
 
   /// PEEK: the OPTCOST of the next candidate, or +inf when exhausted.
   double Peek() const;

@@ -6,9 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "session/session.h"
+#include "storage/table.h"
 #include "workload/scenarios.h"
 
 namespace opd::workload {
@@ -28,7 +33,8 @@ struct WorkloadSnapshot {
 // original queries (projections, filters, joins, group-bys, and UDF
 // pipelines), then a rewritten revision that reuses the accumulated
 // opportunistic views.
-WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0) {
+WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0,
+                             bool pipelined = true, bool vectorized = true) {
   TestBedConfig config;
   config.data.n_tweets = 400;
   config.data.n_checkins = 250;
@@ -37,6 +43,8 @@ WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0) {
   config.calibrate_udfs = false;
   config.session.engine.num_threads = num_threads;
   config.session.engine.num_reduce_tasks = num_reduce_tasks;
+  config.session.engine.pipelined = pipelined;
+  config.session.engine.vectorized = vectorized;
   auto bed_result = TestBed::Create(config);
   EXPECT_TRUE(bed_result.ok()) << bed_result.status().ToString();
   std::unique_ptr<TestBed> bed = std::move(bed_result).value();
@@ -103,6 +111,87 @@ TEST(ParallelDeterminismTest, ReduceTaskCountDoesNotChangeResults) {
   WorkloadSnapshot derived = RunWorkload(1);
   WorkloadSnapshot forced = RunWorkload(4, /*num_reduce_tasks=*/13);
   ExpectIdentical(derived, forced);
+}
+
+// The full execution-mode matrix: pipelined (default) must produce the exact
+// snapshot the phased fallback produces, per interpreter mode, at every
+// thread count — covering {1,2,4,8} x {row,batch} x {pipelined,phased}.
+TEST(ParallelDeterminismTest, PipelinedMatchesPhasedRowMode) {
+  WorkloadSnapshot phased =
+      RunWorkload(1, 0, /*pipelined=*/false, /*vectorized=*/false);
+  ASSERT_FALSE(phased.tables.empty());
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(
+        phased, RunWorkload(threads, 0, /*pipelined=*/true,
+                            /*vectorized=*/false));
+  }
+}
+
+TEST(ParallelDeterminismTest, PipelinedMatchesPhasedBatchMode) {
+  WorkloadSnapshot phased =
+      RunWorkload(1, 0, /*pipelined=*/false, /*vectorized=*/true);
+  ASSERT_FALSE(phased.tables.empty());
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(
+        phased, RunWorkload(threads, 0, /*pipelined=*/true,
+                            /*vectorized=*/true));
+  }
+}
+
+TEST(ParallelDeterminismTest, PhasedFallbackIsThreadCountInvariant) {
+  WorkloadSnapshot one = RunWorkload(1, 0, /*pipelined=*/false);
+  WorkloadSnapshot eight = RunWorkload(8, 0, /*pipelined=*/false);
+  ExpectIdentical(one, eight);
+}
+
+// Heavy key skew with a forced odd bucket count: the light buckets' last
+// producer hands them off (per-bucket countdown latch) while the heavy
+// bucket's producers are still running, exercising the early-handoff path
+// that a uniform workload rarely hits. Results must still be byte-identical
+// to the serial phased run.
+TEST(ParallelDeterminismTest, SkewedKeysAreThreadAndModeInvariant) {
+  auto run_skewed = [](int num_threads, bool pipelined) {
+    SessionOptions options;
+    options.engine.num_threads = num_threads;
+    options.engine.num_reduce_tasks = 7;
+    options.engine.pipelined = pipelined;
+    auto session = Session::Create(options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+
+    auto skew = std::make_shared<storage::Table>(
+        "SKEW",
+        storage::Schema({{"k", storage::DataType::kInt64},
+                         {"v", storage::DataType::kInt64}}));
+    // ~90% of rows share one key; the rest spread over 40 keys.
+    for (int64_t i = 0; i < 4000; ++i) {
+      const int64_t key = (i % 10 == 0) ? 1 + i % 40 : 0;
+      EXPECT_TRUE(
+          skew->AppendRow({storage::Value(key), storage::Value(i * 7 % 101)})
+              .ok());
+    }
+    EXPECT_TRUE(
+        (*session)
+            ->RegisterTable(storage::TablePtr(std::move(skew)), {"k"})
+            .ok());
+
+    auto run = (*session)->Run(
+        "g = scan SKEW | groupby k count(*) as n, sum(v) as s;",
+        RunOptions{.rewrite = false});
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    std::vector<storage::Row> rows;
+    if (run.ok() && run->table != nullptr) rows = run->table->rows();
+    return rows;
+  };
+
+  const std::vector<storage::Row> serial =
+      run_skewed(/*num_threads=*/1, /*pipelined=*/false);
+  ASSERT_FALSE(serial.empty());
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial, run_skewed(threads, /*pipelined=*/true));
+  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "catalog/catalog.h"
 #include "catalog/view_store.h"
 #include "exec/engine.h"
+#include "obs/metrics.h"
 #include "plan/annotate.h"
 #include "plan/fingerprint.h"
 #include "rewrite/bf_rewrite.h"
@@ -370,6 +371,27 @@ TEST_F(RewriteTest, BfrFindsExactMatchRewrite) {
   ASSERT_TRUE(outcome.ok());
   EXPECT_TRUE(outcome->improved);
   EXPECT_LT(outcome->est_cost, 0.01 * outcome->original_cost);
+}
+
+TEST_F(RewriteTest, BfrMemoizesTargetSetupOnFingerprint) {
+  auto& registry = obs::MetricRegistry::Global();
+  auto& hits = registry.counter("rewrite.viewfinder.memo_hit");
+  auto& misses = registry.counter("rewrite.viewfinder.memo_miss");
+  const uint64_t hits0 = hits.value();
+  const uint64_t misses0 = misses.value();
+
+  plan::Plan q1 = WineQuery(0.5, 5);
+  ASSERT_TRUE(bfr_->Rewrite(&q1).ok());
+  const uint64_t misses1 = misses.value();
+  const uint64_t hits1 = hits.value();
+  EXPECT_GT(misses1, misses0);  // first sight of these subplans: misses
+
+  // A structurally identical query re-uses every target's memoized setup:
+  // only hits, no new misses.
+  plan::Plan q2 = WineQuery(0.5, 5);
+  ASSERT_TRUE(bfr_->Rewrite(&q2).ok());
+  EXPECT_EQ(misses.value(), misses1);
+  EXPECT_EQ(hits.value(), hits1 + (misses1 - misses0));
 }
 
 TEST_F(RewriteTest, BfrCompensatedRewriteExecutesEquivalently) {

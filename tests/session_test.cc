@@ -123,13 +123,28 @@ TEST(SessionTest, ExplainAnalyzeGoldenShape) {
     if (s.size() < 44) s.append(44 - s.size(), ' ');
     return s;
   };
+  // Pipelined execution (the default) reports fused pipeline tasks: "#p".
   const std::string expected =
       pad("GROUPBY(user_id)") +
-      "  [job #] time=#s rows=# read=# shuffled=# written=# tasks=#m+#r\n" +
+      "  [job #] time=#s rows=# read=# shuffled=# written=# tasks=#p+#r\n" +
       pad("  SCAN(TWTR)") + "  (scan)\n" +
       "jobs: #  sim time: #s (+stats #s)  read: #  shuffled: #  written: #  "
       "views: #\n";
   EXPECT_EQ(masked, expected);
+}
+
+TEST(SessionTest, ExplainAnalyzePhasedModeReportsMapTasks) {
+  SessionOptions options;
+  options.engine.pipelined = false;
+  auto session = MakeSession(options);
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;",
+      RunOptions{.rewrite = false});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const std::string masked =
+      MaskNumbers(run->ExplainAnalyze(exec::AnalyzeOptions{.show_wall = false}));
+  EXPECT_NE(masked.find("tasks=#m+#r"), std::string::npos) << masked;
+  EXPECT_EQ(masked.find("#p"), std::string::npos) << masked;
 }
 
 TEST(SessionTest, ExplainAnalyzeOverOqlIncludesWallStats) {

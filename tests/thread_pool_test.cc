@@ -6,6 +6,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -51,6 +52,115 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     }
   }  // join on destruction after the queue drains
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, TryRunOneReturnsFalseOnEmptyQueue) {
+  ThreadPool pool(1);
+  // Park the single worker so it cannot steal the queued task below. The
+  // gate guarantees the *worker* owns the parked task (otherwise this
+  // thread's TryRunOne below could pop it and spin on its own flag).
+  std::atomic<bool> release{false};
+  CountdownLatch parked_gate(1);
+  auto parked = pool.Submit([&release, &parked_gate] {
+    parked_gate.CountDown();
+    while (!release.load()) std::this_thread::yield();
+  });
+  parked_gate.Wait();
+
+  EXPECT_FALSE(pool.TryRunOne());  // nothing queued yet
+
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ++ran; });
+  EXPECT_TRUE(pool.TryRunOne());  // runs the queued task on this thread
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(pool.TryRunOne());  // queue drained
+
+  release.store(true);
+  parked.get();
+}
+
+TEST(CountdownLatchTest, CountDownReturnsTrueExactlyOnce) {
+  CountdownLatch latch(3);
+  EXPECT_FALSE(latch.Done());
+  EXPECT_FALSE(latch.CountDown());
+  EXPECT_FALSE(latch.CountDown());
+  EXPECT_TRUE(latch.CountDown());  // the call that reaches zero
+  EXPECT_TRUE(latch.Done());
+  EXPECT_FALSE(latch.CountDown());  // already zero: clamped, not true again
+}
+
+TEST(CountdownLatchTest, CountDownByNClampsAtZero) {
+  CountdownLatch latch(5);
+  EXPECT_FALSE(latch.CountDown(2));
+  EXPECT_TRUE(latch.CountDown(10));  // overshoot clamps and signals once
+  EXPECT_TRUE(latch.Done());
+}
+
+TEST(CountdownLatchTest, ZeroCountStartsDone) {
+  CountdownLatch latch(0);
+  EXPECT_TRUE(latch.Done());
+  latch.Wait();  // must not block
+}
+
+TEST(CountdownLatchTest, WaitBlocksUntilCountReachesZero) {
+  ThreadPool pool(4);
+  CountdownLatch latch(8);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&latch, &done] {
+      ++done;
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(done.load(), 8);  // every CountDown happened-before Wait returned
+}
+
+TEST(CountdownLatchTest, WaitWithPoolHelpsDrainQueuedTasks) {
+  // One worker, parked: the only way the latch tasks can run is if Wait()
+  // itself drains them via TryRunOne. A sleeping Wait would deadlock here
+  // (enforced by the 60s test timeout rather than a flaky sleep).
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  CountdownLatch parked_gate(1);
+  pool.Submit([&release, &parked_gate] {
+    parked_gate.CountDown();
+    while (!release.load()) std::this_thread::yield();
+  });
+  parked_gate.Wait();  // worker is now parked
+
+  CountdownLatch latch(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&latch, &ran] {
+      ++ran;
+      latch.CountDown();
+    });
+  }
+  latch.Wait(&pool);  // must help: the worker cannot
+  EXPECT_EQ(ran.load(), 4);
+  release.store(true);
+}
+
+TEST(CountdownLatchTest, TasksSubmittingTasksResolveViaHelpingWait) {
+  // Pipelined handoff shape: producers submit consumers mid-flight. The
+  // waiter counts both generations and helps drain, so even a 1-thread pool
+  // cannot deadlock.
+  ThreadPool pool(1);
+  constexpr int kProducers = 3;
+  CountdownLatch all(kProducers * 2);  // producers + spawned consumers
+  std::atomic<int> consumed{0};
+  for (int p = 0; p < kProducers; ++p) {
+    pool.Submit([&pool, &all, &consumed] {
+      pool.Submit([&all, &consumed] {
+        ++consumed;
+        all.CountDown();
+      });
+      all.CountDown();
+    });
+  }
+  all.Wait(&pool);
+  EXPECT_EQ(consumed.load(), kProducers);
 }
 
 TEST(ParallelForTest, SerialPathRunsIndicesInOrder) {

@@ -254,6 +254,93 @@ TEST_F(UdfExecTest, ExtractLatLonDropsInvalid) {
   EXPECT_EQ(out.schema().num_columns(), 3u);  // geo, lat, lon
 }
 
+// A synthetic UDF with three consecutive map stages (no builtin has a
+// map→map chain), exercising the pipelined engine's map-chain fusion: the
+// fused single-wave execution must match the phased stage-at-a-time run
+// byte-for-byte, including the per-stage accounting calibration relies on.
+TEST_F(UdfExecTest, PipelinedFusesConsecutiveMapStagesIdentically) {
+  UdfDefinition udf;
+  udf.name = "UDF_TEST_MAPCHAIN";
+
+  LocalFunction dbl;
+  dbl.name = "chain-lf1-double";
+  dbl.kind = LfKind::kMap;
+  dbl.op_types = kOpAttrs;
+  dbl.out_schema = [](const Schema&, const Params&) -> Result<Schema> {
+    return Schema({Column{"y", DataType::kInt64}});
+  };
+  dbl.map_fn = [](const Row& row, const LfContext& ctx,
+                  std::vector<Row>* out) {
+    out->push_back({Value(row[ctx.In("x")].as_int64() * 2)});
+  };
+  udf.local_functions.push_back(std::move(dbl));
+
+  LocalFunction expand;
+  expand.name = "chain-lf2-expand";
+  expand.kind = LfKind::kMap;
+  expand.op_types = kOpAttrs;
+  expand.out_schema = [](const Schema&, const Params&) -> Result<Schema> {
+    return Schema({Column{"z", DataType::kInt64}});
+  };
+  expand.map_fn = [](const Row& row, const LfContext& ctx,
+                     std::vector<Row>* out) {
+    const int64_t y = row[ctx.In("y")].as_int64();
+    out->push_back({Value(y)});
+    out->push_back({Value(y + 1)});
+  };
+  udf.local_functions.push_back(std::move(expand));
+
+  LocalFunction keep_even;
+  keep_even.name = "chain-lf3-keep-even";
+  keep_even.kind = LfKind::kMap;
+  keep_even.op_types = kOpFilter;
+  keep_even.out_schema = [](const Schema& in, const Params&) ->
+      Result<Schema> { return in; };
+  keep_even.map_fn = [](const Row& row, const LfContext& ctx,
+                        std::vector<Row>* out) {
+    if (row[ctx.In("z")].as_int64() % 2 == 0) out->push_back(row);
+  };
+  udf.local_functions.push_back(std::move(keep_even));
+
+  Table t("nums", Schema({Column{"x", DataType::kInt64}}));
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i)}).ok());
+  }
+
+  Table phased_out;
+  std::vector<exec::LfStageRun> phased_stages;
+  ASSERT_TRUE(exec::RunLocalFunctions(udf, t, {}, &phased_out,
+                                      &phased_stages)
+                  .ok());
+
+  ThreadPool pool(4);
+  exec::UdfExecOptions opts;
+  opts.pipelined = true;
+  opts.pool = &pool;
+  opts.block_size_bytes = 256;  // force multiple fused map tasks
+  Table fused_out;
+  std::vector<exec::LfStageRun> fused_stages;
+  ASSERT_TRUE(exec::RunLocalFunctions(udf, t, {}, &fused_out, &fused_stages,
+                                      opts)
+                  .ok());
+
+  EXPECT_EQ(phased_out.rows(), fused_out.rows());
+  // Each x yields y=2x (even, kept) and y+1 (odd, dropped): 200 rows.
+  EXPECT_EQ(phased_out.num_rows(), 200u);
+
+  // Fusion must not change the per-stage observations.
+  ASSERT_EQ(fused_stages.size(), phased_stages.size());
+  for (size_t s = 0; s < fused_stages.size(); ++s) {
+    SCOPED_TRACE(phased_stages[s].lf_name);
+    EXPECT_EQ(fused_stages[s].lf_name, phased_stages[s].lf_name);
+    EXPECT_EQ(fused_stages[s].kind, phased_stages[s].kind);
+    EXPECT_EQ(fused_stages[s].in_rows, phased_stages[s].in_rows);
+    EXPECT_EQ(fused_stages[s].out_rows, phased_stages[s].out_rows);
+    EXPECT_EQ(fused_stages[s].in_bytes, phased_stages[s].in_bytes);
+    EXPECT_EQ(fused_stages[s].out_bytes, phased_stages[s].out_bytes);
+  }
+}
+
 TEST_F(UdfExecTest, WordCountCounts) {
   Schema schema({Column{"token", DataType::kString}});
   Table t("tok", schema);
