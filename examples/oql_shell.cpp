@@ -10,10 +10,14 @@
 // faster, exactly like the paper's exploratory sessions.
 //
 // Prefix a program with EXPLAIN to see the costed plan without running it,
-// or EXPLAIN ANALYZE to run it and render the observed per-job stats
-// (time, bytes, task counts, stragglers). With --trace=<path>, every
-// executed query's span tree is merged into one Chrome trace_event JSON
-// file — open it in chrome://tracing or Perfetto.
+// EXPLAIN REWRITE to print the rewrite search's decision log (per-candidate
+// reject reasons and OPTCOST estimates) without running it, or EXPLAIN
+// ANALYZE to run it and render the observed per-job stats (time, bytes,
+// predicted-vs-observed cost residuals, task counts, stragglers). With
+// --trace=<path>, every executed query's span tree is merged into one Chrome
+// trace_event JSON file — open it in chrome://tracing or Perfetto — and the
+// rewrite decision logs are exported alongside it as <path minus
+// .json>.rewrite.json.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "obs/trace.h"
 #include "oql/parser.h"
 #include "plan/explain.h"
@@ -57,6 +62,41 @@ result  = wine | groupby user_id count(*) as n;
 // Traces of every executed program, merged into --trace's output file.
 std::vector<std::shared_ptr<obs::Trace>> g_traces;
 
+// (label, DecisionLog JSON) of every rewrite search, exported next to the
+// Chrome trace as one JSON array.
+std::vector<std::pair<std::string, std::string>> g_decision_logs;
+
+// out.json -> out.rewrite.json (appends when there is no .json suffix).
+std::string DecisionLogPath(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  if (trace_path.size() >= suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return trace_path.substr(0, trace_path.size() - suffix.size()) +
+           ".rewrite.json";
+  }
+  return trace_path + ".rewrite.json";
+}
+
+int WriteDecisionLogFile(const std::string& path) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const auto& [label, json] : g_decision_logs) {
+    w.BeginObject();
+    w.Key("query").String(label);
+    w.Key("decisions").Raw(json);
+    w.EndObject();
+  }
+  w.EndArray();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << w.Take() << "\n";
+  return 0;
+}
+
 int RunProgram(workload::TestBed* bed, std::string source,
                const char* label) {
   const oql::ExplainMode mode = oql::ConsumeExplainPrefix(&source);
@@ -80,12 +120,29 @@ int RunProgram(workload::TestBed* bed, std::string source,
     return 0;
   }
 
+  if (mode == oql::ExplainMode::kExplainRewrite) {
+    // EXPLAIN REWRITE: print the search's decision log, don't execute.
+    auto outcome = bed->session().Rewrite(source);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "rewrite error: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n",
+                RenderExplainRewrite(*outcome, bed->views().size()).c_str());
+    g_decision_logs.emplace_back(label, outcome->decisions.ToJson());
+    return 0;
+  }
+
   auto run = bed->session().Run(source);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;
   }
   if (run->trace != nullptr) g_traces.push_back(run->trace);
+  if (run->rewritten && !run->rewrite.decisions.targets.empty()) {
+    g_decision_logs.emplace_back(label, run->rewrite.decisions.ToJson());
+  }
 
   if (mode == oql::ExplainMode::kExplainAnalyze) {
     std::printf("%s\n", run->ExplainAnalyze().c_str());
@@ -168,6 +225,10 @@ int main(int argc, char** argv) {
     }
     std::printf("trace (%zu quer%s) written to %s\n", traces.size(),
                 traces.size() == 1 ? "y" : "ies", trace_path);
+    const std::string decisions_path = DecisionLogPath(trace_path);
+    if (WriteDecisionLogFile(decisions_path) != 0) return 1;
+    std::printf("rewrite decisions (%zu) written to %s\n",
+                g_decision_logs.size(), decisions_path.c_str());
   }
   return rc;
 }

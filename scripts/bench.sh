@@ -12,12 +12,19 @@
 # --check is the perf-floor gate: instead of appending to the trajectory it
 # runs the benchmark once and fails (exit 1) if the pipelined record's
 # speedup_8v1 falls below its recorded speedup_floor_8v1, or if any mode's
-# output hash diverges from row mode (determinism regression). The speedup
+# output hash diverges from row mode (determinism regression), or if the
+# warm_rewrite record shows no view reuse (views_created == 0, no accepted
+# rewrites, or warm outputs diverging from the cold pass). The speedup
 # floor is skipped — with a note — when the runner has fewer than 2 cores,
 # since no parallel speedup is measurable there; the determinism check
 # always applies. Sanitizer builds (scripts/check.sh) run the gate against
 # the regular build, never the instrumented one: sanitizer overhead would
 # make any timing floor meaningless.
+#
+# When appending, records already in BENCH_engine.json that predate the
+# schema_version tag (no "ts"/"mode" keys) are moved to
+# BENCH_engine.legacy.json first, so every line in the live trajectory
+# parses under one schema.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,13 +55,36 @@ import sys
 records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
 failures = []
 pipelined = None
+warm = None
 for rec in records:
-    if not rec.get("outputs_match_row_mode", False):
+    # Only the cold sweep records carry the cross-mode hash; warm_rewrite
+    # compares against its own cold pass instead.
+    if "outputs_match_row_mode" in rec and not rec["outputs_match_row_mode"]:
         failures.append(
             f"mode {rec['mode']!r}: output hash diverges from row mode "
             "(determinism regression)")
     if rec.get("mode") == "pipelined":
         pipelined = rec
+    if rec.get("mode") == "warm_rewrite":
+        warm = rec
+
+if warm is None:
+    failures.append("no 'warm_rewrite' record in benchmark output")
+else:
+    if warm.get("views_created", 0) <= 0:
+        failures.append("warm_rewrite: no opportunistic views were created")
+    if warm.get("rewrite_decisions", {}).get("accepted", 0) <= 0:
+        failures.append("warm_rewrite: the warm pass accepted no rewrites "
+                        "(view reuse is not being exercised)")
+    if not warm.get("outputs_match_cold_pass", False):
+        failures.append("warm_rewrite: rewritten outputs diverge from the "
+                        "cold pass (rewrite correctness regression)")
+    print(f"bench --check: warm_rewrite views_created="
+          f"{warm.get('views_created')} accepted="
+          f"{warm.get('rewrite_decisions', {}).get('accepted')} "
+          f"max_residual_pct={warm.get('max_residual_pct'):.1f} "
+          f"decision_log_overhead_pct="
+          f"{warm.get('decision_log_overhead_pct'):.1f}")
 
 if pipelined is None:
     failures.append("no 'pipelined' record in benchmark output")
@@ -80,6 +110,32 @@ if failures:
 print("bench --check: OK")
 EOF
   exit 0
+fi
+
+# Quarantine legacy records (pre-"ts"/"mode" schema) so the live file stays
+# single-schema; they keep their history in BENCH_engine.legacy.json.
+if [[ -f BENCH_engine.json ]]; then
+  python3 - <<'EOF'
+import json
+
+keep, legacy = [], []
+for line in open("BENCH_engine.json"):
+    if not line.strip():
+        continue
+    try:
+        rec = json.loads(line)
+    except ValueError:
+        legacy.append(line)
+        continue
+    (legacy if "ts" not in rec or "mode" not in rec else keep).append(line)
+if legacy:
+    with open("BENCH_engine.legacy.json", "a") as f:
+        f.writelines(legacy)
+    with open("BENCH_engine.json", "w") as f:
+        f.writelines(keep)
+    print(f"bench: quarantined {len(legacy)} legacy record(s) to "
+          "BENCH_engine.legacy.json")
+EOF
 fi
 
 ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"

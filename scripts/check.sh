@@ -9,7 +9,10 @@
 #
 # After the sanitizer suites pass, runs the perf-floor gate
 # (scripts/bench.sh --check) against the REGULAR build — never the
-# instrumented one, whose overhead would make any timing floor meaningless.
+# instrumented one, whose overhead would make any timing floor meaningless —
+# and then the metric-name lint (scripts/lint_metrics.py), which diffs the
+# metric literals in src/ against the names `micro_engine --dump-metrics`
+# actually registers.
 #
 # Usage: scripts/check.sh [ctest-args...]
 
@@ -25,3 +28,8 @@ ASAN_OPTIONS=detect_leaks=0 OPD_TRACE=1 ctest --output-on-failure "$@"
 cd ..
 echo "== perf-floor gate (regular build, see scripts/bench.sh --check) =="
 scripts/bench.sh --check
+echo "== metric-name lint (scripts/lint_metrics.py) =="
+dump="$(mktemp)"
+trap 'rm -f "${dump}"' EXIT
+./build/bench/micro_engine --dump-metrics > "${dump}"
+python3 scripts/lint_metrics.py "${dump}" src

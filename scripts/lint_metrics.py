@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Metric-name lint (scripts/check.sh runs this after the perf gate).
+
+Cross-checks two sources of truth:
+
+1. Every metric name registered at runtime -- the output of
+   `micro_engine --dump-metrics`, which runs a warmed workload touching
+   every subsystem and prints MetricRegistry::Global() names -- must match
+   the DESIGN.md naming scheme: dot-separated lowercase
+   `<subsystem>.<object>[.<event>]` (two or three segments, e.g.
+   `engine.jobs`, `viewstore.find.hit`).
+
+2. Every metric-name string literal passed to counter()/gauge()/histogram()
+   in src/ must (a) match the same scheme and (b) appear in the registered
+   set -- a literal the dump workload never registers is dead code or a
+   misspelling that would silently publish nowhere anyone looks.
+
+Dynamically-built names (e.g. the per-UDF drift gauges) carry no literal and
+are checked by rule 1 only.
+
+Usage: lint_metrics.py <dump-file> [src-root]
+"""
+
+import pathlib
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,2}$")
+# counter("...")/gauge("...")/histogram("...") calls; DOTALL so a ternary
+# spanning lines (e.g. the memo hit/miss counter) still parses.
+CALL_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(([^)]*)\)", re.S)
+STRING_RE = re.compile(r'"([^"]+)"')
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    dump_path = sys.argv[1]
+    src_root = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "src")
+
+    registered = {line.strip() for line in open(dump_path) if line.strip()}
+    failures = []
+
+    for name in sorted(registered):
+        if not NAME_RE.match(name):
+            failures.append(
+                f"registered metric {name!r} violates the "
+                "<subsystem>.<object>[.<event>] naming scheme")
+
+    literals = {}  # name -> first file seen in
+    files = sorted(src_root.rglob("*.cc")) + sorted(src_root.rglob("*.h"))
+    for path in files:
+        for call in CALL_RE.finditer(path.read_text()):
+            for lit in STRING_RE.findall(call.group(1)):
+                literals.setdefault(lit, str(path))
+
+    if not literals:
+        failures.append(f"found no metric literals under {src_root}/ "
+                        "(lint extraction broke?)")
+    for lit, where in sorted(literals.items()):
+        if not NAME_RE.match(lit):
+            failures.append(
+                f"metric literal {lit!r} ({where}) violates the "
+                "<subsystem>.<object>[.<event>] naming scheme")
+        elif lit not in registered:
+            failures.append(
+                f"metric literal {lit!r} ({where}) is never registered by "
+                "the --dump-metrics workload (dead or misnamed metric)")
+
+    if failures:
+        for f in failures:
+            print(f"lint_metrics FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"lint_metrics: OK ({len(registered)} registered names, "
+          f"{len(literals)} literals in {src_root}/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "exec/analyze.h"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -44,11 +45,15 @@ void Render(const OpNodePtr& node, int depth,
     const JobRun& jr = *it->second;
     char buf[224];
     // Pipelined jobs report fused pipeline tasks ("p"); phased jobs report
-    // their map/partition waves ("m").
+    // their map/partition waves ("m"). time= is the cost model over the
+    // *observed* bytes; pred= is the optimizer's plan-time estimate and
+    // resid= their signed gap (the cost-model accountability signal).
     std::snprintf(buf, sizeof(buf),
-                  "  [job %d] time=%.2fs rows=%llu read=%s shuffled=%s "
+                  "  [job %d] time=%.2fs pred=%.2fs resid=%+.1f%% "
+                  "rows=%llu read=%s shuffled=%s "
                   "written=%s tasks=%zu%s+%zur",
-                  jr.index, jr.sim_time_s,
+                  jr.index, jr.sim_time_s, jr.predicted_cost_s,
+                  jr.residual_pct,
                   static_cast<unsigned long long>(jr.rows_out),
                   HumanBytes(jr.bytes_read).c_str(),
                   HumanBytes(jr.bytes_shuffled).c_str(),
@@ -90,15 +95,21 @@ std::string ExplainAnalyze(const plan::Plan& plan,
   std::string out;
   std::set<const OpNode*> shared_printed;
   Render(plan.root(), 0, job_of, options, &shared_printed, &out);
+  double max_abs_resid = 0;
+  for (const JobRun& jr : jobs) {
+    if (std::fabs(jr.residual_pct) > std::fabs(max_abs_resid)) {
+      max_abs_resid = jr.residual_pct;
+    }
+  }
   char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "jobs: %d  sim time: %.2fs (+stats %.2fs)  read: %s  "
-                "shuffled: %s  written: %s  views: %d\n",
+                "shuffled: %s  written: %s  views: %d  max resid: %+.1f%%\n",
                 metrics.jobs, metrics.sim_time_s, metrics.stats_time_s,
                 HumanBytes(metrics.bytes_read).c_str(),
                 HumanBytes(metrics.bytes_shuffled).c_str(),
                 HumanBytes(metrics.bytes_written).c_str(),
-                metrics.views_created);
+                metrics.views_created, max_abs_resid);
   out += buf;
   return out;
 }

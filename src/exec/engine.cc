@@ -39,6 +39,27 @@ using storage::Value;
 
 namespace {
 
+// Operator class a job's cost residual is accounted under. UDFs get a class
+// per UDF name: their map/reduce scalars are individually calibrated, so
+// their drift is individually tracked.
+std::string ResidualOpClass(const OpNode& node) {
+  switch (node.kind) {
+    case OpKind::kScan:
+      return "SCAN";
+    case OpKind::kProject:
+      return "PROJECT";
+    case OpKind::kFilter:
+      return "FILTER";
+    case OpKind::kJoin:
+      return "JOIN";
+    case OpKind::kGroupByAgg:
+      return "GROUPBY";
+    case OpKind::kUdf:
+      return "UDF:" + node.udf.udf_name;
+  }
+  return "UNKNOWN";
+}
+
 // Aggregation state for one group.
 struct AggState {
   int64_t count = 0;
@@ -1422,6 +1443,22 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     jr.reduce_tasks = st.reduce_tasks;
     jr.max_task_time_s = st.max_task_s;
     jr.pipelined = pipelined;
+    // Cost-model accountability: the optimizer's prediction (cost over
+    // estimated rows/bytes, annotated at Prepare) vs the model re-run on
+    // the observed byte counts. Finalize order is topological in both
+    // schedules, so the EWMA fold is deterministic.
+    jr.predicted_cost_s = node->cost.total_s;
+    jr.observed_proxy_cost_s = st.cost.total_s;
+    jr.residual_pct =
+        optimizer::ResidualPct(jr.predicted_cost_s, jr.observed_proxy_cost_s);
+    if (accountant_ != nullptr) {
+      optimizer::JobResidual res;
+      res.op_class = ResidualOpClass(*node);
+      res.predicted_s = jr.predicted_cost_s;
+      res.observed_s = jr.observed_proxy_cost_s;
+      res.residual_pct = jr.residual_pct;
+      accountant_->Record(res);
+    }
     result.jobs.push_back(std::move(jr));
 
     if (job_span != nullptr && *job_span) {
@@ -1453,7 +1490,12 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         obs::TraceSpan stats_span(trace,
                                   job_span != nullptr ? job_span->id() : 0,
                                   "stats", "phase");
+        const auto stats_start = std::chrono::steady_clock::now();
         def.stats = stats_.Collect(*st.table, pool_.get());
+        metrics.stats_wall_time_s +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          stats_start)
+                .count();
         metrics.stats_time_s += stats_.JobTime(*st.table, model);
       } else {
         def.stats.rows = static_cast<double>(st.table->num_rows());

@@ -21,6 +21,7 @@
 #include "exec/metrics.h"
 #include "exec/stats_collector.h"
 #include "obs/trace.h"
+#include "optimizer/accountability.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan.h"
 #include "storage/dfs.h"
@@ -81,6 +82,12 @@ struct JobRun {
   size_t map_tasks = 0;                 ///< tasks across map/partition waves
   size_t reduce_tasks = 0;              ///< shuffle buckets (0 = map-only)
   double max_task_time_s = 0;           ///< modeled straggler (critical path)
+  /// Cost-model accountability (see optimizer/accountability.h): the
+  /// optimizer's plan-time prediction for this job, the model re-evaluated
+  /// on the observed byte counts (== sim_time_s), and the signed residual.
+  double predicted_cost_s = 0;
+  double observed_proxy_cost_s = 0;
+  double residual_pct = 0;
   /// True when the job ran fused pipeline tasks (map+partition in one
   /// loop) instead of separate phased map/partition waves; EXPLAIN ANALYZE
   /// renders the task counts as "#p+#r" vs "#m+#r" accordingly.
@@ -127,10 +134,17 @@ class Engine {
   /// Number of Execute calls so far (used to build unique DFS paths).
   int runs() const { return run_counter_; }
 
+  /// Attaches a cost accountant: every finalized job's residual is folded
+  /// into its per-operator-class EWMA. Caller owns; may be null to detach.
+  void set_accountant(optimizer::CostAccountant* accountant) {
+    accountant_ = accountant;
+  }
+
  private:
   storage::Dfs* dfs_;
   catalog::ViewStore* views_;
   const optimizer::Optimizer* optimizer_;
+  optimizer::CostAccountant* accountant_ = nullptr;
   EngineOptions options_;
   StatsCollector stats_;
   /// Task pool shared by all jobs of this engine; null when running with a

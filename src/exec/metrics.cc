@@ -9,6 +9,7 @@ namespace opd::exec {
 ExecMetrics& ExecMetrics::operator+=(const ExecMetrics& other) {
   sim_time_s += other.sim_time_s;
   stats_time_s += other.stats_time_s;
+  stats_wall_time_s += other.stats_wall_time_s;
   bytes_read += other.bytes_read;
   bytes_shuffled += other.bytes_shuffled;
   bytes_written += other.bytes_written;
@@ -23,7 +24,8 @@ std::string ExecMetrics::ToString() const {
   os << "time=" << sim_time_s << "s (+stats " << stats_time_s << "s), jobs="
      << jobs << ", read=" << bytes_read << "B, shuffled=" << bytes_shuffled
      << "B, written=" << bytes_written << "B, views=" << views_created
-     << ", max_task=" << max_task_time_s << "s";
+     << ", max_task=" << max_task_time_s << "s, stats_wall="
+     << stats_wall_time_s << "s";
   return os.str();
 }
 
@@ -32,6 +34,7 @@ std::string ExecMetrics::ToJson() const {
   w.BeginObject();
   w.Key("sim_time_s").Double(sim_time_s);
   w.Key("stats_time_s").Double(stats_time_s);
+  w.Key("stats_wall_time_s").Double(stats_wall_time_s);
   w.Key("total_time_s").Double(TotalTime());
   w.Key("bytes_read").UInt(bytes_read);
   w.Key("bytes_shuffled").UInt(bytes_shuffled);

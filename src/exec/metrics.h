@@ -13,8 +13,14 @@ namespace opd::exec {
 struct ExecMetrics {
   /// Modeled cluster execution time (cost model applied to observed bytes).
   double sim_time_s = 0;
-  /// Statistics-collection overhead (the lightweight sampling Map jobs).
+  /// Statistics-collection overhead (the lightweight sampling Map jobs),
+  /// in *modeled* cluster time. Zero whenever stats collection is off —
+  /// the sampling job never ran, so there is nothing to model.
   double stats_time_s = 0;
+  /// Real measured wall-clock of the StatsCollector passes. Like
+  /// max_task_time_s this varies run to run and is excluded from
+  /// determinism comparisons.
+  double stats_wall_time_s = 0;
   /// Actual bytes read from the DFS across all jobs.
   uint64_t bytes_read = 0;
   /// Actual bytes sorted/transferred in shuffles.

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -167,6 +168,35 @@ std::vector<std::string> MetricRegistry::CounterNames() const {
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricRegistry::AllNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) names.push_back(name);
+    for (const auto& [name, g] : gauges_) names.push_back(name);
+    for (const auto& [name, h] : histograms_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 

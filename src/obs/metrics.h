@@ -99,6 +99,11 @@ class MetricRegistry {
   std::string ToJson() const;
 
   std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+  /// Every registered metric name (counters + gauges + histograms), sorted;
+  /// the registered-names list behind `--dump-metrics` and the name lint.
+  std::vector<std::string> AllNames() const;
 
  private:
   mutable std::mutex mu_;

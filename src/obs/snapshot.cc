@@ -1,0 +1,117 @@
+#include "obs/snapshot.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/json_writer.h"
+
+namespace opd::obs {
+
+namespace {
+
+std::string PrometheusName(const std::string& prefix,
+                           const std::string& name) {
+  std::string out = prefix + "_";
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(u) ? c : '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::Capture(MetricRegistry& registry) {
+  MetricsSnapshot snap;
+  for (const std::string& name : registry.CounterNames()) {
+    snap.counters[name] = registry.counter(name).value();
+  }
+  for (const std::string& name : registry.GaugeNames()) {
+    snap.gauges[name] = registry.gauge(name).value();
+  }
+  for (const std::string& name : registry.HistogramNames()) {
+    const Histogram& h = registry.histogram(name);
+    HistogramStat stat;
+    stat.count = h.count();
+    stat.sum = h.sum();
+    stat.min = h.min();
+    stat.max = h.max();
+    snap.histograms[name] = stat;
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffFrom(const MetricsSnapshot& base) const {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : counters) {
+    const auto it = base.counters.find(name);
+    const uint64_t before = it == base.counters.end() ? 0 : it->second;
+    if (value > before) diff.counters[name] = value - before;
+  }
+  // Gauges are levels: the "diff" is simply where they stand now.
+  diff.gauges = gauges;
+  for (const auto& [name, stat] : histograms) {
+    const auto it = base.histograms.find(name);
+    HistogramStat d = stat;
+    if (it != base.histograms.end()) {
+      d.count = stat.count - it->second.count;
+      d.sum = stat.sum - it->second.sum;
+    }
+    if (d.count > 0) diff.histograms[name] = d;
+  }
+  return diff;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) w.Key(name).UInt(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) w.Key(name).Double(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, stat] : histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(stat.count);
+    w.Key("sum").Double(stat.sum);
+    w.Key("min").Double(stat.min);
+    w.Key("max").Double(stat.max);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::string MetricsSnapshot::ToPrometheus(const std::string& prefix) const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PrometheusName(prefix, name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PrometheusName(prefix, name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, stat] : histograms) {
+    const std::string pname = PrometheusName(prefix, name);
+    out += "# TYPE " + pname + " summary\n";
+    out += pname + "_count " + std::to_string(stat.count) + "\n";
+    out += pname + "_sum " + FormatDouble(stat.sum) + "\n";
+    out += pname + "_min " + FormatDouble(stat.min) + "\n";
+    out += pname + "_max " + FormatDouble(stat.max) + "\n";
+  }
+  return out;
+}
+
+}  // namespace opd::obs

@@ -1,0 +1,56 @@
+// Point-in-time snapshot and diff of the metric registry, with JSON and
+// Prometheus-style text exposition. Session::Run captures a snapshot before
+// and after each query so a RunResult can report exactly what that run
+// contributed to the process-wide metrics (counters and histogram mass are
+// diffed; gauges are levels and report their current value).
+
+#ifndef OPD_OBS_SNAPSHOT_H_
+#define OPD_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace opd::obs {
+
+/// \brief The values of every registered metric at one instant.
+struct MetricsSnapshot {
+  struct HistogramStat {
+    uint64_t count = 0;
+    double sum = 0;
+    /// Min/max of the histogram's *lifetime*, not the diff window (the
+    /// sketch cannot un-observe); a diff carries the current values.
+    double min = 0;
+    double max = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStat> histograms;
+
+  static MetricsSnapshot Capture(MetricRegistry& registry);
+
+  /// What happened since `base`: counter values and histogram count/sum are
+  /// subtracted (entries with zero delta are dropped); gauges keep their
+  /// current value — they are levels, not accumulations.
+  MetricsSnapshot DiffFrom(const MetricsSnapshot& base) const;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max}}} — compact, via json_writer.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition: one `# TYPE` line per metric, names
+  /// mangled `<prefix>_<name with dots as underscores>`. Histograms export
+  /// as summaries (`_count`/`_sum`) plus `_min`/`_max` gauges.
+  std::string ToPrometheus(const std::string& prefix = "opd") const;
+};
+
+}  // namespace opd::obs
+
+#endif  // OPD_OBS_SNAPSHOT_H_

@@ -331,6 +331,11 @@ ExplainMode ConsumeExplainPrefix(std::string* source) {
     source->erase(0, after_analyze);
     return ExplainMode::kExplainAnalyze;
   }
+  const size_t after_rewrite = ConsumeWord(*source, after_explain, "rewrite");
+  if (after_rewrite != std::string::npos) {
+    source->erase(0, after_rewrite);
+    return ExplainMode::kExplainRewrite;
+  }
   source->erase(0, after_explain);
   return ExplainMode::kExplain;
 }

@@ -58,11 +58,12 @@ enum class ExplainMode {
   kNone,            ///< run normally
   kExplain,         ///< print the estimated plan, don't execute
   kExplainAnalyze,  ///< execute, then print observed per-job stats
+  kExplainRewrite,  ///< rewrite only: print the search's decision log
 };
 
-/// Strips a leading `explain` / `explain analyze` prefix (case-insensitive)
-/// from `source` in place and returns which mode was requested. The rest of
-/// the program is left untouched for Parse().
+/// Strips a leading `explain` / `explain analyze` / `explain rewrite`
+/// prefix (case-insensitive) from `source` in place and returns which mode
+/// was requested. The rest of the program is left untouched for Parse().
 ExplainMode ConsumeExplainPrefix(std::string* source);
 
 }  // namespace opd::oql

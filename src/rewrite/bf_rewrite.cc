@@ -1,5 +1,6 @@
 #include "rewrite/bf_rewrite.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -26,6 +27,9 @@ struct SearchState {
   std::vector<double> best_cost;
   std::vector<ViewFinder> finders;
   RewriteStats* stats = nullptr;
+  /// Decision audit trail; null when RewriteOptions::log_decisions is off.
+  /// targets is pre-sized to the DAG, so element pointers stay stable.
+  DecisionLog* log = nullptr;
   std::chrono::steady_clock::time_point start;
 
   double Elapsed() const {
@@ -85,7 +89,29 @@ struct SearchState {
   Status RefineTarget(int i) {
     auto result = finders[i].Refine();
     OPD_RETURN_NOT_OK(finders[i].status());
-    if (result.has_value() && result->cost + kEps < best_cost[i]) {
+    const bool improves =
+        result.has_value() && result->cost + kEps < best_cost[i];
+    if (log != nullptr && result.has_value()) {
+      // Refine() appended the decision for the candidate it just popped;
+      // only the search loop knows whether the rewrite actually beat the
+      // target's running best.
+      TargetDecision& td = log->targets[static_cast<size_t>(i)];
+      CandidateDecision& cd = td.candidates.back();
+      if (improves) {
+        // Demote the previously accepted candidate (if any): it is no
+        // longer cheaper than the best, which is this one's definition of
+        // rejection. Keeps the invariant "at most one accepted per target".
+        for (CandidateDecision& prev : td.candidates) {
+          if (&prev != &cd && prev.reject == RejectReason::kNone) {
+            prev.reject = RejectReason::kNotCostImproving;
+          }
+        }
+        td.chosen_id = cd.candidate_id;
+      } else {
+        cd.reject = RejectReason::kNotCostImproving;
+      }
+    }
+    if (improves) {
       best_cost[i] = result->cost;
       best_plan[i] = result->plan.root();
       if (i == dag->sink()) RecordSinkImprovement();
@@ -147,10 +173,20 @@ Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
   state.best_plan.resize(n);
   state.best_cost.resize(n);
   state.finders.resize(n);
+  if (options_.log_decisions) {
+    outcome.decisions.targets.resize(n);
+    state.log = &outcome.decisions;
+  }
   auto& registry = obs::MetricRegistry::Global();
   for (size_t i = 0; i < n; ++i) {
     state.best_plan[i] = dag.job(i).op;
     state.best_cost[i] = dag.TargetCost(i);
+    if (state.log != nullptr) {
+      TargetDecision& td = state.log->targets[i];
+      td.target_index = static_cast<int>(i);
+      td.target_op = dag.job(i).op->DisplayName();
+      td.original_cost = state.best_cost[i];
+    }
     // Target-side setup is memoized on the subplan fingerprint (see
     // bf_rewrite.h): repeated structurally identical targets skip the
     // TargetContext derivation and the useful-signature computation.
@@ -176,7 +212,9 @@ Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
                      : "rewrite.viewfinder.memo_miss")
         .Inc();
     state.finders[i].Init(std::move(entry.target), deps, all_views,
-                          &outcome.stats, std::move(entry.useful_sigs));
+                          &outcome.stats, std::move(entry.useful_sigs),
+                          state.log != nullptr ? &state.log->targets[i]
+                                               : nullptr);
   }
   outcome.original_cost = state.best_cost[dag.sink()];
   outcome.stats.convergence.emplace_back(0.0, outcome.original_cost);
@@ -194,6 +232,15 @@ Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
     round_span.AddArg("best_cost", state.best_cost[dag.sink()]);
   }
 
+  if (state.log != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      state.finders[i].DrainPrunedDecisions();
+      TargetDecision& td = state.log->targets[i];
+      td.best_cost = state.best_cost[i];
+      td.predicted_benefit_s =
+          std::max(td.original_cost - td.best_cost, 0.0);
+    }
+  }
   outcome.plan = plan::Plan(state.best_plan[dag.sink()], plan->name());
   outcome.est_cost = state.best_cost[dag.sink()];
   outcome.improved = outcome.est_cost + kEps < outcome.original_cost;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "plan/plan.h"
+#include "rewrite/decision_log.h"
 
 namespace opd::rewrite {
 
@@ -34,6 +35,11 @@ struct RewriteOptions {
   /// Safety caps for the exhaustive DP baseline.
   size_t dp_candidate_budget = 200000;
   double dp_time_budget_s = 300.0;
+  /// Record a per-target DecisionLog (candidates enumerated, reject reasons,
+  /// OPTCOST estimates, chosen rewrite) in the RewriteOutcome — the audit
+  /// trail behind EXPLAIN REWRITE. Cheap (one small record per candidate);
+  /// off reverts to the pre-observability behaviour.
+  bool log_decisions = true;
 };
 
 /// Search-effort counters (the paper's Figure 9 metrics).
@@ -62,6 +68,10 @@ struct RewriteOutcome {
   double original_cost = 0;
   bool improved = false;
   RewriteStats stats;
+  /// Per-target decision audit trail; populated by BFREWRITE when
+  /// RewriteOptions::log_decisions (empty otherwise, and for the baseline
+  /// rewriters).
+  DecisionLog decisions;
 };
 
 }  // namespace opd::rewrite

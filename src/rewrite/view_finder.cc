@@ -23,17 +23,28 @@ struct HeapGreater {
 void ViewFinder::Init(TargetContext target, EnumDeps deps,
                       const std::vector<const catalog::ViewDefinition*>& views,
                       RewriteStats* stats,
-                      std::optional<std::vector<std::string>> useful_sigs) {
+                      std::optional<std::vector<std::string>> useful_sigs,
+                      TargetDecision* decision) {
   target_ = std::move(target);
   deps_ = std::move(deps);
   stats_ = stats;
+  decision_ = decision;
   useful_sigs_ = useful_sigs ? std::move(*useful_sigs)
                              : UsefulSignatures(target_.afk);
   heap_.clear();
   seen_.clear();
   enqueued_.clear();
   for (const catalog::ViewDefinition* def : views) {
-    if (!IsRelevant(def->afk, useful_sigs_)) continue;
+    if (!IsRelevant(def->afk, useful_sigs_)) {
+      if (decision_ != nullptr) {
+        CandidateDecision cd;
+        cd.candidate_id = std::to_string(def->id);
+        cd.num_parts = 1;
+        cd.reject = RejectReason::kSignatureMismatch;
+        decision_->candidates.push_back(std::move(cd));
+      }
+      continue;
+    }
     CandidateView c = MakeBaseCandidate(*def);
     c.coverage = ComputeCoverage(c.afk, useful_sigs_);
     Push(std::move(c), 0.0);
@@ -66,6 +77,14 @@ std::optional<EnumResult> ViewFinder::Refine() {
   CandidateView v = std::move(heap_.back());
   heap_.pop_back();
   if (stats_ != nullptr) stats_->candidates_considered += 1;
+  CandidateDecision* cd = nullptr;
+  if (decision_ != nullptr) {
+    decision_->candidates.emplace_back();
+    cd = &decision_->candidates.back();
+    cd->candidate_id = v.Id();
+    cd->num_parts = static_cast<int>(v.NumParts());
+    cd->opt_cost = v.opt_cost;
+  }
   // Mirror the per-search stats into the process-wide registry so cumulative
   // search effort is visible across queries.
   auto& registry = obs::MetricRegistry::Global();
@@ -93,8 +112,10 @@ std::optional<EnumResult> ViewFinder::Refine() {
 
   if (deps_.options.use_guess_complete_filter &&
       !GuessComplete(target_.afk, v.afk)) {
+    if (cd != nullptr) cd->reject = RejectReason::kAfkContainment;
     return std::nullopt;
   }
+  if (cd != nullptr) cd->guess_complete = true;
   if (stats_ != nullptr) stats_->rewrite_attempts += 1;
   registry.counter("rewrite.attempts").Inc();
   auto result = RewriteEnum(target_, v, deps_);
@@ -107,8 +128,34 @@ std::optional<EnumResult> ViewFinder::Refine() {
       stats_->rewrites_found += result.value()->rewrites_found;
     }
     registry.counter("rewrite.found").Inc(result.value()->rewrites_found);
+    if (cd != nullptr) {
+      cd->rewrite_found = true;
+      cd->rewrite_cost = result.value()->cost;
+    }
+  } else if (cd != nullptr) {
+    // GUESSCOMPLETE said maybe, the exact enumeration said no: a confirmed
+    // containment failure.
+    cd->reject = RejectReason::kAfkContainment;
   }
   return std::move(result).value();
+}
+
+void ViewFinder::DrainPrunedDecisions() {
+  if (decision_ == nullptr) return;
+  std::vector<CandidateView> pending = heap_;
+  std::sort(pending.begin(), pending.end(),
+            [](const CandidateView& a, const CandidateView& b) {
+              if (a.opt_cost != b.opt_cost) return a.opt_cost < b.opt_cost;
+              return a.parts < b.parts;
+            });
+  for (const CandidateView& v : pending) {
+    CandidateDecision cd;
+    cd.candidate_id = v.Id();
+    cd.num_parts = static_cast<int>(v.NumParts());
+    cd.opt_cost = v.opt_cost;
+    cd.reject = RejectReason::kPrunedByBound;
+    decision_->candidates.push_back(std::move(cd));
+  }
 }
 
 }  // namespace opd::rewrite

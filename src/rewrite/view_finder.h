@@ -39,11 +39,18 @@ class ViewFinder {
   /// signatures (they depend only on the target AFK, so callers that see
   /// the same subplan repeatedly — BfRewriter keys them by plan
   /// fingerprint — can skip recomputing them here).
+  ///
+  /// `decision` (optional, caller-owned, must outlive the finder) receives
+  /// the per-candidate audit trail: INIT records signature-mismatch
+  /// exclusions, REFINE records every pop with its OPTCOST and containment
+  /// outcome. The caller classifies accepted vs not-cost-improving (only it
+  /// knows the running best cost) and drains bound-pruned leftovers.
   void Init(TargetContext target, EnumDeps deps,
             const std::vector<const catalog::ViewDefinition*>& views,
             RewriteStats* stats,
             std::optional<std::vector<std::string>> useful_sigs =
-                std::nullopt);
+                std::nullopt,
+            TargetDecision* decision = nullptr);
 
   /// PEEK: the OPTCOST of the next candidate, or +inf when exhausted.
   double Peek() const;
@@ -58,12 +65,18 @@ class ViewFinder {
   bool exhausted() const { return heap_.empty(); }
   size_t seen_size() const { return seen_.size(); }
 
+  /// Records every candidate still queued as pruned-by-bound (the search
+  /// ended before refining them), in deterministic (OPTCOST, size) order.
+  /// No-op without a decision sink; call once, when the search is over.
+  void DrainPrunedDecisions();
+
  private:
   void Push(CandidateView candidate, double floor_cost);
 
   TargetContext target_;
   EnumDeps deps_;
   RewriteStats* stats_ = nullptr;
+  TargetDecision* decision_ = nullptr;
   Status status_;
   std::vector<std::string> useful_sigs_;
 

@@ -1,12 +1,24 @@
 #include "session/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "catalog/eviction.h"
+#include "common/json_writer.h"
 #include "oql/parser.h"
 
 namespace opd {
+
+namespace {
+
+std::string FormatSeconds(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6gs", v);
+  return buf;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
   // The session-level obs toggles are the single source of truth; mirror
@@ -30,6 +42,11 @@ Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
   session->engine_ = std::make_unique<exec::Engine>(
       session->dfs_.get(), session->views_.get(), session->optimizer_.get(),
       options.engine);
+  optimizer::CostAccountant::Options acc_opts;
+  acc_opts.publish_metrics = options.obs.metrics;
+  session->accountant_ =
+      std::make_unique<optimizer::CostAccountant>(acc_opts);
+  session->engine_->set_accountant(session->accountant_.get());
   session->bfr_ = std::make_unique<rewrite::BfRewriter>(
       session->optimizer_.get(), session->views_.get(), options.rewrite);
   return session;
@@ -48,6 +65,10 @@ Result<RunResult> Session::Run(const std::string& oql,
 
 Result<RunResult> Session::Run(plan::Plan plan, const RunOptions& opts) {
   RunResult out;
+  obs::MetricsSnapshot before;
+  if (options_.obs.metrics) {
+    before = obs::MetricsSnapshot::Capture(obs::MetricRegistry::Global());
+  }
   if (options_.obs.tracing) out.trace = std::make_shared<obs::Trace>();
   obs::Trace* trace = out.trace.get();
   obs::TraceSpan query_span(trace, 0, "query:" + plan.name(), "query");
@@ -71,6 +92,12 @@ Result<RunResult> Session::Run(plan::Plan plan, const RunOptions& opts) {
   out.metrics = exec.metrics;
   out.jobs = std::move(exec.jobs);
   out.plan = std::move(plan);
+  if (options_.obs.metrics) {
+    out.metrics_delta =
+        obs::MetricsSnapshot::Capture(obs::MetricRegistry::Global())
+            .DiffFrom(before);
+  }
+  out.cost_drifts = accountant_->Drifts();
   return out;
 }
 
@@ -80,9 +107,98 @@ Result<std::string> Session::ExplainAnalyze(const std::string& oql,
   return run.ExplainAnalyze();
 }
 
+Result<rewrite::RewriteOutcome> Session::Rewrite(const std::string& oql) {
+  OPD_ASSIGN_OR_RETURN(plan::Plan plan, oql::ParseQuery(oql));
+  // No trace, no view-access credit: this is a read-only search, so running
+  // it must not perturb retention policies or metrics-driven decisions.
+  return bfr_->Rewrite(&plan, /*trace=*/nullptr, /*parent_span=*/0);
+}
+
+Result<std::string> Session::ExplainRewrite(const std::string& oql) {
+  OPD_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome, Rewrite(oql));
+  return RenderExplainRewrite(outcome, views_->size());
+}
+
 std::string RunResult::ExplainAnalyze(
     const exec::AnalyzeOptions& options) const {
   return exec::ExplainAnalyze(plan, jobs, metrics, options);
+}
+
+std::string RunResult::MetricsJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("exec").Raw(metrics.ToJson());
+  w.Key("jobs").BeginArray();
+  for (const exec::JobRun& jr : jobs) {
+    w.BeginObject();
+    w.Key("index").Int(jr.index);
+    w.Key("op").String(jr.op);
+    w.Key("sim_time_s").Double(jr.sim_time_s);
+    w.Key("rows_out").UInt(jr.rows_out);
+    w.Key("predicted_cost_s").Double(jr.predicted_cost_s);
+    w.Key("observed_proxy_cost_s").Double(jr.observed_proxy_cost_s);
+    w.Key("residual_pct").Double(jr.residual_pct);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("rewrite").BeginObject();
+  w.Key("rewritten").Bool(rewritten);
+  if (rewritten) {
+    w.Key("improved").Bool(rewrite.improved);
+    w.Key("original_cost_s").Double(rewrite.original_cost);
+    w.Key("est_cost_s").Double(rewrite.est_cost);
+    const rewrite::DecisionCounts c = rewrite.decisions.Counts();
+    w.Key("decisions").BeginObject();
+    w.Key("candidates").UInt(c.candidates);
+    w.Key("accepted").UInt(c.accepted);
+    w.Key("signature_mismatch").UInt(c.signature_mismatch);
+    w.Key("afk_containment").UInt(c.afk_containment);
+    w.Key("not_cost_improving").UInt(c.not_cost_improving);
+    w.Key("pruned_by_bound").UInt(c.pruned_by_bound);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("cost_model").BeginObject();
+  w.Key("classes").BeginArray();
+  for (const auto& d : cost_drifts) {
+    w.BeginObject();
+    w.Key("op_class").String(d.op_class);
+    w.Key("ewma_residual_pct").Double(d.ewma_pct);
+    w.Key("samples").UInt(d.samples);
+    w.Key("stale").Bool(d.stale);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("stale").BeginArray();
+  for (const auto& d : cost_drifts) {
+    if (d.stale) w.String(d.op_class);
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("registry_delta").Raw(metrics_delta.ToJson());
+  w.EndObject();
+  return w.Take();
+}
+
+std::string RunResult::MetricsPrometheus() const {
+  return metrics_delta.ToPrometheus();
+}
+
+std::string RenderExplainRewrite(const rewrite::RewriteOutcome& outcome,
+                                 size_t views_in_store) {
+  std::string out = "EXPLAIN REWRITE " + outcome.plan.name() + "\n";
+  out += "views in store: " + std::to_string(views_in_store) + "\n";
+  out += "original cost: " + FormatSeconds(outcome.original_cost) +
+         "  best cost: " + FormatSeconds(outcome.est_cost) +
+         "  improved: " + (outcome.improved ? "yes" : "no") + "\n";
+  out += "search: " +
+         std::to_string(outcome.stats.candidates_considered) +
+         " candidates considered, " +
+         std::to_string(outcome.stats.rewrite_attempts) +
+         " enum attempts, " + std::to_string(outcome.stats.rewrites_found) +
+         " rewrites found\n";
+  out += outcome.decisions.ToText();
+  return out;
 }
 
 }  // namespace opd

@@ -19,7 +19,9 @@
 #include "common/status.h"
 #include "exec/analyze.h"
 #include "exec/engine.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "optimizer/accountability.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan.h"
 #include "rewrite/bf_rewrite.h"
@@ -69,10 +71,28 @@ struct RunResult {
   bool rewritten = false;
   /// The query's span trace; non-null iff ObsOptions::tracing.
   std::shared_ptr<obs::Trace> trace;
+  /// What this run contributed to the global MetricRegistry (snapshot diff
+  /// across the run); empty when ObsOptions::metrics is off.
+  obs::MetricsSnapshot metrics_delta;
+  /// Cost-model calibration state after this run (per-operator-class EWMA
+  /// residuals from the session's CostAccountant).
+  std::vector<optimizer::CostAccountant::ClassDrift> cost_drifts;
 
   /// Renders the EXPLAIN ANALYZE tree of this run.
   std::string ExplainAnalyze(const exec::AnalyzeOptions& options = {}) const;
+
+  /// One machine-readable export of everything observed in this run: exec
+  /// metrics, per-job predicted_cost_s/observed_proxy_cost_s/residual_pct,
+  /// rewrite decision counts, cost-model drift, and the registry delta.
+  std::string MetricsJson() const;
+  /// The run's registry delta in Prometheus text exposition.
+  std::string MetricsPrometheus() const;
 };
+
+/// Renders the EXPLAIN REWRITE report (header + decision log) of a rewrite
+/// outcome. `views_in_store` is the store size the search ran against.
+std::string RenderExplainRewrite(const rewrite::RewriteOutcome& outcome,
+                                 size_t views_in_store);
 
 /// \brief A fully-wired system instance behind one coherent API.
 class Session {
@@ -93,6 +113,15 @@ class Session {
   Result<std::string> ExplainAnalyze(const std::string& oql,
                                      const RunOptions& opts = {});
 
+  /// Rewrites `oql` against the current view store WITHOUT executing it (no
+  /// views are credited, nothing materializes). The outcome carries the
+  /// search's DecisionLog. Deterministic: independent of engine options and
+  /// thread counts.
+  Result<rewrite::RewriteOutcome> Rewrite(const std::string& oql);
+
+  /// EXPLAIN REWRITE: Rewrite() rendered as the decision-log report.
+  Result<std::string> ExplainRewrite(const std::string& oql);
+
   storage::Dfs& dfs() { return *dfs_; }
   catalog::Catalog& catalog() { return *catalog_; }
   catalog::ViewStore& views() { return *views_; }
@@ -100,6 +129,8 @@ class Session {
   const optimizer::Optimizer& optimizer() const { return *optimizer_; }
   exec::Engine& engine() { return *engine_; }
   const rewrite::BfRewriter& rewriter() const { return *bfr_; }
+  /// Cost-model accountability state (per-class residual EWMAs).
+  const optimizer::CostAccountant& accountant() const { return *accountant_; }
   const SessionOptions& options() const { return options_; }
 
  private:
@@ -111,6 +142,7 @@ class Session {
   std::unique_ptr<catalog::ViewStore> views_;
   std::unique_ptr<udf::UdfRegistry> udfs_;
   std::unique_ptr<optimizer::Optimizer> optimizer_;
+  std::unique_ptr<optimizer::CostAccountant> accountant_;
   std::unique_ptr<exec::Engine> engine_;
   std::unique_ptr<rewrite::BfRewriter> bfr_;
 };

@@ -15,6 +15,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "workload/scenarios.h"
 
@@ -189,6 +190,101 @@ TEST(MetricsTest, JsonAndStringDumps) {
   EXPECT_NE(text.find("a.b=7"), std::string::npos);
 }
 
+// --- MetricsSnapshot --------------------------------------------------------
+
+TEST(MetricsSnapshotTest, DiffSubtractsCountersAndDropsZeroDeltas) {
+  MetricRegistry registry;
+  registry.counter("snap.before").Inc(10);
+  registry.counter("snap.quiet").Inc(3);
+  MetricsSnapshot base = MetricsSnapshot::Capture(registry);
+
+  registry.counter("snap.before").Inc(5);
+  registry.counter("snap.fresh").Inc(2);  // registered after the base capture
+  MetricsSnapshot after = MetricsSnapshot::Capture(registry);
+  MetricsSnapshot diff = after.DiffFrom(base);
+
+  EXPECT_EQ(diff.counters.at("snap.before"), 5u);
+  EXPECT_EQ(diff.counters.at("snap.fresh"), 2u);
+  // Untouched counters must not appear in the delta at all.
+  EXPECT_EQ(diff.counters.count("snap.quiet"), 0u);
+}
+
+TEST(MetricsSnapshotTest, GaugesAreLevelsNotAccumulations) {
+  MetricRegistry registry;
+  registry.gauge("snap.level").Set(7.0);
+  MetricsSnapshot base = MetricsSnapshot::Capture(registry);
+  registry.gauge("snap.level").Set(3.0);
+  MetricsSnapshot diff = MetricsSnapshot::Capture(registry).DiffFrom(base);
+  // A gauge reports where it stands now (3), not a 3-7=-4 "delta".
+  EXPECT_DOUBLE_EQ(diff.gauges.at("snap.level"), 3.0);
+}
+
+TEST(MetricsSnapshotTest, HistogramDiffCarriesWindowMassAndLifetimeBounds) {
+  MetricRegistry registry;
+  registry.histogram("snap.h").Observe(100.0);  // pre-window outlier
+  MetricsSnapshot base = MetricsSnapshot::Capture(registry);
+
+  registry.histogram("snap.h").Observe(1.0);
+  registry.histogram("snap.h").Observe(2.0);
+  registry.histogram("snap.quiet_h").Observe(9.0);
+  MetricsSnapshot mid = MetricsSnapshot::Capture(registry);
+  MetricsSnapshot diff = mid.DiffFrom(base);
+
+  const MetricsSnapshot::HistogramStat& h = diff.histograms.at("snap.h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 3.0);
+  // Min/max are lifetime bounds (the sketch cannot un-observe), so the
+  // pre-window 100 still shows.
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+  EXPECT_EQ(diff.histograms.at("snap.quiet_h").count, 1u);
+
+  // A second window with no observations drops the histogram entirely.
+  MetricsSnapshot quiet = MetricsSnapshot::Capture(registry).DiffFrom(mid);
+  EXPECT_EQ(quiet.histograms.count("snap.h"), 0u);
+  EXPECT_TRUE(quiet.empty());
+}
+
+TEST(MetricsSnapshotTest, JsonShape) {
+  MetricRegistry registry;
+  registry.counter("a.b").Inc(7);
+  registry.gauge("c.d").Set(1.5);
+  registry.histogram("e.f").Observe(2.0);
+  const std::string json = MetricsSnapshot::Capture(registry).ToJson();
+  EXPECT_EQ(json.find("{\"counters\":{"), 0u);
+  EXPECT_NE(json.find("\"a.b\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"c.d\":1.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"e.f\":{\"count\":1,\"sum\":2,"), std::string::npos);
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+}
+
+TEST(MetricsSnapshotTest, PrometheusExposition) {
+  MetricRegistry registry;
+  registry.counter("engine.jobs").Inc(4);
+  registry.gauge("costmodel.udf.drift").Set(12.5);
+  registry.histogram("costmodel.job.residual_pct").Observe(8.0);
+  const std::string text = MetricsSnapshot::Capture(registry).ToPrometheus();
+  // Dots mangle to underscores under the default "opd" prefix; counters and
+  // gauges get a value line, histograms a summary plus _min/_max.
+  EXPECT_NE(text.find("# TYPE opd_engine_jobs counter\n"), std::string::npos);
+  EXPECT_NE(text.find("opd_engine_jobs 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE opd_costmodel_udf_drift gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opd_costmodel_udf_drift 12.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE opd_costmodel_job_residual_pct summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opd_costmodel_job_residual_pct_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opd_costmodel_job_residual_pct_sum 8\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opd_costmodel_job_residual_pct_max 8\n"),
+            std::string::npos);
+  // Custom prefix is honoured.
+  const std::string custom =
+      MetricsSnapshot::Capture(registry).ToPrometheus("acme");
+  EXPECT_NE(custom.find("acme_engine_jobs 4\n"), std::string::npos);
+}
+
 // --- Determinism across thread counts --------------------------------------
 
 // A query slice covering every traced shape: map-only ops, a shuffle join,
@@ -202,11 +298,13 @@ result  = join wine counts on user_id = user_id;
 
 struct TracedRun {
   std::string structure;
+  std::string chrome_json;
   std::vector<storage::Row> rows;
   uint64_t bytes_read = 0;
 };
 
-TracedRun RunTraced(int num_threads, bool vectorized, bool tracing) {
+TracedRun RunTraced(int num_threads, bool vectorized, bool tracing,
+                    bool pipelined = true) {
   workload::TestBedConfig config;
   config.data.n_tweets = 600;
   config.data.n_checkins = 300;
@@ -214,6 +312,7 @@ TracedRun RunTraced(int num_threads, bool vectorized, bool tracing) {
   config.calibrate_udfs = false;
   config.session.engine.num_threads = num_threads;
   config.session.engine.vectorized = vectorized;
+  config.session.engine.pipelined = pipelined;
   config.session.obs.tracing = tracing;
   auto bed = workload::TestBed::Create(config);
   EXPECT_TRUE(bed.ok()) << bed.status().ToString();
@@ -221,7 +320,10 @@ TracedRun RunTraced(int num_threads, bool vectorized, bool tracing) {
   EXPECT_TRUE(run.ok()) << run.status().ToString();
 
   TracedRun out;
-  if (run->trace != nullptr) out.structure = run->trace->StructureString();
+  if (run->trace != nullptr) {
+    out.structure = run->trace->StructureString();
+    out.chrome_json = run->trace->ToChromeJson();
+  }
   out.rows = run->table->rows();
   std::sort(out.rows.begin(), out.rows.end(),
             [](const storage::Row& a, const storage::Row& b) {
@@ -262,6 +364,49 @@ TEST(TraceDeterminismTest, ResultsIdenticalWithTracingOnOrOff) {
   EXPECT_FALSE(on.structure.empty());
   EXPECT_EQ(off.rows, on.rows);
   EXPECT_EQ(off.bytes_read, on.bytes_read);
+}
+
+TEST(TraceDeterminismTest, ChromeJsonShapeUnderPipelinedExecution) {
+  // End-to-end golden shape for the trace file a pipelined run exports: the
+  // fused map work records "pipeline" phase spans (not the phased engine's
+  // "map"), shuffles still record "reduce", and the document stays a single
+  // balanced traceEvents object.
+  TracedRun run = RunTraced(4, /*vectorized=*/true, /*tracing=*/true,
+                            /*pipelined=*/true);
+  const std::string& json = run.chrome_json;
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // (UDF stages run their own runner and keep "map" even when the engine
+  // pipelines, so only the presence of "pipeline" is asserted here.)
+  EXPECT_NE(json.find("\"name\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"reduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query:result\""), std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  // The phased fallback labels the same work "map".
+  TracedRun phased = RunTraced(4, /*vectorized=*/true, /*tracing=*/true,
+                               /*pipelined=*/false);
+  EXPECT_NE(phased.chrome_json.find("\"name\":\"map\""), std::string::npos);
+  EXPECT_EQ(phased.chrome_json.find("\"name\":\"pipeline\""),
+            std::string::npos);
+  EXPECT_EQ(run.rows, phased.rows);  // engine mode never changes results
 }
 
 }  // namespace

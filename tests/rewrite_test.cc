@@ -541,5 +541,106 @@ TEST_F(RewriteTest, SyntacticZeroAfterDroppingIdenticalViews) {
   EXPECT_FALSE(outcome->improved);
 }
 
+// --- DecisionLog ------------------------------------------------------------
+
+TEST_F(RewriteTest, RejectReasonCodesAreStable) {
+  // Machine-readable vocabulary — the bench records and the EXPLAIN REWRITE
+  // JSON export depend on these exact strings.
+  EXPECT_STREQ(RejectReasonCode(RejectReason::kNone), "accepted");
+  EXPECT_STREQ(RejectReasonCode(RejectReason::kSignatureMismatch),
+               "signature_mismatch");
+  EXPECT_STREQ(RejectReasonCode(RejectReason::kAfkContainment),
+               "afk_containment");
+  EXPECT_STREQ(RejectReasonCode(RejectReason::kNotCostImproving),
+               "not_cost_improving");
+  EXPECT_STREQ(RejectReasonCode(RejectReason::kPrunedByBound),
+               "pruned_by_bound");
+}
+
+TEST_F(RewriteTest, DecisionLogEmptyWhenLoggingOff) {
+  Execute(WineQuery(0.5, 5));
+  RewriteOptions options;
+  options.log_decisions = false;
+  BfRewriter quiet(optimizer_.get(), &views_, options);
+  plan::Plan q = WineQuery(0.5, 5);
+  auto outcome = quiet.Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->improved);  // behaviour unchanged, log just absent
+  EXPECT_TRUE(outcome->decisions.targets.empty());
+}
+
+TEST_F(RewriteTest, DecisionLogAccountsForEveryCandidate) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(0.5, 5);
+  auto outcome = bfr_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->improved);
+  const DecisionLog& log = outcome->decisions;
+  ASSERT_FALSE(log.targets.empty());
+
+  const DecisionCounts counts = log.Counts();
+  EXPECT_GT(counts.candidates, 0u);
+  EXPECT_GT(counts.accepted, 0u);
+  // Every candidate lands in exactly one bucket.
+  EXPECT_EQ(counts.candidates,
+            counts.accepted + counts.signature_mismatch +
+                counts.afk_containment + counts.not_cost_improving +
+                counts.pruned_by_bound);
+
+  for (const TargetDecision& td : log.targets) {
+    size_t accepted_here = 0;
+    for (const CandidateDecision& cd : td.candidates) {
+      if (cd.reject == RejectReason::kNone) {
+        ++accepted_here;
+        // The accepted candidate is the chosen one, and it carries a
+        // costed, found rewrite.
+        EXPECT_EQ(cd.candidate_id, td.chosen_id);
+        EXPECT_TRUE(cd.rewrite_found);
+        EXPECT_GE(cd.opt_cost, 0.0);
+      }
+      if (cd.reject == RejectReason::kSignatureMismatch) {
+        // INIT exclusions happen before costing.
+        EXPECT_LT(cd.opt_cost, 0.0);
+      }
+    }
+    EXPECT_LE(accepted_here, 1u);
+    EXPECT_GE(td.original_cost, td.best_cost);
+    EXPECT_DOUBLE_EQ(td.predicted_benefit_s,
+                     td.original_cost - td.best_cost);
+  }
+}
+
+TEST_F(RewriteTest, DecisionLogOptCostNonDecreasingPerTarget) {
+  Execute(WineQuery(0.5, 5));
+  Execute(WineQuery(0.8, 3));
+  plan::Plan q = WineQuery(0.5, 5);
+  auto outcome = bfr_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  for (const TargetDecision& td : outcome->decisions.targets) {
+    // Refined candidates are popped in OPTCOST order, and bound-pruned
+    // leftovers are drained in the same order, so per target the costed
+    // estimates never decrease.
+    double prev = -1;
+    for (const CandidateDecision& cd : td.candidates) {
+      if (cd.opt_cost < 0) continue;  // never costed (INIT exclusion)
+      EXPECT_GE(cd.opt_cost + 1e-9, prev)
+          << "target " << td.target_index << " candidate "
+          << cd.candidate_id;
+      prev = cd.opt_cost;
+    }
+  }
+}
+
+TEST_F(RewriteTest, DecisionLogJsonWellFormed) {
+  Execute(WineQuery(0.5, 5));
+  plan::Plan q = WineQuery(0.5, 5);
+  auto outcome = bfr_->Rewrite(&q);
+  ASSERT_TRUE(outcome.ok());
+  const std::string json = outcome->decisions.ToJson();
+  EXPECT_EQ(json.find("{\"targets\":["), 0u);
+  EXPECT_NE(json.find("\"counts\":{\"candidates\":"), std::string::npos);
+  EXPECT_NE(json.find("\"decision\":\"accepted\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace opd::rewrite

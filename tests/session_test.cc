@@ -124,12 +124,15 @@ TEST(SessionTest, ExplainAnalyzeGoldenShape) {
     return s;
   };
   // Pipelined execution (the default) reports fused pipeline tasks: "#p".
+  // The residual sign is deterministic here: the estimator undershoots this
+  // groupby (observed proxy cost > prediction), so resid renders "+".
   const std::string expected =
       pad("GROUPBY(user_id)") +
-      "  [job #] time=#s rows=# read=# shuffled=# written=# tasks=#p+#r\n" +
+      "  [job #] time=#s pred=#s resid=+#% rows=# read=# shuffled=# "
+      "written=# tasks=#p+#r\n" +
       pad("  SCAN(TWTR)") + "  (scan)\n" +
       "jobs: #  sim time: #s (+stats #s)  read: #  shuffled: #  written: #  "
-      "views: #\n";
+      "views: #  max resid: +#%\n";
   EXPECT_EQ(masked, expected);
 }
 
@@ -171,6 +174,7 @@ TEST(ExecMetricsTest, ToJsonHasEveryField) {
   exec::ExecMetrics m;
   m.sim_time_s = 1.5;
   m.stats_time_s = 0.5;
+  m.stats_wall_time_s = 0.125;
   m.bytes_read = 10;
   m.bytes_shuffled = 20;
   m.bytes_written = 30;
@@ -181,10 +185,24 @@ TEST(ExecMetricsTest, ToJsonHasEveryField) {
   EXPECT_EQ(json.find('{'), 0u);
   EXPECT_NE(json.find("\"sim_time_s\":1.5"), std::string::npos);
   EXPECT_NE(json.find("\"total_time_s\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"stats_wall_time_s\":0.125"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_read\":10"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_manipulated\":60"), std::string::npos);
   EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
   EXPECT_NE(json.find("\"max_task_time_s\":0.25"), std::string::npos);
+}
+
+TEST(ExecMetricsTest, StatsWallTimeMeasuredWhenStatsOn) {
+  SessionOptions options;
+  options.engine.collect_stats = true;
+  auto session = MakeSession(options);
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // The StatsCollector pass really ran, so its measured wall time is > 0
+  // (the modeled stats_time_s is as well — they answer different questions).
+  EXPECT_GT(run->metrics.stats_wall_time_s, 0.0);
+  EXPECT_GT(run->metrics.stats_time_s, 0.0);
 }
 
 TEST(OqlTest, ConsumeExplainPrefixModes) {
@@ -201,6 +219,16 @@ TEST(OqlTest, ConsumeExplainPrefixModes) {
             oql::ExplainMode::kExplainAnalyze);
   EXPECT_EQ(analyze, "x = scan TWTR;");
 
+  std::string rewrite = "EXPLAIN REWRITE x = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeExplainPrefix(&rewrite),
+            oql::ExplainMode::kExplainRewrite);
+  EXPECT_EQ(rewrite, "x = scan TWTR;");
+
+  std::string rewrite_lc = "explain rewrite\nx = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeExplainPrefix(&rewrite_lc),
+            oql::ExplainMode::kExplainRewrite);
+  EXPECT_EQ(rewrite_lc, "x = scan TWTR;");
+
   // A binding that merely starts with the word is left alone.
   std::string binding = "explained = scan TWTR;";
   EXPECT_EQ(oql::ConsumeExplainPrefix(&binding), oql::ExplainMode::kNone);
@@ -211,6 +239,154 @@ TEST(OqlTest, ConsumeExplainPrefixModes) {
   EXPECT_EQ(oql::ConsumeExplainPrefix(&commented),
             oql::ExplainMode::kExplainAnalyze);
   EXPECT_EQ(commented, "x = scan TWTR;");
+}
+
+// --- EXPLAIN REWRITE --------------------------------------------------------
+
+// Warms a session's view store with two queries, then renders EXPLAIN
+// REWRITE for a query that can reuse the first one's views. The engine
+// configuration is a parameter precisely so tests can prove it does NOT
+// matter: the rewrite search is serial and engine-independent.
+std::string WarmExplainRewrite(int threads, bool vectorized, bool pipelined) {
+  SessionOptions options;
+  options.engine.num_threads = threads;
+  options.engine.vectorized = vectorized;
+  options.engine.pipelined = pipelined;
+  auto session = MakeSession(options);
+  auto warm1 = session->Run(
+      "w = scan TWTR | project user_id, retweets;");
+  EXPECT_TRUE(warm1.ok()) << warm1.status().ToString();
+  auto warm2 = session->Run(
+      "v = scan TWTR | groupby user_id count(*) as n;");
+  EXPECT_TRUE(warm2.ok()) << warm2.status().ToString();
+  auto text = session->ExplainRewrite(
+      "q = scan TWTR | project user_id, retweets;");
+  EXPECT_TRUE(text.ok()) << text.status().ToString();
+  return text.ok() ? *text : std::string();
+}
+
+TEST(SessionTest, ExplainRewriteGoldenShape) {
+  const std::string masked = MaskNumbers(WarmExplainRewrite(1, false, false));
+  // Pins the whole report: header, per-target decisions (with machine-
+  // readable reject codes), and the counts footer.
+  const std::string expected =
+      "EXPLAIN REWRITE q\n"
+      "views in store: #\n"
+      "original cost: #s  best cost: #s  improved: yes\n"
+      "search: # candidates considered, # enum attempts, # rewrites found\n"
+      "[target #] PROJECT\n"
+      "  original #s -> best #s  chosen: view(#)  predicted benefit #s\n"
+      "    #             optcost=#s  rewrite=#s  accepted\n"
+      "    #             optcost=#s  rejected: pruned_by_bound (never "
+      "refined)\n"
+      "candidates: #  accepted: #  signature_mismatch: #  afk_containment: #"
+      "  not_cost_improving: #  pruned_by_bound: #\n";
+  EXPECT_EQ(masked, expected);
+}
+
+TEST(SessionTest, ExplainRewriteByteIdenticalAcrossEngineConfigs) {
+  // {1, 8} threads x {row, batch} x {phased, pipelined}: the decision log
+  // and its rendering must be byte-identical — the search never looks at
+  // the engine.
+  const std::string base = WarmExplainRewrite(1, false, false);
+  ASSERT_FALSE(base.empty());
+  EXPECT_NE(base.find("accepted"), std::string::npos);
+  for (int threads : {1, 8}) {
+    for (bool vectorized : {false, true}) {
+      for (bool pipelined : {false, true}) {
+        EXPECT_EQ(base, WarmExplainRewrite(threads, vectorized, pipelined))
+            << "threads=" << threads << " vectorized=" << vectorized
+            << " pipelined=" << pipelined;
+      }
+    }
+  }
+}
+
+TEST(SessionTest, RewriteDoesNotExecuteOrCreditViews) {
+  auto session = MakeSession();
+  auto warm = session->Run("w = scan TWTR | project user_id, retweets;");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  const size_t views_before = session->views().size();
+  const uint64_t clock_before = session->views().clock();
+  auto outcome =
+      session->Rewrite("q = scan TWTR | project user_id, retweets;");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->improved);
+  EXPECT_FALSE(outcome->decisions.targets.empty());
+  // Pure analysis: no new views, no access credit.
+  EXPECT_EQ(session->views().size(), views_before);
+  EXPECT_EQ(session->views().clock(), clock_before);
+}
+
+// --- Run metrics export -----------------------------------------------------
+
+TEST(SessionTest, MetricsJsonCarriesPerJobResidualsAndDecisions) {
+  auto session = MakeSession();
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const std::string json = run->MetricsJson();
+  EXPECT_EQ(json.find('{'), 0u);
+  // Acceptance contract: per-job predicted/observed/residual fields.
+  EXPECT_NE(json.find("\"predicted_cost_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"observed_proxy_cost_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"residual_pct\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rewrite\":{\"rewritten\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"decisions\":{\"candidates\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_model\":{\"classes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"op_class\":\"GROUPBY\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry_delta\":{\"counters\":{"),
+            std::string::npos);
+  // The run's registry delta saw this run's jobs.
+  EXPECT_NE(json.find("\"engine.jobs\":"), std::string::npos);
+}
+
+TEST(SessionTest, MetricsPrometheusExposition) {
+  auto session = MakeSession();
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const std::string text = run->MetricsPrometheus();
+  EXPECT_NE(text.find("# TYPE opd_engine_jobs counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opd_engine_jobs "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE opd_costmodel_job_residual_pct summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opd_costmodel_job_residual_pct_count "),
+            std::string::npos);
+}
+
+TEST(SessionTest, MetricsDeltaIsPerRunNotCumulative) {
+  auto session = MakeSession();
+  const std::string q = "counts = scan TWTR | groupby user_id count(*) as n;";
+  auto first = session->Run(q, RunOptions{.rewrite = false});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = session->Run(q, RunOptions{.rewrite = false});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Identical work => identical per-run counter deltas, even though the
+  // global registry doubled.
+  ASSERT_EQ(first->metrics_delta.counters.count("engine.jobs"), 1u);
+  EXPECT_EQ(first->metrics_delta.counters.at("engine.jobs"),
+            second->metrics_delta.counters.at("engine.jobs"));
+  EXPECT_EQ(first->metrics_delta.counters.at("engine.bytes_read"),
+            second->metrics_delta.counters.at("engine.bytes_read"));
+}
+
+TEST(SessionTest, CostDriftsTrackExecutedOperatorClasses) {
+  auto session = MakeSession();
+  auto run = session->Run(
+      "counts = scan TWTR | groupby user_id count(*) as n;",
+      RunOptions{.rewrite = false});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_FALSE(run->cost_drifts.empty());
+  bool saw_groupby = false;
+  for (const auto& d : run->cost_drifts) {
+    if (d.op_class == "GROUPBY") {
+      saw_groupby = true;
+      EXPECT_EQ(d.samples, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_groupby);
 }
 
 }  // namespace
