@@ -139,13 +139,14 @@ constexpr int kBenchSchemaVersion = 2;
 // shuffle join, shuffle aggregation, UDF pipeline) over the synthetic log.
 struct JsonRun {
   double wall_ms = 0;
-  double rows_per_sec = 0;
+  double rows_per_sec = 0;        // aggregate over all iterations
+  double best_iter_rows_per_sec = 0;  // fastest single iteration (noise-robust)
   uint64_t output_hash = 0;   // order-sensitive hash of every result table
   exec::ExecMetrics metrics;  // accumulated across iterations
 };
 
 JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
-                          bool vectorized, bool pipelined,
+                          bool vectorized, bool pipelined, bool fused = true,
                           bool traced = false,
                           std::vector<std::shared_ptr<obs::Trace>>* traces =
                               nullptr) {
@@ -159,6 +160,7 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
   config.session.engine.num_threads = num_threads;
   config.session.engine.vectorized = vectorized;
   config.session.engine.pipelined = pipelined;
+  config.session.engine.fused_exprs = fused;
   config.session.obs.tracing = traced;
   auto bed_result = workload::TestBed::Create(config);
   if (!bed_result.ok()) std::abort();
@@ -166,8 +168,10 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
 
   JsonRun run;
   uint64_t rows_processed = 0;
+  double best_iter_s = 0;
   const auto start = std::chrono::steady_clock::now();
   for (int it = 0; it < iterations; ++it) {
+    const auto iter_start = std::chrono::steady_clock::now();
     plan::Plan project(
         plan::Project(plan::Scan("TWTR"), {"user_id", "tweet_text"}));
     plan::Plan filter(plan::Filter(
@@ -192,15 +196,37 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
       run.metrics += result.value().metrics;
       if (it == 0 && result.value().table != nullptr) {
         // Determinism receipt: every mode/thread-count must produce the
-        // same bytes in the same order, so hash rows in order.
-        for (const storage::Row& r : result.value().table->rows()) {
-          HashCombine(&run.output_hash, storage::RowHash{}(r));
+        // same bytes in the same order, so hash rows in order. Columnar
+        // outputs hash through HashRowAt (== RowHash over the materialized
+        // row, per the batch-layer contract) so the receipt never forces a
+        // row materialization the mode itself didn't pay for.
+        const storage::TablePtr& table = result.value().table;
+        if (table->columnar()) {
+          for (const storage::RowBatch& b : *table->ToBatches()) {
+            for (size_t r = 0; r < b.num_rows(); ++r) {
+              HashCombine(&run.output_hash, b.HashRowAt(r));
+            }
+          }
+        } else {
+          for (const storage::Row& r : table->rows()) {
+            HashCombine(&run.output_hash, storage::RowHash{}(r));
+          }
         }
       }
       if (traces != nullptr && it == 0 && result.value().trace != nullptr) {
         traces->push_back(result.value().trace);
       }
       rows_processed += n_tweets;  // each job scans the full TWTR log
+    }
+    // Iteration 0 pays for the determinism hash and trace capture, so the
+    // fastest iteration is a steady-state measurement: one five-job pass
+    // with nothing bolted on. The gate compares modes on this number —
+    // a single noisy-neighbor stall in one iteration no longer skews it.
+    const double iter_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - iter_start)
+                              .count();
+    if (iter_s > 0 && (best_iter_s == 0 || iter_s < best_iter_s)) {
+      best_iter_s = iter_s;
     }
   }
   const double wall_s =
@@ -209,6 +235,11 @@ JsonRun RunEngineWorkload(int num_threads, size_t n_tweets, int iterations,
   run.wall_ms = wall_s * 1000.0;
   run.rows_per_sec =
       wall_s > 0 ? static_cast<double>(rows_processed) / wall_s : 0;
+  run.best_iter_rows_per_sec =
+      best_iter_s > 0 && iterations > 0
+          ? static_cast<double>(rows_processed) /
+                static_cast<double>(iterations) / best_iter_s
+          : 0;
   return run;
 }
 
@@ -270,10 +301,19 @@ RewritePass RunRewritePass(workload::TestBed* bed, size_t n_tweets,
         if (r > pass.max_residual_pct) pass.max_residual_pct = r;
       }
       if (it == 0 && result.value().table != nullptr) {
-        for (const storage::Row& r : result.value().table->rows()) {
-          const uint64_t h = storage::RowHash{}(r);
+        const storage::TablePtr& table = result.value().table;
+        auto absorb = [&pass](uint64_t h) {
           HashCombine(&pass.ordered_hash, h);
           pass.unordered_hash += h;  // commutative: order-insensitive
+        };
+        if (table->columnar()) {
+          for (const storage::RowBatch& b : *table->ToBatches()) {
+            for (size_t r = 0; r < b.num_rows(); ++r) absorb(b.HashRowAt(r));
+          }
+        } else {
+          for (const storage::Row& r : table->rows()) {
+            absorb(storage::RowHash{}(r));
+          }
         }
       }
       rows_processed += n_tweets;
@@ -391,22 +431,29 @@ int RunJsonMode(const char* trace_path) {
     const char* name;
     bool vectorized;
     bool pipelined;
+    bool fused;
   };
+  // "batch_unfused"/"pipelined_unfused" pin the pre-fusion batch kernels so
+  // the fused-vs-unfused delta and the byte-identity contract across
+  // {fused,unfused} x {phased,pipelined} stay measured in the trajectory.
   constexpr Mode kModes[] = {
-      {"row", false, false},
-      {"batch", true, false},
-      {"pipelined", true, true},
+      {"row", false, false, true},
+      {"batch", true, false, true},
+      {"batch_unfused", true, false, false},
+      {"pipelined", true, true, true},
+      {"pipelined_unfused", true, true, false},
   };
   uint64_t row_mode_hash = 0;
   for (const Mode& mode : kModes) {
     JsonRun runs[kNumThreads];
     for (size_t i = 0; i < kNumThreads; ++i) {
       runs[i] = RunEngineWorkload(kThreads[i], kTweets, kIters,
-                                  mode.vectorized, mode.pipelined);
+                                  mode.vectorized, mode.pipelined,
+                                  mode.fused);
     }
     JsonRun traced = RunEngineWorkload(
         kThreads[kNumThreads - 1], kTweets, kIters, mode.vectorized,
-        mode.pipelined, /*traced=*/true,
+        mode.pipelined, mode.fused, /*traced=*/true,
         trace_path != nullptr ? &traces : nullptr);
     const double speedup = runs[kNumThreads - 1].wall_ms > 0
                                ? runs[0].wall_ms / runs[kNumThreads - 1].wall_ms
@@ -423,6 +470,7 @@ int RunJsonMode(const char* trace_path) {
     w.Key("schema_version").Int(kBenchSchemaVersion);
     w.Key("mode").String(mode.name);
     w.Key("pipelined").Bool(mode.pipelined);
+    w.Key("fused").Bool(mode.vectorized && mode.fused);
     w.Key("n_tweets").UInt(kTweets);
     w.Key("iterations").Int(kIters);
     w.Key("hw_cores").Int(hw_cores);
@@ -434,6 +482,9 @@ int RunJsonMode(const char* trace_path) {
     w.EndArray();
     w.Key("rows_per_sec").BeginArray();
     for (const JsonRun& r : runs) w.Double(r.rows_per_sec);
+    w.EndArray();
+    w.Key("best_iter_rows_per_sec").BeginArray();
+    for (const JsonRun& r : runs) w.Double(r.best_iter_rows_per_sec);
     w.EndArray();
     w.Key("speedup_8v1").Double(speedup);
     w.Key("output_hash").UInt(runs[0].output_hash);

@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
-# Runs the engine microbenchmark after the tier-1 build and APPENDS its
+# Runs the engine microbenchmarks after the tier-1 build and APPENDS their
 # timestamped JSON records to BENCH_engine.json (the perf trajectory of the
 # execution engine across PRs — never overwritten). micro_engine --json
 # emits one record per execution mode (row and batch stay on the phased
-# engine for continuity; pipelined is the current default), each sweeping
-# threads {1, 2, 4, 8} untraced plus one traced run at 8 threads
+# engine for continuity; batch_unfused/pipelined_unfused pin the pre-fusion
+# kernels; pipelined is the current default), each sweeping threads
+# {1, 2, 4, 8} untraced plus one traced run at 8 threads
 # (traced_rows_per_sec vs untraced_rows_per_sec = tracing overhead).
+# micro_eval --json contributes one expression-kernel record (fused
+# project/filter throughput without engine overheads). Every appended record
+# carries "ts" and "git_sha" so the trajectory is attributable to commits.
 #
 # Usage: scripts/bench.sh [--no-build] [--check]
 #
 # --check is the perf-floor gate: instead of appending to the trajectory it
-# runs the benchmark once and fails (exit 1) if the pipelined record's
-# speedup_8v1 falls below its recorded speedup_floor_8v1, or if any mode's
-# output hash diverges from row mode (determinism regression), or if the
-# warm_rewrite record shows no view reuse (views_created == 0, no accepted
-# rewrites, or warm outputs diverging from the cold pass). The speedup
-# floor is skipped — with a note — when the runner has fewer than 2 cores,
-# since no parallel speedup is measurable there; the determinism check
-# always applies. Sanitizer builds (scripts/check.sh) run the gate against
-# the regular build, never the instrumented one: sanitizer overhead would
-# make any timing floor meaningless.
+# runs the benchmarks once and fails (exit 1) if
+#   * any mode's output hash diverges from row mode (determinism),
+#   * the warm_rewrite record shows no view reuse (views_created == 0, no
+#     accepted rewrites, or warm outputs diverging from the cold pass),
+#   * the batch mode's single-thread rows/sec does not exceed row mode's by
+#     the BATCH_VS_ROW_FLOOR factor (vectorization must actually pay),
+#   * micro_eval's fused_int64_rows_per_sec falls below EVAL_FLOOR_ROWS_PER_SEC
+#     or its fused outputs diverge from per-row evaluation,
+#   * the pipelined record's speedup_8v1 falls below its recorded
+#     speedup_floor_8v1 — skipped with a note when the runner has fewer than
+#     2 cores (the CI container is 1-core), since no parallel speedup is
+#     measurable there. Single-thread floors always apply; so does the
+#     determinism check. Sanitizer builds (scripts/check.sh) run the gate
+#     against the regular build, never the instrumented one: sanitizer
+#     overhead would make any timing floor meaningless.
 #
 # When appending, records already in BENCH_engine.json that predate the
 # schema_version tag (no "ts"/"mode" keys) are moved to
@@ -28,6 +37,16 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Single-thread floors enforced by --check. EVAL floor is ~25% of the rate
+# measured on the 1-core CI container (159M rows/s), leaving headroom for
+# noisy neighbors while still catching a vectorization regression (the
+# scalar row-eval baseline on the same container is ~115M rows/s on the
+# no-null int64 lane, and the pre-fusion gather path was far below that).
+EVAL_FLOOR_ROWS_PER_SEC=40000000
+# Batch mode must beat row mode by at least this factor on single-thread
+# rows/sec (micro_engine, same workload, same thread count).
+BATCH_VS_ROW_FLOOR=1.3
 
 build=1
 check=0
@@ -48,14 +67,17 @@ if [[ "${check}" == 1 ]]; then
   out="$(mktemp)"
   trap 'rm -f "${out}"' EXIT
   ./build/bench/micro_engine --json > "${out}"
+  ./build/bench/micro_eval --json >> "${out}"
+  EVAL_FLOOR_ROWS_PER_SEC="${EVAL_FLOOR_ROWS_PER_SEC}" \
+  BATCH_VS_ROW_FLOOR="${BATCH_VS_ROW_FLOOR}" \
   python3 - "${out}" <<'EOF'
 import json
+import os
 import sys
 
 records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
 failures = []
-pipelined = None
-warm = None
+modes = {}
 for rec in records:
     # Only the cold sweep records carry the cross-mode hash; warm_rewrite
     # compares against its own cold pass instead.
@@ -63,11 +85,12 @@ for rec in records:
         failures.append(
             f"mode {rec['mode']!r}: output hash diverges from row mode "
             "(determinism regression)")
-    if rec.get("mode") == "pipelined":
-        pipelined = rec
-    if rec.get("mode") == "warm_rewrite":
-        warm = rec
+    if rec.get("bench") == "micro_eval":
+        modes["eval"] = rec
+    else:
+        modes[rec.get("mode")] = rec
 
+warm = modes.get("warm_rewrite")
 if warm is None:
     failures.append("no 'warm_rewrite' record in benchmark output")
 else:
@@ -86,6 +109,7 @@ else:
           f"decision_log_overhead_pct="
           f"{warm.get('decision_log_overhead_pct'):.1f}")
 
+pipelined = modes.get("pipelined")
 if pipelined is None:
     failures.append("no 'pipelined' record in benchmark output")
 else:
@@ -102,6 +126,47 @@ else:
     else:
         print(f"bench --check: pipelined speedup_8v1 {speedup:.2f} >= "
               f"floor {floor:.2f} (hw_cores={cores})")
+
+# Batch-vs-row single-thread throughput gate: the vectorized batch engine
+# must beat the row engine on the same workload at 1 thread (a 1-core-safe
+# assertion of the columnar layer's raw-speed win). Compared on each
+# mode's fastest iteration, not the all-iterations aggregate: one
+# noisy-neighbor stall inside either mode's run must not flip the gate.
+row, batch = modes.get("row"), modes.get("batch")
+ratio_floor = float(os.environ["BATCH_VS_ROW_FLOOR"])
+if row is None or batch is None:
+    failures.append("missing 'row' or 'batch' record in benchmark output")
+else:
+    row_rps = row.get("best_iter_rows_per_sec", row.get("rows_per_sec", [0]))[0]
+    batch_rps = batch.get("best_iter_rows_per_sec",
+                          batch.get("rows_per_sec", [0]))[0]
+    ratio = batch_rps / row_rps if row_rps > 0 else 0.0
+    if ratio < ratio_floor:
+        failures.append(
+            f"batch single-thread rows/sec is only {ratio:.2f}x row mode "
+            f"(floor {ratio_floor}x): vectorized batch execution is not "
+            "paying for itself")
+    else:
+        print(f"bench --check: batch 1-thread rows/sec = {ratio:.2f}x row "
+              f"mode (floor {ratio_floor}x)")
+
+# Expression-kernel gate: fused evaluation throughput and correctness.
+ev = modes.get("eval")
+eval_floor = float(os.environ["EVAL_FLOOR_ROWS_PER_SEC"])
+if ev is None:
+    failures.append("no micro_eval record in benchmark output")
+else:
+    if not ev.get("outputs_match_row_eval", False):
+        failures.append("micro_eval: fused outputs diverge from per-row "
+                        "evaluation (expression correctness regression)")
+    rps = ev.get("fused_int64_rows_per_sec", 0.0)
+    if rps < eval_floor:
+        failures.append(
+            f"micro_eval fused_int64_rows_per_sec {rps:.3g} is below the "
+            f"floor {eval_floor:.3g}")
+    else:
+        print(f"bench --check: micro_eval fused int64 filter "
+              f"{rps:.3g} rows/s >= floor {eval_floor:.3g}")
 
 if failures:
     for f in failures:
@@ -139,8 +204,10 @@ EOF
 fi
 
 ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-./build/bench/micro_engine --json | while IFS= read -r line; do
-  stamped="{\"ts\":\"${ts}\",${line#\{}"
+git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+{ ./build/bench/micro_engine --json; ./build/bench/micro_eval --json; } |
+while IFS= read -r line; do
+  stamped="{\"ts\":\"${ts}\",\"git_sha\":\"${git_sha}\",${line#\{}"
   echo "${stamped}"
   echo "${stamped}" >> BENCH_engine.json
 done

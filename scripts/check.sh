@@ -26,6 +26,12 @@ ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure "$@"
 echo "== re-running suite with tracing enabled (OPD_TRACE=1) =="
 ASAN_OPTIONS=detect_leaks=0 OPD_TRACE=1 ctest --output-on-failure "$@"
 cd ..
+echo "== micro_eval under ASan+UBSan (expression kernels, correctness only) =="
+# One sanitized pass over the fused expression kernels: masks, selection
+# compaction, dictionary bitmaps, and gathers all run under ASan+UBSan.
+# Timing from this run is meaningless and is discarded; the run still fails
+# on outputs_match_row_eval=false or any sanitizer report.
+ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/micro_eval --json >/dev/null
 echo "== perf-floor gate (regular build, see scripts/bench.sh --check) =="
 scripts/bench.sh --check
 echo "== metric-name lint (scripts/lint_metrics.py) =="

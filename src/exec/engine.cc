@@ -7,10 +7,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "exec/expr/expr_program.h"
 #include "exec/pipeline.h"
 #include "exec/udf_exec.h"
 #include "obs/metrics.h"
@@ -494,6 +496,14 @@ void BuildCompareSelection(const ColumnVector& col, afk::CmpOp op,
         dict_pass[c] =
             CmpScalar(col.dict_entry(c), op, literal.as_string()) ? 1 : 0;
       }
+      if (col.null_count() == 0) {
+        // No-nulls fast loop (mirrors the numeric paths): pure code lookup.
+        const uint32_t* codes = col.codes();
+        for (size_t i = 0; i < n; ++i) {
+          if (dict_pass[codes[i]] != 0) sel->push_back(static_cast<uint32_t>(i));
+        }
+        return;
+      }
       for (size_t i = 0; i < n; ++i) {
         const bool pass =
             col.IsNull(i) ? null_passes : dict_pass[col.code_at(i)] != 0;
@@ -665,12 +675,26 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         }
         if (vectorized) {
           // Pure column swizzle: output batches share the input's column
-          // vectors, no cell is touched.
+          // vectors, no cell is touched. The fused path compiles the
+          // projection into an ExprProgram (same zero-copy result; keeps
+          // every project/filter job on one evaluation code path).
           const BatchList in_list(in);
           std::vector<RowBatch> out_batches;
           out_batches.reserve(in_list.size());
-          for (const RowBatch& b : *in_list.batches) {
-            out_batches.push_back(b.Project(idx));
+          std::optional<expr::ExprProgram> program;
+          if (options_.fused_exprs) {
+            program = expr::ExprProgram::Compile(
+                in.schema().num_columns(), {expr::ExprStep::Project(idx)});
+          }
+          if (program.has_value()) {
+            expr::EvalScratch scratch;
+            for (const RowBatch& b : *in_list.batches) {
+              out_batches.push_back(program->Run(b, &scratch));
+            }
+          } else {
+            for (const RowBatch& b : *in_list.batches) {
+              out_batches.push_back(b.Project(idx));
+            }
           }
           out = Table::FromBatches("", node->out_schema,
                                    std::move(out_batches));
@@ -699,17 +723,39 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             // zero-copy).
             const BatchList in_list(in);
             std::vector<RowBatch> out_batches(in_list.size());
-            OPD_RETURN_NOT_OK(RunPhase(
-                pctx, map_phase, in_list.size(),
-                [&](size_t t) -> Status {
-                  const RowBatch& b = in_list.batch(t);
-                  std::vector<uint32_t> sel;
-                  BuildCompareSelection(b.column(i), cond.op, cond.literal,
-                                        &sel);
-                  out_batches[t] = b.Gather(sel);
-                  return Status::OK();
-                },
-                &job_max_task_s));
+            std::optional<expr::ExprProgram> program;
+            if (options_.fused_exprs) {
+              program = expr::ExprProgram::Compile(
+                  in.schema().num_columns(),
+                  {expr::ExprStep::FilterCompare(i, cond.op, cond.literal)});
+            }
+            if (program.has_value()) {
+              // Fused kernel path: string predicates bind per-dictionary
+              // verdict bitmaps once, serially, before the parallel phase;
+              // each task then runs branchless mask kernels + one gather.
+              program->BindDictionaries(*in_list.batches);
+              const expr::ExprProgram& prog = *program;
+              OPD_RETURN_NOT_OK(RunPhase(
+                  pctx, map_phase, in_list.size(),
+                  [&](size_t t) -> Status {
+                    expr::EvalScratch scratch;
+                    out_batches[t] = prog.Run(in_list.batch(t), &scratch);
+                    return Status::OK();
+                  },
+                  &job_max_task_s));
+            } else {
+              OPD_RETURN_NOT_OK(RunPhase(
+                  pctx, map_phase, in_list.size(),
+                  [&](size_t t) -> Status {
+                    const RowBatch& b = in_list.batch(t);
+                    std::vector<uint32_t> sel;
+                    BuildCompareSelection(b.column(i), cond.op, cond.literal,
+                                          &sel);
+                    out_batches[t] = b.Gather(sel);
+                    return Status::OK();
+                  },
+                  &job_max_task_s));
+            }
             out = Table::FromBatches("", node->out_schema,
                                      std::move(out_batches));
           } else {

@@ -51,6 +51,14 @@ struct EngineOptions {
   /// row-at-a-time operators; results are byte-identical either way (UDF
   /// stages and opaque predicates always run row-at-a-time).
   bool vectorized = true;
+  /// Compile each project/filter job into a fused ExprProgram of typed,
+  /// branchless kernels (src/exec/expr/): filters refine one selection
+  /// vector per batch instead of gathering between operators, string
+  /// predicates evaluate once per dictionary entry, and gathers keep
+  /// string columns dictionary-encoded. Only applies when `vectorized`;
+  /// off reverts to the per-operator batch kernels. Results are
+  /// byte-identical either way.
+  bool fused_exprs = true;
   /// Morsel-driven pipelined execution (the default): each map task fuses
   /// scan->operator->partition into one loop writing thread-local
   /// per-bucket buffers, reduce tasks start per bucket as soon as that

@@ -1,0 +1,92 @@
+#include "exec/expr/kernels.h"
+
+namespace opd::exec::expr {
+
+namespace {
+
+// One tight loop per comparison operator: the operator dispatch happens
+// once per kernel call, never inside the loop body. `load(i)` converts the
+// lane element to double; each loop body is a single compare + byte store.
+template <typename LoadFn>
+void MaskLoop(size_t n, afk::CmpOp op, double lit, uint8_t* mask,
+              LoadFn load) {
+  switch (op) {
+    case afk::CmpOp::kLt:
+#pragma omp simd
+      for (size_t i = 0; i < n; ++i) mask[i] = load(i) < lit ? 1 : 0;
+      break;
+    case afk::CmpOp::kLe:
+#pragma omp simd
+      for (size_t i = 0; i < n; ++i) mask[i] = load(i) <= lit ? 1 : 0;
+      break;
+    case afk::CmpOp::kGt:
+#pragma omp simd
+      for (size_t i = 0; i < n; ++i) mask[i] = load(i) > lit ? 1 : 0;
+      break;
+    case afk::CmpOp::kGe:
+#pragma omp simd
+      for (size_t i = 0; i < n; ++i) mask[i] = load(i) >= lit ? 1 : 0;
+      break;
+    case afk::CmpOp::kEq:
+#pragma omp simd
+      for (size_t i = 0; i < n; ++i) mask[i] = load(i) == lit ? 1 : 0;
+      break;
+    case afk::CmpOp::kNe:
+#pragma omp simd
+      for (size_t i = 0; i < n; ++i) mask[i] = load(i) != lit ? 1 : 0;
+      break;
+  }
+}
+
+}  // namespace
+
+void CompareMaskF64(const double* v, size_t n, afk::CmpOp op, double lit,
+                    uint8_t* mask) {
+  MaskLoop(n, op, lit, mask, [v](size_t i) { return v[i]; });
+}
+
+void CompareMaskI64(const int64_t* v, size_t n, afk::CmpOp op, double lit,
+                    uint8_t* mask) {
+  MaskLoop(n, op, lit, mask,
+           [v](size_t i) { return static_cast<double>(v[i]); });
+}
+
+void CompareMaskBool(const uint8_t* v, size_t n, afk::CmpOp op, double lit,
+                     uint8_t* mask) {
+  MaskLoop(n, op, lit, mask,
+           [v](size_t i) { return v[i] != 0 ? 1.0 : 0.0; });
+}
+
+void CompareMaskCodes(const uint32_t* codes, size_t n,
+                      const uint8_t* dict_pass, uint8_t* mask) {
+#pragma omp simd
+  for (size_t i = 0; i < n; ++i) mask[i] = dict_pass[codes[i]];
+}
+
+void OverlayNullMask(const uint64_t* valid_words, size_t n, bool null_pass,
+                     uint8_t* mask) {
+  const uint8_t np = null_pass ? 1 : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t valid =
+        static_cast<uint8_t>((valid_words[i >> 6] >> (i & 63)) & 1ULL);
+    // valid ? mask[i] : np, as arithmetic select.
+    mask[i] = static_cast<uint8_t>((mask[i] & (0 - valid)) |
+                                   (np & (valid - 1)));
+  }
+}
+
+void AndMask(const uint8_t* src, size_t n, uint8_t* dst) {
+#pragma omp simd
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+size_t MaskToSelection(const uint8_t* mask, size_t n, uint32_t* sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);  // unconditional store
+    k += mask[i] != 0;                  // cursor advances by the verdict
+  }
+  return k;
+}
+
+}  // namespace opd::exec::expr

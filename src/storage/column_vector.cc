@@ -24,6 +24,33 @@ constexpr uint64_t kNullHash = 0x6e756c6cULL;  // Value::Hash() of null
 
 }  // namespace
 
+uint32_t Dictionary::Intern(const std::string& s) {
+  auto [it, inserted] =
+      lookup.try_emplace(s, static_cast<uint32_t>(entries.size()));
+  if (inserted) {
+    entries.push_back(s);
+    hashes.push_back(HashString(s));
+    lengths.push_back(s.size());
+  }
+  return it->second;
+}
+
+DictionaryPtr Dictionary::Clone() const {
+  auto copy = std::make_shared<Dictionary>();
+  copy->entries = entries;
+  copy->hashes = hashes;
+  copy->lengths = lengths;
+  copy->lookup = lookup;
+  return copy;
+}
+
+ColumnVector ColumnVector::StringWithSharedDict(DictionaryPtr dict) {
+  ColumnVector col(DataType::kString);
+  col.dict_ = std::move(dict);
+  col.owns_dict_ = true;  // builder contract: serial appends are intended
+  return col;
+}
+
 void ColumnVector::Reserve(size_t n) {
   valid_.reserve((n >> 6) + 1);
   if (!native_) {
@@ -56,15 +83,29 @@ void ColumnVector::PushValidBit(bool valid) {
   if (!valid) ++null_count_;
 }
 
-uint32_t ColumnVector::Intern(const std::string& s) {
-  auto [it, inserted] =
-      dict_lookup_.try_emplace(s, static_cast<uint32_t>(dict_.size()));
-  if (inserted) {
-    dict_.push_back(s);
-    dict_hashes_.push_back(HashString(s));
-    dict_lengths_.push_back(s.size());
+void ColumnVector::EnsureOwnedDict() {
+  if (dict_ == nullptr) {
+    dict_ = std::make_shared<Dictionary>();
+    owns_dict_ = true;
+    return;
   }
-  return it->second;
+  if (!owns_dict_) {
+    // Copy-on-write: this column only referenced a dictionary built (and
+    // possibly still shared) by other columns; never mutate it in place.
+    dict_ = dict_->Clone();
+    owns_dict_ = true;
+  }
+}
+
+uint32_t ColumnVector::Intern(const std::string& s) {
+  // Interning a string that is already present never mutates, so a shared
+  // dictionary can answer it directly without triggering copy-on-write.
+  if (dict_ != nullptr && !owns_dict_) {
+    auto it = dict_->lookup.find(s);
+    if (it != dict_->lookup.end()) return it->second;
+  }
+  EnsureOwnedDict();
+  return dict_->Intern(s);
 }
 
 void ColumnVector::DemoteToVariant() {
@@ -77,10 +118,8 @@ void ColumnVector::DemoteToVariant() {
   ints_.clear();
   doubles_.clear();
   codes_.clear();
-  dict_.clear();
-  dict_hashes_.clear();
-  dict_lengths_.clear();
-  dict_lookup_.clear();
+  dict_.reset();
+  owns_dict_ = false;
 }
 
 void ColumnVector::AppendNull() {
@@ -162,23 +201,98 @@ void ColumnVector::AppendFrom(const ColumnVector& src, size_t i,
       break;
     case DataType::kString: {
       const uint32_t src_code = src.codes_[i];
+      // Dictionary passthrough: an empty string column adopts the source's
+      // shared dictionary; afterwards, cells from any column sharing that
+      // dictionary append as bare code copies (no hashing, no remap).
+      if (dict_ == nullptr && codes_.empty()) {
+        dict_ = src.dict_;
+        owns_dict_ = false;
+      }
+      if (dict_ == src.dict_) {
+        codes_.push_back(src_code);
+        break;
+      }
       if (remap != nullptr) {
-        if (remap->src != &src) {
-          remap->src = &src;
-          remap->codes.assign(src.dict_.size(), -1);
+        if (remap->src != src.dict_.get()) {
+          remap->src = src.dict_.get();
+          remap->codes.assign(src.dict_->size(), -1);
         }
         int32_t& mapped = remap->codes[src_code];
         if (mapped < 0) {
-          mapped = static_cast<int32_t>(Intern(src.dict_[src_code]));
+          mapped = static_cast<int32_t>(Intern(src.dict_->entries[src_code]));
         }
         codes_.push_back(static_cast<uint32_t>(mapped));
       } else {
-        codes_.push_back(Intern(src.dict_[src_code]));
+        codes_.push_back(Intern(src.dict_->entries[src_code]));
       }
       break;
     }
   }
   PushValidBit(true);
+}
+
+ColumnVectorPtr ColumnVector::GatherTo(const uint32_t* sel, size_t n) const {
+  auto dst = std::make_shared<ColumnVector>(type_);
+  if (!native_) {
+    // Variant lane: boxed appends reproduce cells exactly.
+    dst->Reserve(n);
+    for (size_t k = 0; k < n; ++k) dst->AppendFrom(*this, sel[k], nullptr);
+    return dst;
+  }
+  // Native lanes: bulk-copy the selected cells, then rebuild the validity
+  // bitmap (null cells keep their zero placeholders by construction).
+  switch (type_) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool: {
+      dst->bools_.resize(n);
+      const uint8_t* v = bools_.data();
+      uint8_t* out = dst->bools_.data();
+      for (size_t k = 0; k < n; ++k) out[k] = v[sel[k]];
+      break;
+    }
+    case DataType::kInt64: {
+      dst->ints_.resize(n);
+      const int64_t* v = ints_.data();
+      int64_t* out = dst->ints_.data();
+      for (size_t k = 0; k < n; ++k) out[k] = v[sel[k]];
+      break;
+    }
+    case DataType::kDouble: {
+      dst->doubles_.resize(n);
+      const double* v = doubles_.data();
+      double* out = dst->doubles_.data();
+      for (size_t k = 0; k < n; ++k) out[k] = v[sel[k]];
+      break;
+    }
+    case DataType::kString: {
+      // Dictionary passthrough: share the dictionary, gather only codes.
+      dst->dict_ = dict_;
+      dst->owns_dict_ = false;
+      dst->codes_.resize(n);
+      const uint32_t* v = codes_.data();
+      uint32_t* out = dst->codes_.data();
+      for (size_t k = 0; k < n; ++k) out[k] = v[sel[k]];
+      break;
+    }
+  }
+  dst->valid_.assign((n >> 6) + 1, 0);
+  if (null_count_ == 0) {
+    // No-nulls fast path: set all n bits without per-cell probing.
+    const size_t full_words = n >> 6;
+    for (size_t w = 0; w < full_words; ++w) dst->valid_[w] = ~0ULL;
+    if (n & 63) dst->valid_[full_words] = (1ULL << (n & 63)) - 1;
+  } else {
+    size_t nulls = 0;
+    for (size_t k = 0; k < n; ++k) {
+      const bool valid = ValidBit(sel[k]);
+      dst->valid_[k >> 6] |= static_cast<uint64_t>(valid) << (k & 63);
+      nulls += valid ? 0 : 1;
+    }
+    dst->null_count_ = nulls;
+  }
+  dst->size_ = n;
+  return dst;
 }
 
 Value ColumnVector::GetValue(size_t i) const {
@@ -194,7 +308,7 @@ Value ColumnVector::GetValue(size_t i) const {
     case DataType::kDouble:
       return Value(doubles_[i]);
     case DataType::kString:
-      return Value(dict_[codes_[i]]);
+      return Value(dict_->entries[codes_[i]]);
   }
   return Value::Null();
 }
@@ -212,7 +326,7 @@ uint64_t ColumnVector::HashAt(size_t i) const {
     case DataType::kDouble:
       return NumericHash(doubles_[i]);
     case DataType::kString:
-      return dict_hashes_[codes_[i]];
+      return dict_->hashes[codes_[i]];
   }
   return kNullHash;
 }
@@ -229,7 +343,7 @@ size_t ColumnVector::CellByteSize(size_t i) const {
     case DataType::kDouble:
       return 8;
     case DataType::kString:
-      return dict_lengths_[codes_[i]] + 4;  // length prefix
+      return dict_->lengths[codes_[i]] + 4;  // length prefix
   }
   return 1;
 }
@@ -250,8 +364,9 @@ size_t ColumnVector::ByteSize() const {
       return (size_ - null_count_) * 8 + null_count_;
     case DataType::kString: {
       size_t total = 0;
+      const size_t* lengths = dict_ == nullptr ? nullptr : dict_->lengths.data();
       for (size_t i = 0; i < size_; ++i) {
-        total += IsNull(i) ? 1 : dict_lengths_[codes_[i]] + 4;
+        total += IsNull(i) ? 1 : lengths[codes_[i]] + 4;
       }
       return total;
     }

@@ -10,6 +10,16 @@
 // ByteSize()`, so shuffle bucketing, metrics, and determinism contracts are
 // unchanged whether a table flows through the row or the batch path.
 //
+// Dictionaries are shared, refcounted objects (`Dictionary`). All batches of
+// one table column built by `Table::ToBatches()` share a single table-wide
+// dictionary, and gathering a subset of a string column (filter selections,
+// join output assembly) shares the source dictionary instead of re-interning
+// the surviving strings — string data stays dictionary-encoded *across*
+// operators; only the 32-bit codes move. A column that merely references a
+// shared dictionary never mutates it: interning a string that is new to a
+// shared, non-owned dictionary first clones it (copy-on-write), so sealed
+// columns on other threads are never affected.
+//
 // Rows are dynamically typed, so a column may legally contain a cell whose
 // type differs from the schema's declared type. Such a column transparently
 // falls back to a boxed `std::vector<Value>` lane ("variant lane"); all
@@ -30,12 +40,36 @@ namespace opd::storage {
 
 class ColumnVector;
 
+/// \brief An append-only string dictionary shared between columns.
+///
+/// Entry codes are stable once assigned. Hashes and byte lengths are
+/// precomputed per entry so cell hashing and byte accounting never touch
+/// the string bytes again.
+struct Dictionary {
+  std::vector<std::string> entries;
+  std::vector<uint64_t> hashes;   // Value::Hash of each entry
+  std::vector<size_t> lengths;    // byte length of each entry
+  std::unordered_map<std::string, uint32_t> lookup;
+
+  size_t size() const { return entries.size(); }
+
+  /// Returns the code of `s`, appending a new entry if absent.
+  uint32_t Intern(const std::string& s);
+
+  /// Deep copy (used for copy-on-write of shared dictionaries).
+  std::shared_ptr<Dictionary> Clone() const;
+};
+
+using DictionaryPtr = std::shared_ptr<Dictionary>;
+
 /// Memoized code translation between two string dictionaries, used when
 /// gathering cells from a source column into a destination column (filter
-/// selection, join output assembly). Each distinct source code is resolved
-/// against the destination dictionary at most once.
+/// selection, join output assembly). Keyed by the source *dictionary* (not
+/// the column), so the memo survives across the batches of one table, which
+/// all share a dictionary. Each distinct source code is resolved against the
+/// destination dictionary at most once.
 struct DictRemap {
-  const ColumnVector* src = nullptr;
+  const Dictionary* src = nullptr;
   std::vector<int32_t> codes;  // src code -> dst code, -1 = not yet mapped
 };
 
@@ -43,6 +77,12 @@ struct DictRemap {
 class ColumnVector {
  public:
   explicit ColumnVector(DataType type) : type_(type) {}
+
+  /// Creates a string column that appends into `dict` without copy-on-write.
+  /// For serial builders that intentionally grow one dictionary across many
+  /// columns (Table::ToBatches building a table-wide dictionary); the caller
+  /// must guarantee no other thread reads `dict` while building.
+  static ColumnVector StringWithSharedDict(DictionaryPtr dict);
 
   DataType declared_type() const { return type_; }
   size_t size() const { return size_; }
@@ -60,8 +100,18 @@ class ColumnVector {
   void AppendNull();
 
   /// Appends cell `i` of `src`. When both columns are native strings a
-  /// `remap` memoizes dictionary code translation across calls.
+  /// `remap` memoizes dictionary code translation across calls. A string
+  /// column with no dictionary of its own adopts `src`'s shared dictionary
+  /// (no interning); once adopted, cells from any column sharing that
+  /// dictionary append as bare code copies.
   void AppendFrom(const ColumnVector& src, size_t i, DictRemap* remap);
+
+  /// Gathers the cells at `sel[0..n)` (ascending row indices) into a new
+  /// column. Typed lanes copy natively; string columns share this column's
+  /// dictionary (codes are gathered, strings are not touched); variant
+  /// columns fall back to boxed appends. Byte-identical to appending
+  /// `GetValue(sel[k])` for each k.
+  std::shared_ptr<ColumnVector> GatherTo(const uint32_t* sel, size_t n) const;
 
   bool IsNull(size_t i) const { return !ValidBit(i); }
 
@@ -85,9 +135,20 @@ class ColumnVector {
   const double* doubles() const { return doubles_.data(); }
   const uint8_t* bools() const { return bools_.data(); }
   uint32_t code_at(size_t i) const { return codes_[i]; }
-  const std::string& dict_entry(uint32_t code) const { return dict_[code]; }
-  size_t dict_size() const { return dict_.size(); }
-  const std::string& string_at(size_t i) const { return dict_[codes_[i]]; }
+  const uint32_t* codes() const { return codes_.data(); }
+  const std::string& dict_entry(uint32_t code) const {
+    return dict_->entries[code];
+  }
+  size_t dict_size() const { return dict_ == nullptr ? 0 : dict_->size(); }
+  const std::string& string_at(size_t i) const {
+    return dict_->entries[codes_[i]];
+  }
+  /// The shared dictionary (null until a string was appended). Columns
+  /// sharing a dictionary compare equal codes as equal strings.
+  const DictionaryPtr& dict() const { return dict_; }
+  /// Validity bitmap words (bit i set = cell i non-null); may be read
+  /// directly by kernels. Valid for the first `size()` bits.
+  const uint64_t* valid_words() const { return valid_.data(); }
 
  private:
   bool ValidBit(size_t i) const {
@@ -95,6 +156,8 @@ class ColumnVector {
   }
   void PushValidBit(bool valid);
   uint32_t Intern(const std::string& s);
+  /// Clones a shared, non-owned dictionary before first mutation.
+  void EnsureOwnedDict();
   /// Re-boxes every cell into the variant lane and drops native arrays.
   void DemoteToVariant();
 
@@ -110,10 +173,12 @@ class ColumnVector {
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<uint32_t> codes_;
-  std::vector<std::string> dict_;
-  std::vector<uint64_t> dict_hashes_;  // Value::Hash of each dict entry
-  std::vector<size_t> dict_lengths_;   // byte length of each dict entry
-  std::unordered_map<std::string, uint32_t> dict_lookup_;
+  // Shared string dictionary; owns_dict_ is true when this column may
+  // append entries in place (it created the dictionary, or was built via
+  // StringWithSharedDict). A non-owned dictionary is cloned before any
+  // mutation (copy-on-write).
+  DictionaryPtr dict_;
+  bool owns_dict_ = false;
   std::vector<Value> variant_;
 };
 

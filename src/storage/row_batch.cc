@@ -6,13 +6,23 @@
 namespace opd::storage {
 
 RowBatch RowBatch::FromRows(const Schema& schema, const std::vector<Row>& rows,
-                            size_t begin, size_t end) {
+                            size_t begin, size_t end,
+                            const std::vector<DictionaryPtr>* shared_dicts) {
   std::vector<ColumnVectorPtr> columns;
   columns.reserve(schema.num_columns());
+  size_t c = 0;
   for (const Column& col : schema.columns()) {
-    auto cv = std::make_shared<ColumnVector>(col.type);
+    ColumnVectorPtr cv;
+    if (shared_dicts != nullptr && col.type == DataType::kString &&
+        (*shared_dicts)[c] != nullptr) {
+      cv = std::make_shared<ColumnVector>(
+          ColumnVector::StringWithSharedDict((*shared_dicts)[c]));
+    } else {
+      cv = std::make_shared<ColumnVector>(col.type);
+    }
     cv->Reserve(end - begin);
     columns.push_back(std::move(cv));
+    ++c;
   }
   for (size_t r = begin; r < end; ++r) {
     const Row& row = rows[r];
@@ -59,11 +69,7 @@ RowBatch RowBatch::Gather(const std::vector<uint32_t>& sel) const {
   std::vector<ColumnVectorPtr> out;
   out.reserve(columns_.size());
   for (const ColumnVectorPtr& src : columns_) {
-    auto dst = std::make_shared<ColumnVector>(src->declared_type());
-    dst->Reserve(sel.size());
-    DictRemap remap;
-    for (uint32_t r : sel) dst->AppendFrom(*src, r, &remap);
-    out.push_back(std::move(dst));
+    out.push_back(src->GatherTo(sel.data(), sel.size()));
   }
   return RowBatch(std::move(out), sel.size());
 }

@@ -31,8 +31,14 @@ class RowBatch {
       : columns_(std::move(columns)), num_rows_(num_rows) {}
 
   /// Builds a batch from rows [begin, end) of `rows` under `schema`.
+  /// When `shared_dicts` is given (one slot per schema column, non-null for
+  /// string columns), string columns intern into those dictionaries in
+  /// place, so every batch of one table shares one dictionary per column.
+  /// Caller must build batches serially (Table::ToBatches holds a mutex).
   static RowBatch FromRows(const Schema& schema, const std::vector<Row>& rows,
-                           size_t begin, size_t end);
+                           size_t begin, size_t end,
+                           const std::vector<DictionaryPtr>* shared_dicts =
+                               nullptr);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

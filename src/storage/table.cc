@@ -43,16 +43,26 @@ std::shared_ptr<const std::vector<RowBatch>> Table::ToBatches() const {
   if (batches_ != nullptr && batch_cache_rows_ == rows_.size()) {
     return batches_;
   }
+  // One table-wide dictionary per string column: every batch of the column
+  // interns into (and shares) the same dictionary, so codes are comparable
+  // across batches and downstream gathers stay dictionary-encoded.
+  std::vector<DictionaryPtr> shared_dicts(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.columns()[c].type == DataType::kString) {
+      shared_dicts[c] = std::make_shared<Dictionary>();
+    }
+  }
   std::vector<RowBatch> batches;
   batches.reserve(rows_.size() / RowBatch::kDefaultRows + 1);
   if (rows_.empty()) {
-    batches.push_back(RowBatch::FromRows(schema_, rows_, 0, 0));
+    batches.push_back(RowBatch::FromRows(schema_, rows_, 0, 0, &shared_dicts));
   } else {
     for (size_t begin = 0; begin < rows_.size();
          begin += RowBatch::kDefaultRows) {
       batches.push_back(RowBatch::FromRows(
           schema_, rows_, begin,
-          std::min(begin + RowBatch::kDefaultRows, rows_.size())));
+          std::min(begin + RowBatch::kDefaultRows, rows_.size()),
+          &shared_dicts));
     }
   }
   batches_ =

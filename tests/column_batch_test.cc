@@ -178,8 +178,10 @@ TEST(RowBatchTest, ProjectSharesColumnsAndGatherSelects) {
   ASSERT_EQ(picked.num_rows(), 2u);
   EXPECT_EQ(picked.RowAt(0), t.row(0));
   EXPECT_EQ(picked.RowAt(1), t.row(3));
-  // Gathered string column re-interns into a compact dictionary.
-  EXPECT_EQ(picked.column(4).dict_size(), 1u);  // both rows say "alpha"
+  // Gathered string column shares the source dictionary (passthrough):
+  // only the 32-bit codes are gathered, strings are never re-interned.
+  EXPECT_EQ(picked.column(4).dict().get(), batch.column(4).dict().get());
+  EXPECT_EQ(picked.column(4).code_at(0), picked.column(4).code_at(1));
 
   RowBatch all = batch.Gather({0, 1, 2, 3, 4});
   EXPECT_EQ(all.column_ptr(0).get(), batch.column_ptr(0).get());  // zero copy

@@ -34,7 +34,8 @@ struct WorkloadSnapshot {
 // pipelines), then a rewritten revision that reuses the accumulated
 // opportunistic views.
 WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0,
-                             bool pipelined = true, bool vectorized = true) {
+                             bool pipelined = true, bool vectorized = true,
+                             bool fused_exprs = true) {
   TestBedConfig config;
   config.data.n_tweets = 400;
   config.data.n_checkins = 250;
@@ -45,6 +46,7 @@ WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0,
   config.session.engine.num_reduce_tasks = num_reduce_tasks;
   config.session.engine.pipelined = pipelined;
   config.session.engine.vectorized = vectorized;
+  config.session.engine.fused_exprs = fused_exprs;
   auto bed_result = TestBed::Create(config);
   EXPECT_TRUE(bed_result.ok()) << bed_result.status().ToString();
   std::unique_ptr<TestBed> bed = std::move(bed_result).value();
@@ -137,6 +139,26 @@ TEST(ParallelDeterminismTest, PipelinedMatchesPhasedBatchMode) {
     ExpectIdentical(
         phased, RunWorkload(threads, 0, /*pipelined=*/true,
                             /*vectorized=*/true));
+  }
+}
+
+// Fused expression programs (the default) against the unfused per-operator
+// batch kernels: same snapshot, per scheduling mode, at 1 and 8 threads.
+// Together with the two tests above this closes the matrix
+// {fused,unfused} x {pipelined,phased} x threads on batch mode.
+TEST(ParallelDeterminismTest, FusedExprsMatchUnfusedBatchMode) {
+  WorkloadSnapshot unfused = RunWorkload(1, 0, /*pipelined=*/false,
+                                         /*vectorized=*/true,
+                                         /*fused_exprs=*/false);
+  ASSERT_FALSE(unfused.tables.empty());
+  for (int threads : {1, 8}) {
+    for (bool pipelined : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " pipelined=" + std::to_string(pipelined));
+      ExpectIdentical(unfused,
+                      RunWorkload(threads, 0, pipelined, /*vectorized=*/true,
+                                  /*fused_exprs=*/true));
+    }
   }
 }
 
