@@ -408,6 +408,133 @@ void PrintWarmRewriteRecord(size_t n_tweets, int iterations, int hw_cores,
   std::printf("%s\n", w.str().c_str());
 }
 
+// Order-sensitive hash of one result table (same per-row hashing as the
+// determinism receipt in RunEngineWorkload, scoped to a single job).
+uint64_t OutputHashOf(const storage::TablePtr& table) {
+  uint64_t h = 0;
+  if (table->columnar()) {
+    for (const storage::RowBatch& b : *table->ToBatches()) {
+      for (size_t r = 0; r < b.num_rows(); ++r) {
+        HashCombine(&h, b.HashRowAt(r));
+      }
+    }
+  } else {
+    for (const storage::Row& r : table->rows()) {
+      HashCombine(&h, storage::RowHash{}(r));
+    }
+  }
+  return h;
+}
+
+std::unique_ptr<workload::TestBed> MakeFlatHashBed(size_t n_tweets,
+                                                  bool flat_hash) {
+  workload::TestBedConfig config;
+  config.data.n_tweets = n_tweets;
+  config.data.n_checkins = n_tweets / 2;
+  config.data.n_locations = 300;
+  config.calibrate_udfs = false;
+  config.session.engine.retain_views = false;
+  config.session.engine.collect_stats = false;
+  config.session.engine.num_threads = 1;
+  config.session.engine.vectorized = true;
+  config.session.engine.pipelined = true;
+  config.session.engine.flat_hash = flat_hash;
+  auto bed_result = workload::TestBed::Create(config);
+  if (!bed_result.ok()) std::abort();
+  return std::move(bed_result).value();
+}
+
+struct JobTime {
+  double best_iter_s = 0;     // fastest single run (noise-robust)
+  uint64_t output_hash = 0;   // order-sensitive hash of the first run
+};
+
+template <typename MakePlan>
+JobTime TimeJob(workload::TestBed* bed, MakePlan make_plan, int iterations) {
+  JobTime jt;
+  for (int it = 0; it < iterations; ++it) {
+    plan::Plan p = make_plan();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = bed->session().Run(std::move(p), RunOptions{.rewrite = false});
+    if (!result.ok()) std::abort();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (it == 0 && result.value().table != nullptr) {
+      jt.output_hash = OutputHashOf(result.value().table);
+    }
+    if (s > 0 && (jt.best_iter_s == 0 || s < jt.best_iter_s)) {
+      jt.best_iter_s = s;
+    }
+  }
+  return jt;
+}
+
+// The "flat_hash" record: the tentpole's perf receipt. Runs a shuffle join
+// and a shuffle aggregation — both keyed on {user_id, client_ver}, an
+// int64 + dict-string composite that exercises every flat-hash lane — at
+// one thread with EngineOptions::flat_hash on vs off, on the default
+// engine (batch kernels, pipelined shuffle). scripts/bench.sh --check
+// gates join_speedup and groupby_speedup at FLAT_HASH_FLOOR, gated on
+// outputs_match (a speedup with different bytes is a bug, not a win).
+void PrintFlatHashRecord(size_t n_tweets, int iterations, int hw_cores) {
+  auto make_join = [] {
+    auto counts =
+        plan::GroupBy(plan::Scan("TWTR"), {"user_id", "client_ver"},
+                      {plan::AggSpec{plan::AggFn::kCount, "", "c"}});
+    return plan::Plan(plan::Join(
+        plan::Project(plan::Scan("TWTR"),
+                      {"tweet_id", "user_id", "client_ver"}),
+        counts, {{"user_id", "user_id"}, {"client_ver", "client_ver"}}));
+  };
+  // Count-only over a wide composite key: keeps the reduce dominated by
+  // key hashing/grouping — what this record measures — rather than
+  // aggregate-state arithmetic both paths share.
+  auto make_group = [] {
+    return plan::Plan(
+        plan::GroupBy(plan::Scan("TWTR"), {"user_id", "client_ver"},
+                      {plan::AggSpec{plan::AggFn::kCount, "", "c"}}));
+  };
+
+  auto flat_bed = MakeFlatHashBed(n_tweets, /*flat_hash=*/true);
+  auto legacy_bed = MakeFlatHashBed(n_tweets, /*flat_hash=*/false);
+  const JobTime flat_join = TimeJob(flat_bed.get(), make_join, iterations);
+  const JobTime legacy_join = TimeJob(legacy_bed.get(), make_join, iterations);
+  const JobTime flat_group = TimeJob(flat_bed.get(), make_group, iterations);
+  const JobTime legacy_group =
+      TimeJob(legacy_bed.get(), make_group, iterations);
+
+  const bool outputs_match =
+      flat_join.output_hash == legacy_join.output_hash &&
+      flat_group.output_hash == legacy_group.output_hash;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("micro_engine");
+  w.Key("schema_version").Int(kBenchSchemaVersion);
+  w.Key("mode").String("flat_hash");
+  w.Key("n_tweets").UInt(n_tweets);
+  w.Key("iterations").Int(iterations);
+  w.Key("hw_cores").Int(hw_cores);
+  w.Key("threads").BeginArray().Int(1).EndArray();
+  w.Key("flat_join_wall_ms").Double(flat_join.best_iter_s * 1000.0);
+  w.Key("legacy_join_wall_ms").Double(legacy_join.best_iter_s * 1000.0);
+  w.Key("join_speedup")
+      .Double(flat_join.best_iter_s > 0
+                  ? legacy_join.best_iter_s / flat_join.best_iter_s
+                  : 0);
+  w.Key("flat_groupby_wall_ms").Double(flat_group.best_iter_s * 1000.0);
+  w.Key("legacy_groupby_wall_ms").Double(legacy_group.best_iter_s * 1000.0);
+  w.Key("groupby_speedup")
+      .Double(flat_group.best_iter_s > 0
+                  ? legacy_group.best_iter_s / flat_group.best_iter_s
+                  : 0);
+  w.Key("output_hash").UInt(flat_join.output_hash);
+  w.Key("outputs_match").Bool(outputs_match);
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+}
+
 // Prints one JSON record per execution mode — "row" and "batch" keep the
 // phased (pre-pipelining) engine for trajectory continuity with earlier
 // BENCH entries; "pipelined" is the current default engine (batch kernels +
@@ -504,6 +631,7 @@ int RunJsonMode(const char* trace_path) {
   }
   PrintWarmRewriteRecord(kTweets, kIters, hw_cores,
                          kThreads[kNumThreads - 1]);
+  PrintFlatHashRecord(kTweets, /*iterations=*/5, hw_cores);
   if (trace_path != nullptr) {
     std::vector<const obs::Trace*> ptrs;
     ptrs.reserve(traces.size());

@@ -47,6 +47,11 @@ EVAL_FLOOR_ROWS_PER_SEC=40000000
 # Batch mode must beat row mode by at least this factor on single-thread
 # rows/sec (micro_engine, same workload, same thread count).
 BATCH_VS_ROW_FLOOR=1.3
+# The flat open-addressing shuffle tables must beat the legacy
+# std::unordered_map reduce path by this factor on both the join and the
+# group-by job of micro_engine's "flat_hash" record (single-thread,
+# gated on byte-identical outputs).
+FLAT_HASH_FLOOR=1.3
 
 build=1
 check=0
@@ -68,8 +73,10 @@ if [[ "${check}" == 1 ]]; then
   trap 'rm -f "${out}"' EXIT
   ./build/bench/micro_engine --json > "${out}"
   ./build/bench/micro_eval --json >> "${out}"
+  ./build/bench/micro_hash --json >> "${out}"
   EVAL_FLOOR_ROWS_PER_SEC="${EVAL_FLOOR_ROWS_PER_SEC}" \
   BATCH_VS_ROW_FLOOR="${BATCH_VS_ROW_FLOOR}" \
+  FLAT_HASH_FLOOR="${FLAT_HASH_FLOOR}" \
   python3 - "${out}" <<'EOF'
 import json
 import os
@@ -168,6 +175,50 @@ else:
         print(f"bench --check: micro_eval fused int64 filter "
               f"{rps:.3g} rows/s >= floor {eval_floor:.3g}")
 
+# Flat-hash shuffle gate: micro_engine's "flat_hash" record compares the
+# flat open-addressing join/group-by tables against the legacy
+# unordered_map reduce path at 1 thread. Both speedups must clear
+# FLAT_HASH_FLOOR, and only count if the outputs are byte-identical — a
+# speedup with different bytes is a correctness bug, not a win.
+fh = modes.get("flat_hash")
+fh_floor = float(os.environ["FLAT_HASH_FLOOR"])
+if fh is None:
+    failures.append("no 'flat_hash' record in benchmark output")
+else:
+    if not fh.get("outputs_match", False):
+        failures.append("flat_hash: flat outputs diverge from the legacy "
+                        "hash path (correctness regression)")
+    else:
+        for kind in ("join", "groupby"):
+            sp = fh.get(f"{kind}_speedup", 0.0)
+            if sp < fh_floor:
+                failures.append(
+                    f"flat_hash {kind}_speedup {sp:.2f} is below the floor "
+                    f"{fh_floor}x: the flat shuffle tables are not paying "
+                    "for themselves")
+            else:
+                print(f"bench --check: flat_hash {kind} = {sp:.2f}x legacy "
+                      f"(floor {fh_floor}x)")
+
+# micro_hash allocation audit: with the table fully pre-sized, a numeric-key
+# build+probe must not allocate per row (KeyScratch inline buffer + arena).
+mh = modes.get("hash")
+if mh is None:
+    failures.append("no micro_hash record in benchmark output")
+else:
+    if not mh.get("outputs_match", False):
+        failures.append("micro_hash: flat tables diverge from the "
+                        "unordered_map oracle")
+    for k in ("numeric_build_allocs_per_row", "numeric_probe_allocs_per_row"):
+        if mh.get(k, 1.0) > 0.001:
+            failures.append(
+                f"micro_hash {k} = {mh.get(k):.4f}: the flat build/probe "
+                "inner loops are allocating per row")
+    if not any("micro_hash" in f for f in failures):
+        print(f"bench --check: micro_hash zero-alloc build/probe OK, "
+              f"join {mh.get('join_speedup', 0):.2f}x / groupby "
+              f"{mh.get('groupby_speedup', 0):.2f}x vs unordered_map")
+
 if failures:
     for f in failures:
         print(f"bench --check FAILED: {f}", file=sys.stderr)
@@ -205,7 +256,8 @@ fi
 
 ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
-{ ./build/bench/micro_engine --json; ./build/bench/micro_eval --json; } |
+{ ./build/bench/micro_engine --json; ./build/bench/micro_eval --json; \
+  ./build/bench/micro_hash --json; } |
 while IFS= read -r line; do
   stamped="{\"ts\":\"${ts}\",\"git_sha\":\"${git_sha}\",${line#\{}"
   echo "${stamped}"

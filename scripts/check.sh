@@ -32,6 +32,11 @@ echo "== micro_eval under ASan+UBSan (expression kernels, correctness only) =="
 # Timing from this run is meaningless and is discarded; the run still fails
 # on outputs_match_row_eval=false or any sanitizer report.
 ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/micro_eval --json >/dev/null
+echo "== micro_hash under ASan+UBSan (flat shuffle tables, correctness only) =="
+# One sanitized pass over the flat open-addressing tables: arena storage,
+# linear probing, rehash moves, and the vectorized key-hash kernels all run
+# under ASan+UBSan against the unordered_map oracle (exit 1 on divergence).
+ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/micro_hash --json >/dev/null
 echo "== perf-floor gate (regular build, see scripts/bench.sh --check) =="
 scripts/bench.sh --check
 echo "== metric-name lint (scripts/lint_metrics.py) =="

@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "exec/expr/expr_program.h"
+#include "exec/hash/flat_table.h"
+#include "exec/hash/hash_kernels.h"
 #include "exec/pipeline.h"
 #include "exec/udf_exec.h"
 #include "obs/metrics.h"
@@ -239,13 +241,46 @@ Status ComputeBuckets(const PhaseCtx& ctx, const char* phase, const Table& in,
   return RunPhase(
       ctx, phase, splits.size(),
       [&](size_t t) -> Status {
-        Row key;
-        key.reserve(key_idx.size());
         for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
-          key.clear();
-          for (size_t i : key_idx) key.push_back(rows[r][i]);
-          (*bucket_of)[r] =
-              static_cast<uint32_t>(RowHash()(key) % num_buckets);
+          (*bucket_of)[r] = static_cast<uint32_t>(
+              hash::LegacyRowKeyHash(rows[r], key_idx) % num_buckets);
+        }
+        return Status::OK();
+      },
+      max_task_seconds);
+}
+
+// Flat-hash variant of ComputeBuckets: one vectorized key hash per row
+// (kept in `hash_of` for the reduce tables to reuse — no re-hash at insert
+// time) and a multiply-shift bucket mapping instead of the `%`. With a
+// single bucket the input is below one DFS block by definition, so the hash
+// fill runs serially without a phase wave — task counts and span structure
+// stay identical to the legacy path (which skips the wave entirely).
+Status ComputeBucketsFlat(const PhaseCtx& ctx, const char* phase,
+                          const Table& in, const std::vector<size_t>& key_idx,
+                          size_t num_buckets, uint64_t block_size_bytes,
+                          std::vector<uint32_t>* bucket_of,
+                          std::vector<uint64_t>* hash_of,
+                          double* max_task_seconds) {
+  const std::vector<Row>& rows = in.rows();
+  bucket_of->assign(rows.size(), 0);
+  hash_of->resize(rows.size());
+  if (num_buckets <= 1) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      (*hash_of)[r] = hash::FlatRowKeyHash(rows[r], key_idx);
+    }
+    if (max_task_seconds != nullptr) *max_task_seconds = 0;
+    return Status::OK();
+  }
+  const std::vector<RowRange> splits = storage::SplitRowsByBlockSize(
+      rows.size(), in.AvgRowBytes(), block_size_bytes);
+  return RunPhase(
+      ctx, phase, splits.size(),
+      [&](size_t t) -> Status {
+        for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
+          const uint64_t h = hash::FlatRowKeyHash(rows[r], key_idx);
+          (*hash_of)[r] = h;
+          (*bucket_of)[r] = hash::BucketOf(h, num_buckets);
         }
         return Status::OK();
       },
@@ -369,6 +404,43 @@ Status ComputeBucketsBatch(const PhaseCtx& ctx, const char* phase,
         for (size_t i = 0; i < b.num_rows(); ++i) {
           out[i] =
               static_cast<uint32_t>(b.HashKeysAt(i, key_idx) % num_buckets);
+        }
+        return Status::OK();
+      },
+      max_task_seconds);
+}
+
+// Flat-hash variant of ComputeBucketsBatch: hash::HashKeys computes each
+// batch's key hashes column-at-a-time (dictionary strings hash via the
+// dictionary's per-entry hashes), the hashes are kept in `hash_of` for the
+// reduce tables to reuse, and buckets come from the multiply-shift BucketOf.
+// The nb<=1 case fills hashes serially without a phase wave so task counts
+// match the legacy path (which skips the wave) — see ComputeBucketsFlat.
+Status ComputeBucketsBatchFlat(const PhaseCtx& ctx, const char* phase,
+                               const BatchList& in,
+                               const std::vector<size_t>& key_idx,
+                               size_t num_buckets,
+                               std::vector<uint32_t>* bucket_of,
+                               std::vector<uint64_t>* hash_of,
+                               double* max_task_seconds) {
+  bucket_of->assign(in.num_rows, 0);
+  hash_of->resize(in.num_rows);
+  if (num_buckets <= 1) {
+    for (size_t t = 0; t < in.size(); ++t) {
+      hash::HashKeys(in.batch(t), key_idx, hash_of->data() + in.offsets[t]);
+    }
+    if (max_task_seconds != nullptr) *max_task_seconds = 0;
+    return Status::OK();
+  }
+  return RunPhase(
+      ctx, phase, in.size(),
+      [&](size_t t) -> Status {
+        const RowBatch& b = in.batch(t);
+        uint64_t* hashes = hash_of->data() + in.offsets[t];
+        hash::HashKeys(b, key_idx, hashes);
+        uint32_t* out = bucket_of->data() + in.offsets[t];
+        for (size_t i = 0; i < b.num_rows(); ++i) {
+          out[i] = hash::BucketOf(hashes[i], num_buckets);
         }
         return Status::OK();
       },
@@ -542,6 +614,27 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
   obs::Histogram* ht_load_hist =
       options_.metrics ? &registry.histogram("engine.hash.load_factor")
                        : nullptr;
+  // Flat shuffle-table observability (resolved unconditionally so the names
+  // register even on runs that take the legacy path).
+  obs::Counter* ht_resizes =
+      options_.metrics ? &registry.counter("engine.shuffle.ht_resizes")
+                       : nullptr;
+  obs::Counter* arena_bytes_ctr =
+      options_.metrics ? &registry.counter("engine.shuffle.arena_bytes")
+                       : nullptr;
+  obs::Histogram* probe_len_hist =
+      options_.metrics ? &registry.histogram("engine.shuffle.probe_len")
+                       : nullptr;
+  const bool flat = options_.flat_hash;
+  // Publishes one flat table's probe/arena stats after its bucket finishes.
+  auto observe_flat = [&](const hash::FlatStats& s, size_t arena) {
+    if (ht_resizes != nullptr && s.resizes > 0) ht_resizes->Inc(s.resizes);
+    if (arena_bytes_ctr != nullptr && arena > 0) arena_bytes_ctr->Inc(arena);
+    if (probe_len_hist != nullptr && s.lookups > 0) {
+      probe_len_hist->Observe(1.0 + static_cast<double>(s.probe_steps) /
+                                        static_cast<double>(s.lookups));
+    }
+  };
 
   ExecMetrics metrics;
   ExecResult result;
@@ -837,6 +930,17 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           double part_s = 0, reduce_max_s = 0;
           std::vector<uint32_t> probe_bucket;
 
+          // Flat path: key codecs planned once per join from both sides'
+          // lanes, and per-row key hashes computed batch-wide during
+          // partitioning, kept here so the reduce tables never re-hash.
+          std::vector<hash::KeyCodec> codecs;
+          if (flat) {
+            codecs = hash::PlanKeyCodecs(
+                {{build_list.batches.get(), &build_keys},
+                 {probe_list.batches.get(), &probe_keys}});
+          }
+          std::vector<uint64_t> build_hash, probe_hash;
+
           // Reduce body shared by both schedules: each bucket keys its
           // build rows by their packed key bytes (equal exactly when the
           // key Values are equal) and probes in row order, emitting
@@ -849,6 +953,34 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           auto reduce_bucket = [&](size_t b, size_t build_n,
                                    const auto& build_each, size_t probe_n,
                                    const auto& probe_each) -> Status {
+            auto& local = bucket_out[b];
+            local.reserve(probe_n);
+            if (flat) {
+              hash::FlatMultiMap<RowRef> ht;
+              ht.Reserve(build_n,
+                         codecs[0].bounded ? codecs[0].width_bound : 0);
+              hash::KeyScratch key;
+              build_each([&](RowRef ref) {
+                hash::NormalizeKey(build_list.batch(ref.batch), ref.idx,
+                                   codecs[0], &key);
+                const size_t bg = build_list.offsets[ref.batch] + ref.idx;
+                ht.Insert(build_hash[bg], key.data(), key.size(), ref);
+              });
+              if (ht_load_hist != nullptr && ht.size() > 0) {
+                ht_load_hist->Observe(ht.load_factor());
+              }
+              probe_each([&](RowRef pref) {
+                hash::NormalizeKey(probe_list.batch(pref.batch), pref.idx,
+                                   codecs[1], &key);
+                const size_t pg = probe_list.offsets[pref.batch] + pref.idx;
+                ht.ForEachMatch(probe_hash[pg], key.data(), key.size(),
+                                [&](RowRef bref) {
+                                  local.push_back(Match{pg, pref, bref});
+                                });
+              });
+              observe_flat(ht.stats(), ht.arena_bytes());
+              return Status::OK();
+            }
             std::unordered_map<std::string, std::vector<RowRef>> ht;
             ht.reserve(build_n);
             std::string key;
@@ -861,8 +993,6 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             if (ht_load_hist != nullptr && !ht.empty()) {
               ht_load_hist->Observe(ht.load_factor());
             }
-            auto& local = bucket_out[b];
-            local.reserve(probe_n);
             probe_each([&](RowRef pref) {
               key.clear();
               PackKeys(probe_list.batch(pref.batch), pref.idx, probe_keys,
@@ -884,6 +1014,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             PartitionBuffer<RowRef> bbuf(build_list.size(), num_buckets);
             PartitionBuffer<RowRef> pbuf(probe_list.size(), num_buckets);
             probe_bucket.assign(probe_list.num_rows, 0);
+            if (flat) {
+              build_hash.resize(build_list.num_rows);
+              probe_hash.resize(probe_list.num_rows);
+            }
             const size_t nb = build_list.size();
             OPD_RETURN_NOT_OK(RunPipelinedShuffle(
                 pipe, nb + probe_list.size(),
@@ -900,6 +1034,24 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                                      ? nullptr
                                      : probe_bucket.data() +
                                            probe_list.offsets[side_t];
+                  if (flat) {
+                    // Batch-wide columnar hash, then multiply-shift buckets.
+                    uint64_t* hashes =
+                        (is_build ? build_hash : probe_hash).data() +
+                        list.offsets[side_t];
+                    hash::HashKeys(batch, keys, hashes);
+                    for (size_t i = 0; i < batch.num_rows(); ++i) {
+                      const uint32_t b =
+                          num_buckets <= 1
+                              ? 0
+                              : hash::BucketOf(hashes[i], num_buckets);
+                      if (pb != nullptr) pb[i] = b;
+                      buf.Append(side_t, b,
+                                 RowRef{static_cast<uint32_t>(side_t),
+                                        static_cast<uint32_t>(i)});
+                    }
+                    return Status::OK();
+                  }
                   for (size_t i = 0; i < batch.num_rows(); ++i) {
                     const uint32_t b =
                         num_buckets <= 1
@@ -928,14 +1080,21 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             // reduce wave.
             double part_build_s = 0, part_probe_s = 0;
             std::vector<uint32_t> build_bucket;
-            OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:build",
-                                                  build_list, build_keys,
-                                                  num_buckets, &build_bucket,
-                                                  &part_build_s));
-            OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition:probe",
-                                                  probe_list, probe_keys,
-                                                  num_buckets, &probe_bucket,
-                                                  &part_probe_s));
+            if (flat) {
+              OPD_RETURN_NOT_OK(ComputeBucketsBatchFlat(
+                  pctx, "partition:build", build_list, build_keys,
+                  num_buckets, &build_bucket, &build_hash, &part_build_s));
+              OPD_RETURN_NOT_OK(ComputeBucketsBatchFlat(
+                  pctx, "partition:probe", probe_list, probe_keys,
+                  num_buckets, &probe_bucket, &probe_hash, &part_probe_s));
+            } else {
+              OPD_RETURN_NOT_OK(ComputeBucketsBatch(
+                  pctx, "partition:build", build_list, build_keys,
+                  num_buckets, &build_bucket, &part_build_s));
+              OPD_RETURN_NOT_OK(ComputeBucketsBatch(
+                  pctx, "partition:probe", probe_list, probe_keys,
+                  num_buckets, &probe_bucket, &part_probe_s));
+            }
             part_s = part_build_s + part_probe_s;
             const auto build_lists =
                 BucketRefLists(build_list, build_bucket, num_buckets);
@@ -1016,11 +1175,50 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         // their probe-row index for the deterministic merge.
         double part_s = 0, reduce_max_s = 0;
         std::vector<uint32_t> probe_bucket;
+        // Flat path: per-row key hashes computed once during partitioning
+        // and reused by the reduce tables (no re-hash at insert time).
+        std::vector<uint64_t> build_hash, probe_hash;
         std::vector<std::vector<std::pair<size_t, Row>>> bucket_out(
             num_buckets);
+        // Builds one output row for match (probe p, build m), shared by both
+        // hash-table variants.
+        auto emit_match = [&](size_t p, size_t m,
+                              std::vector<std::pair<size_t, Row>>* local) {
+          const Row& prow = probe_in.row(p);
+          const Row& brow = build_in.row(m);
+          const Row& lrow = build_right ? prow : brow;
+          const Row& rrow = build_right ? brow : prow;
+          Row r;
+          r.reserve(out_map.size());
+          for (const auto& [from_left, i] : out_map) {
+            r.push_back(from_left ? lrow[i] : rrow[i]);
+          }
+          local->emplace_back(p, std::move(r));
+        };
         auto reduce_bucket = [&](size_t b, size_t build_n,
                                  const auto& build_each, size_t probe_n,
                                  const auto& probe_each) -> Status {
+          auto& local = bucket_out[b];
+          local.reserve(probe_n);
+          if (flat) {
+            hash::FlatMultiMap<size_t> ht;
+            ht.Reserve(build_n, 0);
+            hash::KeyScratch key;
+            build_each([&](size_t r) {
+              hash::NormalizeKeyRow(build_in.row(r), build_keys, &key);
+              ht.Insert(build_hash[r], key.data(), key.size(), r);
+            });
+            if (ht_load_hist != nullptr && ht.size() > 0) {
+              ht_load_hist->Observe(ht.load_factor());
+            }
+            probe_each([&](size_t p) {
+              hash::NormalizeKeyRow(probe_in.row(p), probe_keys, &key);
+              ht.ForEachMatch(probe_hash[p], key.data(), key.size(),
+                              [&](size_t m) { emit_match(p, m, &local); });
+            });
+            observe_flat(ht.stats(), ht.arena_bytes());
+            return Status::OK();
+          }
           std::unordered_map<Row, std::vector<size_t>, RowHash> ht;
           ht.reserve(build_n);
           build_each([&](size_t r) {
@@ -1032,8 +1230,6 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           if (ht_load_hist != nullptr && !ht.empty()) {
             ht_load_hist->Observe(ht.load_factor());
           }
-          auto& local = bucket_out[b];
-          local.reserve(probe_n);
           Row key;
           probe_each([&](size_t p) {
             const Row& prow = probe_in.row(p);
@@ -1041,17 +1237,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             for (size_t i : probe_keys) key.push_back(prow[i]);
             auto it = ht.find(key);
             if (it == ht.end()) return;
-            for (size_t m : it->second) {
-              const Row& brow = build_in.row(m);
-              const Row& lrow = build_right ? prow : brow;
-              const Row& rrow = build_right ? brow : prow;
-              Row r;
-              r.reserve(out_map.size());
-              for (const auto& [from_left, i] : out_map) {
-                r.push_back(from_left ? lrow[i] : rrow[i]);
-              }
-              local.emplace_back(p, std::move(r));
-            }
+            for (size_t m : it->second) emit_match(p, m, &local);
           });
           return Status::OK();
         };
@@ -1073,6 +1259,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           PartitionBuffer<size_t> bbuf(bsplits.size(), num_buckets);
           PartitionBuffer<size_t> pbuf(psplits.size(), num_buckets);
           probe_bucket.assign(probe_rows.size(), 0);
+          if (flat) {
+            build_hash.resize(build_rows.size());
+            probe_hash.resize(probe_rows.size());
+          }
           const size_t nb = bsplits.size();
           OPD_RETURN_NOT_OK(RunPipelinedShuffle(
               pipe, nb + psplits.size(),
@@ -1087,14 +1277,26 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                     is_build ? build_keys : probe_keys;
                 PartitionBuffer<size_t>& buf = is_build ? bbuf : pbuf;
                 buf.ReserveProducer(side_t, split.size());
-                Row key;
-                key.reserve(keys.size());
+                if (flat) {
+                  std::vector<uint64_t>& hashes =
+                      is_build ? build_hash : probe_hash;
+                  for (size_t r = split.begin; r < split.end; ++r) {
+                    const uint64_t h = hash::FlatRowKeyHash(rows[r], keys);
+                    hashes[r] = h;
+                    const uint32_t b = num_buckets <= 1
+                                           ? 0
+                                           : hash::BucketOf(h, num_buckets);
+                    if (!is_build) probe_bucket[r] = b;
+                    buf.Append(side_t, b, r);
+                  }
+                  return Status::OK();
+                }
                 for (size_t r = split.begin; r < split.end; ++r) {
                   uint32_t b = 0;
                   if (num_buckets > 1) {
-                    key.clear();
-                    for (size_t i : keys) key.push_back(rows[r][i]);
-                    b = static_cast<uint32_t>(RowHash()(key) % num_buckets);
+                    // Hoisted key hash: no temporary key Row per probe.
+                    b = static_cast<uint32_t>(
+                        hash::LegacyRowKeyHash(rows[r], keys) % num_buckets);
                   }
                   if (!is_build) probe_bucket[r] = b;
                   buf.Append(side_t, b, r);
@@ -1116,14 +1318,23 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           // reduce wave.
           double part_build_s = 0, part_probe_s = 0;
           std::vector<uint32_t> build_bucket;
-          OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:build", build_in,
-                                           build_keys, num_buckets,
-                                           block_size, &build_bucket,
-                                           &part_build_s));
-          OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:probe", probe_in,
-                                           probe_keys, num_buckets,
-                                           block_size, &probe_bucket,
-                                           &part_probe_s));
+          if (flat) {
+            OPD_RETURN_NOT_OK(ComputeBucketsFlat(
+                pctx, "partition:build", build_in, build_keys, num_buckets,
+                block_size, &build_bucket, &build_hash, &part_build_s));
+            OPD_RETURN_NOT_OK(ComputeBucketsFlat(
+                pctx, "partition:probe", probe_in, probe_keys, num_buckets,
+                block_size, &probe_bucket, &probe_hash, &part_probe_s));
+          } else {
+            OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:build",
+                                             build_in, build_keys,
+                                             num_buckets, block_size,
+                                             &build_bucket, &part_build_s));
+            OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition:probe",
+                                             probe_in, probe_keys,
+                                             num_buckets, block_size,
+                                             &probe_bucket, &part_probe_s));
+          }
           part_s = part_build_s + part_probe_s;
           const auto build_lists = BucketLists(build_bucket, num_buckets);
           const auto probe_lists = BucketLists(probe_bucket, num_buckets);
@@ -1187,9 +1398,27 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         using GroupEntry = std::pair<Row, std::vector<AggState>>;
         double part_s = 0, reduce_max_s = 0;
         std::vector<std::vector<GroupEntry>> bucket_groups(num_buckets);
+        // Optimizer cardinality estimate (product of key distincts from the
+        // sampled stats, capped by input rows): pre-sizes each bucket's flat
+        // group index when it is available — the bucket's group count is
+        // roughly est_groups/num_buckets, far below its row count for
+        // duplicate-heavy keys. Growth past the estimate is what the
+        // engine.shuffle.ht_resizes counter measures.
+        const size_t est_groups =
+            node->est_rows > 0 ? static_cast<size_t>(node->est_rows) : 0;
+        auto group_hint = [&](size_t bucket_n) -> size_t {
+          return est_groups > 0
+                     ? std::min(bucket_n, est_groups / num_buckets + 1)
+                     : bucket_n;
+        };
 
         if (vectorized) {
           const BatchList in_list(in);
+          std::vector<hash::KeyCodec> codecs;
+          if (flat) {
+            codecs = hash::PlanKeyCodecs({{in_list.batches.get(), &key_idx}});
+          }
+          std::vector<uint64_t> hash_of;
 
           // Reduce body shared by both schedules: hash-aggregate one
           // bucket, keying groups by the packed key bytes; the key Row is
@@ -1197,9 +1426,44 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           // order, so floating point accumulation matches the serial pass.
           auto reduce_bucket = [&](size_t b, size_t bucket_n,
                                    const auto& for_each) -> Status {
+            std::vector<GroupEntry>& groups = bucket_groups[b];
+            if (flat) {
+              hash::FlatGroupIndex index;
+              index.Reserve(group_hint(bucket_n),
+                            codecs[0].bounded ? codecs[0].width_bound : 0);
+              hash::KeyScratch key;
+              for_each([&](RowRef ref) {
+                const RowBatch& batch = in_list.batch(ref.batch);
+                hash::NormalizeKey(batch, ref.idx, codecs[0], &key);
+                const size_t g = in_list.offsets[ref.batch] + ref.idx;
+                auto [id, inserted] =
+                    index.InsertOrGet(hash_of[g], key.data(), key.size());
+                if (inserted) {
+                  Row krow;
+                  krow.reserve(key_idx.size());
+                  for (size_t c : key_idx) {
+                    krow.push_back(batch.column(c).GetValue(ref.idx));
+                  }
+                  groups.emplace_back(
+                      std::move(krow),
+                      std::vector<AggState>(node->group.aggs.size()));
+                }
+                auto& states_ = groups[id].second;
+                for (size_t a = 0; a < states_.size(); ++a) {
+                  states_[a].Update(
+                      agg_idx[a]
+                          ? batch.column(*agg_idx[a]).GetValue(ref.idx)
+                          : Value(int64_t{1}));
+                }
+              });
+              if (ht_load_hist != nullptr && index.size() > 0) {
+                ht_load_hist->Observe(index.load_factor());
+              }
+              observe_flat(index.stats(), index.arena_bytes());
+              return Status::OK();
+            }
             std::unordered_map<std::string, size_t> index;
             index.reserve(bucket_n);
-            std::vector<GroupEntry>& groups = bucket_groups[b];
             std::string key;
             for_each([&](RowRef ref) {
               const RowBatch& batch = in_list.batch(ref.batch);
@@ -1234,11 +1498,26 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             // Fused map+partition: one producer per batch hashes straight
             // into its per-bucket buffer slots.
             PartitionBuffer<RowRef> buf(in_list.size(), num_buckets);
+            if (flat) hash_of.resize(in_list.num_rows);
             OPD_RETURN_NOT_OK(RunPipelinedShuffle(
                 pipe, in_list.size(),
                 [&](size_t t) -> Status {
                   const RowBatch& batch = in_list.batch(t);
                   buf.ReserveProducer(t, batch.num_rows());
+                  if (flat) {
+                    uint64_t* hashes = hash_of.data() + in_list.offsets[t];
+                    hash::HashKeys(batch, key_idx, hashes);
+                    for (size_t i = 0; i < batch.num_rows(); ++i) {
+                      const uint32_t b =
+                          num_buckets <= 1
+                              ? 0
+                              : hash::BucketOf(hashes[i], num_buckets);
+                      buf.Append(t, b,
+                                 RowRef{static_cast<uint32_t>(t),
+                                        static_cast<uint32_t>(i)});
+                    }
+                    return Status::OK();
+                  }
                   for (size_t i = 0; i < batch.num_rows(); ++i) {
                     const uint32_t b =
                         num_buckets <= 1
@@ -1263,9 +1542,16 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           } else {
             // Phased: partition (barrier), scatter, then the reduce wave.
             std::vector<uint32_t> bucket_of;
-            OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition", in_list,
-                                                  key_idx, num_buckets,
-                                                  &bucket_of, &part_s));
+            if (flat) {
+              OPD_RETURN_NOT_OK(ComputeBucketsBatchFlat(
+                  pctx, "partition", in_list, key_idx, num_buckets,
+                  &bucket_of, &hash_of, &part_s));
+            } else {
+              OPD_RETURN_NOT_OK(ComputeBucketsBatch(pctx, "partition",
+                                                    in_list, key_idx,
+                                                    num_buckets, &bucket_of,
+                                                    &part_s));
+            }
             const auto lists =
                 BucketRefLists(in_list, bucket_of, num_buckets);
             job_skew = BucketSkew(lists);
@@ -1281,11 +1567,41 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         } else {
           // Row-at-a-time group-by; same structure as the batch path with
           // Row keys instead of packed key bytes.
+          std::vector<uint64_t> hash_of;
           auto reduce_bucket = [&](size_t b, size_t bucket_n,
                                    const auto& for_each) -> Status {
+            std::vector<GroupEntry>& groups = bucket_groups[b];
+            if (flat) {
+              hash::FlatGroupIndex index;
+              index.Reserve(group_hint(bucket_n), 0);
+              hash::KeyScratch key;
+              for_each([&](size_t r) {
+                const Row& row = in.row(r);
+                hash::NormalizeKeyRow(row, key_idx, &key);
+                auto [id, inserted] =
+                    index.InsertOrGet(hash_of[r], key.data(), key.size());
+                if (inserted) {
+                  Row krow;
+                  krow.reserve(key_idx.size());
+                  for (size_t i : key_idx) krow.push_back(row[i]);
+                  groups.emplace_back(
+                      std::move(krow),
+                      std::vector<AggState>(node->group.aggs.size()));
+                }
+                auto& states_ = groups[id].second;
+                for (size_t a = 0; a < states_.size(); ++a) {
+                  states_[a].Update(agg_idx[a] ? row[*agg_idx[a]]
+                                               : Value(int64_t{1}));
+                }
+              });
+              if (ht_load_hist != nullptr && index.size() > 0) {
+                ht_load_hist->Observe(index.load_factor());
+              }
+              observe_flat(index.stats(), index.arena_bytes());
+              return Status::OK();
+            }
             std::unordered_map<Row, size_t, RowHash> index;
             index.reserve(bucket_n);
-            std::vector<GroupEntry>& groups = bucket_groups[b];
             for_each([&](size_t r) {
               const Row& row = in.row(r);
               Row key;
@@ -1316,20 +1632,32 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                 storage::SplitRowsByBlockSize(rows.size(), in.AvgRowBytes(),
                                               block_size);
             PartitionBuffer<size_t> buf(splits.size(), num_buckets);
+            if (flat) hash_of.resize(rows.size());
             OPD_RETURN_NOT_OK(RunPipelinedShuffle(
                 pipe, splits.size(),
                 [&](size_t t) -> Status {
                   const RowRange& split = splits[t];
                   buf.ReserveProducer(t, split.size());
-                  Row key;
-                  key.reserve(key_idx.size());
+                  if (flat) {
+                    for (size_t r = split.begin; r < split.end; ++r) {
+                      const uint64_t h =
+                          hash::FlatRowKeyHash(rows[r], key_idx);
+                      hash_of[r] = h;
+                      buf.Append(t,
+                                 num_buckets <= 1
+                                     ? 0
+                                     : hash::BucketOf(h, num_buckets),
+                                 r);
+                    }
+                    return Status::OK();
+                  }
                   for (size_t r = split.begin; r < split.end; ++r) {
                     uint32_t b = 0;
                     if (num_buckets > 1) {
-                      key.clear();
-                      for (size_t i : key_idx) key.push_back(rows[r][i]);
-                      b = static_cast<uint32_t>(RowHash()(key) %
-                                                num_buckets);
+                      // Hoisted key hash: no temporary key Row per row.
+                      b = static_cast<uint32_t>(
+                          hash::LegacyRowKeyHash(rows[r], key_idx) %
+                          num_buckets);
                     }
                     buf.Append(t, b, r);
                   }
@@ -1345,9 +1673,16 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             job_skew = BufferSkew(buf);
           } else {
             std::vector<uint32_t> bucket_of;
-            OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition", in, key_idx,
-                                             num_buckets, block_size,
-                                             &bucket_of, &part_s));
+            if (flat) {
+              OPD_RETURN_NOT_OK(ComputeBucketsFlat(
+                  pctx, "partition", in, key_idx, num_buckets, block_size,
+                  &bucket_of, &hash_of, &part_s));
+            } else {
+              OPD_RETURN_NOT_OK(ComputeBuckets(pctx, "partition", in,
+                                               key_idx, num_buckets,
+                                               block_size, &bucket_of,
+                                               &part_s));
+            }
             const auto lists = BucketLists(bucket_of, num_buckets);
             job_skew = BucketSkew(lists);
             OPD_RETURN_NOT_OK(RunPhase(
@@ -1403,6 +1738,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         udf_opts.block_size_bytes = block_size;
         udf_opts.num_reduce_tasks = options_.num_reduce_tasks;
         udf_opts.pipelined = pipelined;
+        udf_opts.flat_hash = flat;
         udf_opts.trace = trace;
         udf_opts.parent_span = span_id;
         udf_opts.trace_tasks = options_.trace_tasks;

@@ -67,6 +67,17 @@ struct EngineOptions {
   /// untraced. Off falls back to the phased (barrier-per-wave) engine.
   /// Results are byte-identical either way, at every thread count.
   bool pipelined = true;
+  /// Vectorized shuffle hashing + flat open-addressing reduce tables
+  /// (src/exec/hash/): batch-wide columnar key hashes (dictionary strings
+  /// hash once per distinct entry), multiply-shift bucket mapping instead of
+  /// the per-row `%`, and linear-probe {hash, payload-index} tables with
+  /// canonical key bytes in a per-task arena — no per-row std::string keys.
+  /// Applies to join build/probe, group-by, and the UDF group index in all
+  /// four schedules ({row, batch} x {phased, pipelined}). Off reverts to the
+  /// legacy std::unordered_map shuffle path. Results are byte-identical
+  /// either way (every shuffle merge is order-normalized, so the different
+  /// bucket mapping is unobservable).
+  bool flat_hash = true;
   /// Publish per-job observations (shuffle skew, hash-table load factors,
   /// dictionary compression, byte counts) into obs::MetricRegistry::Global().
   bool metrics = true;

@@ -1,0 +1,30 @@
+#include "exec/hash/flat_table.h"
+
+#include <algorithm>
+
+namespace opd::exec::hash {
+
+void KeyArena::NewChunk(size_t min_bytes) {
+  const size_t sz = std::max({kMinChunk, last_chunk_ * 2, min_bytes});
+  chunks_.push_back(std::make_unique<char[]>(sz));
+  cur_ = chunks_.back().get();
+  avail_ = sz;
+  last_chunk_ = sz;
+}
+
+void KeyArena::Reserve(size_t bytes) {
+  if (bytes > avail_) NewChunk(bytes);
+}
+
+const char* KeyArena::Store(const char* data, uint32_t n) {
+  if (n == 0) return "";  // never hand out null (memcmp UB even at n==0)
+  if (n > avail_) NewChunk(n);
+  char* dst = cur_;
+  std::memcpy(dst, data, n);
+  cur_ += n;
+  avail_ -= n;
+  total_ += n;
+  return dst;
+}
+
+}  // namespace opd::exec::hash

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "exec/hash/flat_table.h"
+#include "exec/hash/hash_kernels.h"
 #include "exec/pipeline.h"
 #include "storage/partition_buffer.h"
 
@@ -123,25 +125,50 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
     return key;
   };
 
+  // Flat group index (opts.flat_hash): per-row key hashes are computed once
+  // during partitioning and kept here, so grouping never re-hashes a key.
+  const bool flat = opts.flat_hash;
+  std::vector<uint64_t> hash_of;
+  if (flat) hash_of.resize(n);
+
   // Grouping + reduce of one bucket, shared by both schedules. `for_each`
   // yields the bucket's row indices in original row order, so per-key input
   // order — and therefore the reduce function's view of each group — is
   // schedule-independent. Rows are moved out of the shared vector; buckets
   // partition the index space, so concurrent consumers touch disjoint rows.
+  // `bucket_n` is the bucket's row count, pre-sizing the flat index.
   std::vector<std::vector<ReduceGroup>> bucket_groups(num_buckets);
-  auto reduce_bucket = [&](size_t b, const auto& for_each) -> Status {
-    std::unordered_map<Row, size_t, RowHash> group_index;
+  auto reduce_bucket = [&](size_t b, size_t bucket_n,
+                           const auto& for_each) -> Status {
     std::vector<ReduceGroup>& groups = bucket_groups[b];
-    for_each([&](size_t r) {
-      Row key = key_of((*rows)[r]);
-      auto [it, inserted] =
-          group_index.try_emplace(std::move(key), groups.size());
-      if (inserted) {
-        groups.emplace_back();
-        groups.back().key = it->first;
-      }
-      groups[it->second].rows.push_back(std::move((*rows)[r]));
-    });
+    if (flat) {
+      hash::FlatGroupIndex group_index;
+      group_index.Reserve(bucket_n, 0);
+      hash::KeyScratch key;
+      for_each([&](size_t r) {
+        Row& row = (*rows)[r];
+        hash::NormalizeKeyRow(row, key_idx, &key);
+        auto [id, inserted] =
+            group_index.InsertOrGet(hash_of[r], key.data(), key.size());
+        if (inserted) {
+          groups.emplace_back();
+          groups.back().key = key_of(row);
+        }
+        groups[id].rows.push_back(std::move(row));
+      });
+    } else {
+      std::unordered_map<Row, size_t, RowHash> group_index;
+      for_each([&](size_t r) {
+        Row key = key_of((*rows)[r]);
+        auto [it, inserted] =
+            group_index.try_emplace(std::move(key), groups.size());
+        if (inserted) {
+          groups.emplace_back();
+          groups.back().key = it->first;
+        }
+        groups[it->second].rows.push_back(std::move((*rows)[r]));
+      });
+    }
     std::sort(groups.begin(), groups.end(),
               [](const ReduceGroup& a, const ReduceGroup& g) {
                 return RowLess()(a.key, g.key);
@@ -171,20 +198,32 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
         [&](size_t t) -> Status {
           const RowRange& split = splits[t];
           buf.ReserveProducer(t, split.size());
+          if (flat) {
+            for (size_t r = split.begin; r < split.end; ++r) {
+              const uint64_t h = hash::FlatRowKeyHash((*rows)[r], key_idx);
+              hash_of[r] = h;
+              buf.Append(
+                  t, num_buckets <= 1 ? 0 : hash::BucketOf(h, num_buckets),
+                  r);
+            }
+            return Status::OK();
+          }
           for (size_t r = split.begin; r < split.end; ++r) {
+            // Hoisted key hash: no temporary key Row per input row.
             const uint32_t b =
                 num_buckets <= 1
                     ? 0
-                    : static_cast<uint32_t>(RowHash()(key_of((*rows)[r])) %
-                                            num_buckets);
+                    : static_cast<uint32_t>(
+                          hash::LegacyRowKeyHash((*rows)[r], key_idx) %
+                          num_buckets);
             buf.Append(t, b, r);
           }
           return Status::OK();
         },
         num_buckets,
         [&](size_t b) -> Status {
-          return reduce_bucket(
-              b, [&](auto&& f) { buf.ForEachInBucket(b, f); });
+          return reduce_bucket(b, buf.BucketSize(b),
+                               [&](auto&& f) { buf.ForEachInBucket(b, f); });
         },
         &partition_max_s, &reduce_max_s));
   } else {
@@ -197,12 +236,27 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
           opts, stage_span, "partition", splits.size(),
           [&](size_t t) -> Status {
             for (size_t r = splits[t].begin; r < splits[t].end; ++r) {
-              bucket_of[r] = static_cast<uint32_t>(
-                  RowHash()(key_of((*rows)[r])) % num_buckets);
+              if (flat) {
+                const uint64_t h = hash::FlatRowKeyHash((*rows)[r], key_idx);
+                hash_of[r] = h;
+                bucket_of[r] = hash::BucketOf(h, num_buckets);
+              } else {
+                // Hoisted key hash: no temporary key Row per input row.
+                bucket_of[r] = static_cast<uint32_t>(
+                    hash::LegacyRowKeyHash((*rows)[r], key_idx) %
+                    num_buckets);
+              }
             }
             return Status::OK();
           },
           &partition_max_s));
+    } else if (flat) {
+      // Single bucket: the input is below one block by definition, so the
+      // hash fill runs serially — no extra phase wave vs the legacy path
+      // (which skips partitioning entirely here).
+      for (size_t r = 0; r < n; ++r) {
+        hash_of[r] = hash::FlatRowKeyHash((*rows)[r], key_idx);
+      }
     }
 
     // Scatter row indices to buckets, preserving original row order per key.
@@ -214,7 +268,7 @@ Status RunReduceStage(const udf::LocalFunction& lf, const udf::LfContext& ctx,
     OPD_RETURN_NOT_OK(RunWave(
         opts, stage_span, "reduce", num_buckets,
         [&](size_t b) -> Status {
-          return reduce_bucket(b, [&](auto&& f) {
+          return reduce_bucket(b, bucket_rows[b].size(), [&](auto&& f) {
             for (size_t r : bucket_rows[b]) f(r);
           });
         },

@@ -35,7 +35,7 @@ struct WorkloadSnapshot {
 // opportunistic views.
 WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0,
                              bool pipelined = true, bool vectorized = true,
-                             bool fused_exprs = true) {
+                             bool fused_exprs = true, bool flat_hash = true) {
   TestBedConfig config;
   config.data.n_tweets = 400;
   config.data.n_checkins = 250;
@@ -47,6 +47,7 @@ WorkloadSnapshot RunWorkload(int num_threads, int num_reduce_tasks = 0,
   config.session.engine.pipelined = pipelined;
   config.session.engine.vectorized = vectorized;
   config.session.engine.fused_exprs = fused_exprs;
+  config.session.engine.flat_hash = flat_hash;
   auto bed_result = TestBed::Create(config);
   EXPECT_TRUE(bed_result.ok()) << bed_result.status().ToString();
   std::unique_ptr<TestBed> bed = std::move(bed_result).value();
@@ -158,6 +159,34 @@ TEST(ParallelDeterminismTest, FusedExprsMatchUnfusedBatchMode) {
       ExpectIdentical(unfused,
                       RunWorkload(threads, 0, pipelined, /*vectorized=*/true,
                                   /*fused_exprs=*/true));
+    }
+  }
+}
+
+// Flat open-addressing shuffle tables (the default) against the legacy
+// std::unordered_map reduce path: the hash family and bucket mapping both
+// change, but every shuffle merge normalizes order, so the snapshot must be
+// byte-identical across {flat,legacy} x {row,batch} x {pipelined,phased} at
+// 1 and 8 threads.
+TEST(ParallelDeterminismTest, FlatHashMatchesLegacyAcrossModes) {
+  WorkloadSnapshot legacy =
+      RunWorkload(1, 0, /*pipelined=*/false, /*vectorized=*/false,
+                  /*fused_exprs=*/true, /*flat_hash=*/false);
+  ASSERT_FALSE(legacy.tables.empty());
+  for (int threads : {1, 8}) {
+    for (bool vectorized : {false, true}) {
+      for (bool pipelined : {false, true}) {
+        for (bool flat : {false, true}) {
+          if (!flat && !vectorized && !pipelined && threads == 1) continue;
+          SCOPED_TRACE("threads=" + std::to_string(threads) +
+                       " vectorized=" + std::to_string(vectorized) +
+                       " pipelined=" + std::to_string(pipelined) +
+                       " flat_hash=" + std::to_string(flat));
+          ExpectIdentical(legacy, RunWorkload(threads, 0, pipelined,
+                                              vectorized,
+                                              /*fused_exprs=*/true, flat));
+        }
+      }
     }
   }
 }
