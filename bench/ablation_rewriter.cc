@@ -1,4 +1,4 @@
-// Ablation of the rewriter's design choices (DESIGN.md Section 6):
+// Ablation of the rewriter's design choices (DESIGN.md Section 7):
 //   1. OPTCOST ordering of the candidate queue  (vs FIFO)
 //   2. GUESSCOMPLETE screening before REWRITEENUM  (vs attempt-everything)
 //   3. J — views per rewrite  (1, 2, 4)

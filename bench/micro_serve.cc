@@ -1,0 +1,227 @@
+// Serving-layer microbench: interleaved multi-tenant query streams against
+// one opd::Server (shared DFS / catalog / ViewStore, admission control,
+// snapshot-consistent view visibility — DESIGN.md §3).
+//
+// `micro_serve --json` runs one concurrent pass (4 tenants x 8 shuffled
+// workload queries through Server::Connect handles) and prints one JSON
+// line; scripts/bench.sh appends it to BENCH_engine.json. The record
+// carries `queries_per_sec` (wall-clock serving throughput), the
+// `view_hit_rate` (fraction of queries whose executed plan scanned at
+// least one opportunistic view), `cross_tenant_reuse` (queries that reused
+// a view materialized by ANOTHER tenant), and the correctness receipt
+// `outputs_match_serial_replay`: every query's output fingerprint must be
+// byte-identical to a serial replay of the recorded schedule (publish-epoch
+// order, admission epochs pinned) on a fresh, identically-seeded bed.
+// `--check` (scripts/bench.sh) gates on the receipt and on
+// cross_tenant_reuse >= 1.
+//
+// Without --json it prints the same numbers human-readably plus
+// paper-shape checks.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "common/json_writer.h"
+#include "server/server.h"
+#include "session/session.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "workload/queries.h"
+#include "workload/scenarios.h"
+
+using namespace opd;  // NOLINT
+
+namespace {
+
+constexpr int kTenants = 4;
+constexpr int kQueriesPerTenant = 8;
+
+// Schema + rows, name excluded (it embeds the engine run counter, which
+// differs between the concurrent pass and its serial replay).
+uint64_t TableFingerprint(const storage::Table& t) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const storage::Column& col : t.schema().columns()) {
+    HashCombine(&h, HashString(col.name));
+    HashCombine(&h, static_cast<uint64_t>(col.type));
+  }
+  HashCombine(&h, t.num_rows());
+  const storage::RowHash row_hash;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    HashCombine(&h, row_hash(t.row(i)));
+  }
+  return h;
+}
+
+workload::TestBedConfig BenchConfig() {
+  workload::TestBedConfig config;
+  config.data.n_tweets = 2000;
+  config.data.n_checkins = 1200;
+  config.data.n_locations = 200;
+  config.data.n_users = 100;
+  // Wall-clock-calibrated UDF scalars differ bed to bed; disable so the
+  // replay bed makes identical rewrite decisions.
+  config.calibrate_udfs = false;
+  return config;
+}
+
+struct QueryRecord {
+  std::string tenant;
+  int analyst = 0;
+  int version = 0;
+  catalog::Epoch admission_epoch = 0;
+  catalog::Epoch publish_epoch = 0;
+  uint64_t fingerprint = 0;
+  bool used_view = false;
+  bool cross_tenant = false;
+};
+
+int RunServe(bool json) {
+  auto bed = bench::CheckResult(workload::TestBed::Create(BenchConfig()),
+                                "TestBed::Create");
+  Server& server = bed->session().server();
+
+  std::vector<std::vector<std::pair<int, int>>> streams(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    std::vector<std::pair<int, int>> all;
+    for (int a = 1; a <= workload::kNumAnalysts; ++a) {
+      for (int v = 1; v <= workload::kNumVersions; ++v) {
+        all.emplace_back(a, v);
+      }
+    }
+    std::mt19937 rng(7u + static_cast<unsigned>(t));
+    std::shuffle(all.begin(), all.end(), rng);
+    all.resize(kQueriesPerTenant);
+    streams[t] = std::move(all);
+  }
+
+  std::mutex mu;
+  std::vector<QueryRecord> records;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      ClientSession client = server.Connect("tenant" + std::to_string(t));
+      for (const auto& [analyst, version] : streams[t]) {
+        plan::Plan plan = bench::CheckResult(
+            workload::BuildQuery(analyst, version), "BuildQuery");
+        Result<RunResult> run = client.Run(std::move(plan));
+        bench::CheckOk(run.status(), "Server::Run");
+        QueryRecord rec;
+        rec.tenant = run->tenant;
+        rec.analyst = analyst;
+        rec.version = version;
+        rec.admission_epoch = run->admission_epoch;
+        rec.publish_epoch = run->publish_epoch;
+        rec.fingerprint = run->table ? TableFingerprint(*run->table) : 0;
+        rec.used_view = !run->views_used.empty();
+        for (const ViewUse& use : run->views_used) {
+          if (!use.tenant.empty() && use.tenant != rec.tenant) {
+            rec.cross_tenant = true;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        records.push_back(std::move(rec));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const size_t total = records.size();
+  size_t hits = 0;
+  size_t cross = 0;
+  for (const QueryRecord& rec : records) {
+    hits += rec.used_view ? 1 : 0;
+    cross += rec.cross_tenant ? 1 : 0;
+  }
+  const double qps = wall_s > 0 ? static_cast<double>(total) / wall_s : 0;
+  const double hit_rate =
+      total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0;
+
+  // Serial replay oracle: fresh bed, publish-epoch order, pinned epochs.
+  std::sort(records.begin(), records.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.publish_epoch < b.publish_epoch;
+            });
+  auto replay_bed = bench::CheckResult(
+      workload::TestBed::Create(BenchConfig()), "replay TestBed::Create");
+  Server& replay = replay_bed->session().server();
+  bool outputs_match = true;
+  for (const QueryRecord& rec : records) {
+    ClientSession client = replay.Connect(rec.tenant);
+    plan::Plan plan = bench::CheckResult(
+        workload::BuildQuery(rec.analyst, rec.version), "BuildQuery");
+    RunOptions opts;
+    opts.admission.pin_epoch = static_cast<int64_t>(rec.admission_epoch);
+    Result<RunResult> run = client.Run(std::move(plan), opts);
+    bench::CheckOk(run.status(), "replay Server::Run");
+    if (run->publish_epoch != rec.publish_epoch || !run->table ||
+        TableFingerprint(*run->table) != rec.fingerprint) {
+      outputs_match = false;
+      std::fprintf(stderr,
+                   "serial replay diverged: %s A%dv%d @ epoch %llu\n",
+                   rec.tenant.c_str(), rec.analyst, rec.version,
+                   static_cast<unsigned long long>(rec.publish_epoch));
+    }
+  }
+
+  const auto stats = server.admission_stats();
+  if (json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String("micro_serve");
+    w.Key("mode").String("serve");
+    w.Key("tenants").Int(kTenants);
+    w.Key("queries").UInt(total);
+    w.Key("max_concurrent").Int(
+        server.options().server.max_concurrent_queries);
+    w.Key("wall_s").Double(wall_s);
+    w.Key("queries_per_sec").Double(qps);
+    w.Key("view_hit_rate").Double(hit_rate);
+    w.Key("cross_tenant_reuse").UInt(cross);
+    w.Key("admissions_queued").UInt(stats.queued);
+    w.Key("views_in_store").UInt(server.views().size());
+    w.Key("outputs_match_serial_replay").Bool(outputs_match);
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+  } else {
+    bench::Header("micro_serve: multi-tenant serving throughput");
+    std::printf("tenants %d x %d queries, max_concurrent=%d\n", kTenants,
+                kQueriesPerTenant,
+                server.options().server.max_concurrent_queries);
+    std::printf("wall %.3fs  ->  %.1f queries/s (queued admissions: %llu)\n",
+                wall_s, qps, static_cast<unsigned long long>(stats.queued));
+    std::printf("view hit rate %.0f%%, cross-tenant reuse on %zu/%zu "
+                "queries, %zu views in store\n",
+                100.0 * hit_rate, cross, total, server.views().size());
+    bench::ShapeCheck(outputs_match,
+                      "interleaved outputs byte-identical to serial replay");
+    bench::ShapeCheck(cross >= 1,
+                      "at least one query reused another tenant's view");
+  }
+  return outputs_match && cross >= 1 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  return RunServe(json);
+}

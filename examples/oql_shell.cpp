@@ -3,11 +3,15 @@
 //   $ ./build/examples/oql_shell                   # built-in demo script
 //   $ ./build/examples/oql_shell my_query.oql      # run a script from a file
 //   $ ./build/examples/oql_shell --trace=out.json  # also dump a Chrome trace
+//   $ ./build/examples/oql_shell --tenant=ana q.oql  # run as a named tenant
 //
-// Each program executes through an opd::Session: every job's output is
-// retained as an opportunistic view, and each subsequent program is first
-// sent through BFREWRITE — so re-running refined variants of a script gets
-// faster, exactly like the paper's exploratory sessions.
+// Each program executes through a ClientSession on the serving layer
+// (Server::Connect): every job's output is retained as an opportunistic
+// view published at the query's completion epoch, and each subsequent
+// program is first sent through BFREWRITE — so re-running refined variants
+// of a script gets faster, exactly like the paper's exploratory sessions.
+// --tenant names the tenant the queries run as (default "default"); the
+// result line reports the admission epochs and any cross-tenant reuse.
 //
 // Prefix a program with EXPLAIN to see the costed plan without running it,
 // EXPLAIN REWRITE to print the rewrite search's decision log (per-candidate
@@ -30,6 +34,7 @@
 #include "obs/trace.h"
 #include "oql/parser.h"
 #include "plan/explain.h"
+#include "server/server.h"
 #include "workload/scenarios.h"
 
 using namespace opd;  // NOLINT
@@ -97,10 +102,11 @@ int WriteDecisionLogFile(const std::string& path) {
   return 0;
 }
 
-int RunProgram(workload::TestBed* bed, std::string source,
-               const char* label) {
+int RunProgram(workload::TestBed* bed, ClientSession* client,
+               std::string source, const char* label) {
   const oql::ExplainMode mode = oql::ConsumeExplainPrefix(&source);
-  std::printf("--- %s ---\n%s\n", label, source.c_str());
+  std::printf("--- %s (tenant %s) ---\n%s\n", label,
+              client->tenant().c_str(), source.c_str());
 
   if (mode == oql::ExplainMode::kExplain) {
     // EXPLAIN: rewrite + cost the plan, print it, don't execute.
@@ -122,7 +128,7 @@ int RunProgram(workload::TestBed* bed, std::string source,
 
   if (mode == oql::ExplainMode::kExplainRewrite) {
     // EXPLAIN REWRITE: print the search's decision log, don't execute.
-    auto outcome = bed->session().Rewrite(source);
+    auto outcome = client->Rewrite(source);
     if (!outcome.ok()) {
       std::fprintf(stderr, "rewrite error: %s\n",
                    outcome.status().ToString().c_str());
@@ -134,7 +140,7 @@ int RunProgram(workload::TestBed* bed, std::string source,
     return 0;
   }
 
-  auto run = bed->session().Run(source);
+  auto run = client->Run(source);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;
@@ -155,7 +161,17 @@ int RunProgram(workload::TestBed* bed, std::string source,
     std::printf("  (rewritten: estimated %.1fs instead of %.1fs)",
                 run->rewrite.est_cost, run->rewrite.original_cost);
   }
-  std::printf("; %zu views in the store\n\n", bed->views().size());
+  std::printf("; %zu views in the store\n", bed->views().size());
+  size_t cross = 0;
+  for (const ViewUse& use : run->views_used) {
+    if (!use.tenant.empty() && use.tenant != run->tenant) ++cross;
+  }
+  std::printf("   admitted at epoch %llu, published epoch %llu, scanned "
+              "%zu view(s)%s\n\n",
+              static_cast<unsigned long long>(run->admission_epoch),
+              static_cast<unsigned long long>(run->publish_epoch),
+              run->views_used.size(),
+              cross > 0 ? " (cross-tenant reuse!)" : "");
   // Print a small sample of the result.
   const auto& table = *run->table;
   std::printf("   %s\n", table.schema().ToString().c_str());
@@ -175,9 +191,12 @@ int RunProgram(workload::TestBed* bed, std::string source,
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* script_path = nullptr;
+  const char* tenant = "";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--tenant=", 9) == 0) {
+      tenant = argv[i] + 9;
     } else {
       script_path = argv[i];
     }
@@ -193,6 +212,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto& bed = *bed_result.value();
+  ClientSession client = bed.session().server().Connect(tenant);
 
   int rc = 0;
   if (script_path != nullptr) {
@@ -203,14 +223,14 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
-    rc = RunProgram(&bed, buffer.str(), script_path);
+    rc = RunProgram(&bed, &client, buffer.str(), script_path);
   } else {
-    rc = RunProgram(&bed, kDemoScript, "session 1");
+    rc = RunProgram(&bed, &client, kDemoScript, "session 1");
     if (rc == 0) {
-      rc = RunProgram(&bed, kDemoScript2,
+      rc = RunProgram(&bed, &client, kDemoScript2,
                       "session 2 (reuses session 1's views)");
     }
-    if (rc == 0) rc = RunProgram(&bed, kDemoScript3, "session 3");
+    if (rc == 0) rc = RunProgram(&bed, &client, kDemoScript3, "session 3");
   }
 
   if (trace_path != nullptr) {

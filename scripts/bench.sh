@@ -8,8 +8,12 @@
 # {1, 2, 4, 8} untraced plus one traced run at 8 threads
 # (traced_rows_per_sec vs untraced_rows_per_sec = tracing overhead).
 # micro_eval --json contributes one expression-kernel record (fused
-# project/filter throughput without engine overheads). Every appended record
-# carries "ts" and "git_sha" so the trajectory is attributable to commits.
+# project/filter throughput without engine overheads). micro_serve --json
+# contributes one serving-layer record (interleaved multi-tenant queries/sec,
+# view hit rate, and the outputs_match_serial_replay receipt — the binary
+# itself exits 1 when the receipt fails, so appending doubles as a
+# determinism gate). Every appended record carries "ts" and "git_sha" so the
+# trajectory is attributable to commits.
 #
 # Usage: scripts/bench.sh [--no-build] [--check]
 #
@@ -74,6 +78,7 @@ if [[ "${check}" == 1 ]]; then
   ./build/bench/micro_engine --json > "${out}"
   ./build/bench/micro_eval --json >> "${out}"
   ./build/bench/micro_hash --json >> "${out}"
+  ./build/bench/micro_serve --json >> "${out}"
   EVAL_FLOOR_ROWS_PER_SEC="${EVAL_FLOOR_ROWS_PER_SEC}" \
   BATCH_VS_ROW_FLOOR="${BATCH_VS_ROW_FLOOR}" \
   FLAT_HASH_FLOOR="${FLAT_HASH_FLOOR}" \
@@ -219,6 +224,26 @@ else:
               f"join {mh.get('join_speedup', 0):.2f}x / groupby "
               f"{mh.get('groupby_speedup', 0):.2f}x vs unordered_map")
 
+# Serving-layer gate: interleaved multi-tenant outputs must be
+# byte-identical to the serial replay of the recorded schedule (snapshot
+# consistency), and at least one query must have reused a view another
+# tenant materialized (the shared ViewStore is actually shared).
+serve = modes.get("serve")
+if serve is None:
+    failures.append("no micro_serve record in benchmark output")
+else:
+    if not serve.get("outputs_match_serial_replay", False):
+        failures.append("micro_serve: interleaved outputs diverge from the "
+                        "serial replay (snapshot-consistency regression)")
+    if serve.get("cross_tenant_reuse", 0) < 1:
+        failures.append("micro_serve: no cross-tenant view reuse observed "
+                        "(the shared view store is not being shared)")
+    if not any("micro_serve" in f for f in failures):
+        print(f"bench --check: micro_serve {serve.get('queries_per_sec'):.1f} "
+              f"queries/s, view_hit_rate={serve.get('view_hit_rate'):.2f}, "
+              f"cross_tenant_reuse={serve.get('cross_tenant_reuse')}, "
+              "serial replay OK")
+
 if failures:
     for f in failures:
         print(f"bench --check FAILED: {f}", file=sys.stderr)
@@ -257,7 +282,7 @@ fi
 ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
 { ./build/bench/micro_engine --json; ./build/bench/micro_eval --json; \
-  ./build/bench/micro_hash --json; } |
+  ./build/bench/micro_hash --json; ./build/bench/micro_serve --json; } |
 while IFS= read -r line; do
   stamped="{\"ts\":\"${ts}\",\"git_sha\":\"${git_sha}\",${line#\{}"
   echo "${stamped}"

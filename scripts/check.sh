@@ -7,7 +7,15 @@
 # aliasing bugs in the columnar arena/dictionary and span-recording code
 # that the plain tier-1 build cannot see.
 #
-# After the sanitizer suites pass, runs the perf-floor gate
+# After the ASan+UBSan suites pass, builds the tree a second time with
+# ThreadSanitizer (cmake -DOPD_TSAN=ON, build-tsan/) and runs the
+# concurrency-sensitive suites under it: the serving-layer tests
+# (server_test — admission control, snapshot visibility, and the
+# interleaved multi-tenant stress test with its serial-replay oracle) plus
+# the engine's parallel-determinism suite. TSan and ASan cannot share a
+# build, hence the separate tree.
+#
+# Then runs the perf-floor gate
 # (scripts/bench.sh --check) against the REGULAR build — never the
 # instrumented one, whose overhead would make any timing floor meaningless —
 # and then the metric-name lint (scripts/lint_metrics.py), which diffs the
@@ -25,6 +33,13 @@ cd build-asan
 ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure "$@"
 echo "== re-running suite with tracing enabled (OPD_TRACE=1) =="
 ASAN_OPTIONS=detect_leaks=0 OPD_TRACE=1 ctest --output-on-failure "$@"
+cd ..
+echo "== ThreadSanitizer pass (serving layer + parallel determinism) =="
+cmake -B build-tsan -S . -DOPD_TSAN=ON >/dev/null
+cmake --build build-tsan --target server_test parallel_determinism_test -j
+cd build-tsan
+TSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure \
+  -R 'AdmissionController|ServerAdmission|Serving|ServerStress|ParallelDeterminism' "$@"
 cd ..
 echo "== micro_eval under ASan+UBSan (expression kernels, correctness only) =="
 # One sanitized pass over the fused expression kernels: masks, selection

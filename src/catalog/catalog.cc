@@ -46,6 +46,7 @@ Status Catalog::RegisterBase(const storage::TablePtr& table,
   }
   const std::string& name = table->name();
   if (name.empty()) return Status::InvalidArgument("table has no name");
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("base table exists: " + name);
   }
@@ -70,6 +71,7 @@ Status Catalog::RegisterBase(const storage::TablePtr& table,
 }
 
 Result<const BaseTableEntry*> Catalog::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no such base table: " + name);
@@ -77,7 +79,13 @@ Result<const BaseTableEntry*> Catalog::Find(const std::string& name) const {
   return &it->second;
 }
 
+bool Catalog::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
 std::vector<std::string> Catalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, _] : tables_) names.push_back(name);
   return names;

@@ -5,6 +5,7 @@
 #define OPD_CATALOG_CATALOG_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,10 @@ struct BaseTableEntry {
 
 /// \brief Name -> base relation registry. Base data lives in the Dfs under
 /// "base/<name>"; registering writes it there.
+///
+/// Thread-safe: the registry is shared by every tenant of an opd::Server.
+/// Entries are never removed, so the pointers Find hands out stay valid for
+/// the catalog's lifetime even while other tenants register tables.
 class Catalog {
  public:
   /// Registers `table` as a base relation keyed on `key_columns`, writing its
@@ -57,11 +62,12 @@ class Catalog {
                       storage::Dfs* dfs);
 
   Result<const BaseTableEntry*> Find(const std::string& name) const;
-  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  bool Has(const std::string& name) const;
   std::vector<std::string> Names() const;
 
  private:
-  std::map<std::string, BaseTableEntry> tables_;
+  mutable std::mutex mu_;
+  std::map<std::string, BaseTableEntry> tables_;  // guarded by mu_
 };
 
 }  // namespace opd::catalog

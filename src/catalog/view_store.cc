@@ -1,82 +1,205 @@
 #include "catalog/view_store.h"
 
+#include <utility>
+
 #include "obs/metrics.h"
 
 namespace opd::catalog {
 
-ViewId ViewStore::Add(ViewDefinition def) {
+std::vector<const ViewDefinition*> ViewSnapshot::All() const {
+  std::vector<const ViewDefinition*> out;
+  out.reserve(views_.size());
+  for (const auto& def : views_) out.push_back(def.get());
+  return out;
+}
+
+Result<const ViewDefinition*> ViewSnapshot::Find(ViewId id) const {
+  // Snapshots are small and id-ordered; a linear scan keeps them trivially
+  // copyable and allocation-free on the lookup path.
+  for (const auto& def : views_) {
+    if (def->id == id) return def.get();
+  }
+  return Status::NotFound("no such view in snapshot: " + std::to_string(id));
+}
+
+ViewStore::ViewStore(const ViewStore& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  next_id_ = other.next_id_;
+  clock_ = other.clock_;
+  epoch_ = other.epoch_;
+  by_canonical_ = other.by_canonical_;
+  for (const auto& [id, def] : other.views_) {
+    views_.emplace(id, std::make_shared<ViewDefinition>(*def));
+  }
+}
+
+ViewStore& ViewStore::operator=(const ViewStore& other) {
+  if (this == &other) return *this;
+  ViewStore tmp(other);  // deep copy without holding our own lock
+  return *this = std::move(tmp);
+}
+
+ViewStore::ViewStore(ViewStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  next_id_ = other.next_id_;
+  clock_ = other.clock_;
+  epoch_ = other.epoch_;
+  views_ = std::move(other.views_);
+  by_canonical_ = std::move(other.by_canonical_);
+}
+
+ViewStore& ViewStore::operator=(ViewStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  next_id_ = other.next_id_;
+  clock_ = other.clock_;
+  epoch_ = other.epoch_;
+  views_ = std::move(other.views_);
+  by_canonical_ = std::move(other.by_canonical_);
+  return *this;
+}
+
+ViewStore::PublishResult ViewStore::PublishLocked(ViewDefinition def,
+                                                  Epoch epoch) {
   const std::string canonical = def.afk.CanonicalString();
-  auto it = by_canonical_.find(canonical);
   auto& registry = obs::MetricRegistry::Global();
+  auto it = by_canonical_.find(canonical);
   if (it != by_canonical_.end()) {
     // An equivalent view already exists — the new materialization is a
     // duplicate (a reuse opportunity the store deduplicates).
     registry.counter("viewstore.add.dedup").Inc();
-    return it->second;
+    return PublishResult{it->second, false};
   }
   registry.counter("viewstore.add.new").Inc();
   ViewId id = next_id_++;
   def.id = id;
   def.created_at = ++clock_;
+  def.publish_epoch = epoch;
   by_canonical_[canonical] = id;
-  views_.emplace(id, std::move(def));
-  return id;
+  views_.emplace(id, std::make_shared<ViewDefinition>(std::move(def)));
+  return PublishResult{id, true};
+}
+
+std::vector<ViewStore::PublishResult> ViewStore::PublishBatch(
+    std::vector<ViewDefinition> defs, Epoch* epoch_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Epoch epoch = ++epoch_;
+  std::vector<PublishResult> out;
+  out.reserve(defs.size());
+  for (ViewDefinition& def : defs) {
+    out.push_back(PublishLocked(std::move(def), epoch));
+  }
+  if (epoch_out != nullptr) *epoch_out = epoch;
+  return out;
+}
+
+ViewStore::PublishResult ViewStore::Publish(ViewDefinition def) {
+  std::vector<ViewDefinition> batch;
+  batch.push_back(std::move(def));
+  return PublishBatch(std::move(batch))[0];
+}
+
+ViewId ViewStore::Add(ViewDefinition def) { return Publish(std::move(def)).id; }
+
+Epoch ViewStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+ViewSnapshot ViewStore::SnapshotAt(Epoch at) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewSnapshot snap;
+  snap.epoch_ = at;
+  for (const auto& [_, def] : views_) {
+    if (def->publish_epoch <= at) snap.views_.push_back(def);
+  }
+  return snap;
+}
+
+ViewSnapshot ViewStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewSnapshot snap;
+  snap.epoch_ = epoch_;
+  for (const auto& [_, def] : views_) snap.views_.push_back(def);
+  return snap;
 }
 
 Status ViewStore::RecordAccess(ViewId id, double benefit_s) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = views_.find(id);
   if (it == views_.end()) {
     return Status::NotFound("no such view: " + std::to_string(id));
   }
-  it->second.access_count += 1;
-  it->second.last_access = ++clock_;
-  it->second.cumulative_benefit_s += benefit_s;
+  it->second->access_count += 1;
+  it->second->last_access = ++clock_;
+  it->second->cumulative_benefit_s += benefit_s;
   return Status::OK();
 }
 
 Result<const ViewDefinition*> ViewStore::Find(ViewId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = views_.find(id);
   if (it == views_.end()) {
     obs::MetricRegistry::Global().counter("viewstore.find.miss").Inc();
     return Status::NotFound("no such view: " + std::to_string(id));
   }
   obs::MetricRegistry::Global().counter("viewstore.find.hit").Inc();
-  return &it->second;
+  return it->second.get();
+}
+
+bool ViewStore::Has(ViewId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.count(id) > 0;
 }
 
 std::vector<const ViewDefinition*> ViewStore::All() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const ViewDefinition*> out;
   out.reserve(views_.size());
-  for (const auto& [_, def] : views_) out.push_back(&def);
+  for (const auto& [_, def] : views_) out.push_back(def.get());
   return out;
 }
 
+size_t ViewStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.size();
+}
+
 uint64_t ViewStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
-  for (const auto& [_, def] : views_) total += def.bytes;
+  for (const auto& [_, def] : views_) total += def->bytes;
   return total;
 }
 
+uint64_t ViewStore::clock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
 Status ViewStore::Drop(ViewId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = views_.find(id);
   if (it == views_.end()) {
     return Status::NotFound("no such view: " + std::to_string(id));
   }
-  by_canonical_.erase(it->second.afk.CanonicalString());
+  by_canonical_.erase(it->second->afk.CanonicalString());
   views_.erase(it);
   return Status::OK();
 }
 
 void ViewStore::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   views_.clear();
   by_canonical_.clear();
 }
 
 size_t ViewStore::DropIdentical(const afk::Afk& afk) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t dropped = 0;
   for (auto it = views_.begin(); it != views_.end();) {
-    if (it->second.afk == afk) {
-      by_canonical_.erase(it->second.afk.CanonicalString());
+    if (it->second->afk == afk) {
+      by_canonical_.erase(it->second->afk.CanonicalString());
       it = views_.erase(it);
       ++dropped;
     } else {

@@ -1,11 +1,27 @@
 // The materialized-view metadata store (paper Section 2.1): definitions,
 // AFK annotations, plan fingerprints, and statistics of every opportunistic
 // view currently retained in the system.
+//
+// Concurrency (serving layer, DESIGN.md §3): the store is shared by every
+// tenant of an opd::Server and is thread-safe. View visibility is
+// *snapshot-consistent* through a monotonically increasing publish epoch:
+//
+//   * `Publish`/`PublishBatch` insert fully-materialized views atomically
+//     and advance the epoch — a batch (one completed query's views) becomes
+//     visible all at once or not at all.
+//   * `SnapshotAt(e)` returns exactly the views published at epochs <= e.
+//     A query admitted at epoch e rewrites only against that snapshot, so
+//     it can never observe a half-published view.
+//
+// Snapshots hold shared ownership of their definitions: a snapshot stays
+// valid even if views are dropped from the live store afterwards.
 
 #ifndef OPD_CATALOG_VIEW_STORE_H_
 #define OPD_CATALOG_VIEW_STORE_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +33,8 @@
 namespace opd::catalog {
 
 using ViewId = int64_t;
+/// Publish-batch counter; 0 = "before anything was published".
+using Epoch = uint64_t;
 
 /// \brief Metadata for one opportunistic materialized view.
 struct ViewDefinition {
@@ -35,8 +53,17 @@ struct ViewDefinition {
   uint64_t bytes = 0;
   /// Free-form description of the producing query, for debugging.
   std::string producer;
+  /// Tenant whose query materialized this view ("" outside a Server). The
+  /// cross-tenant reuse the paper is about is `scanning tenant != tenant`.
+  std::string tenant;
+  /// Epoch of the publish batch that made this view visible (assigned by
+  /// the store; 0 only while the definition is still pending).
+  Epoch publish_epoch = 0;
 
   // --- access bookkeeping (drives the retention policies, paper §10) ---
+  // Only mutated under the store mutex (RecordAccess); read them through
+  // the store (or from a single-threaded context) — never concurrently
+  // with serving traffic.
   /// Number of times a rewrite has scanned this view.
   uint64_t access_count = 0;
   /// Logical clock of the most recent access (0 = never accessed).
@@ -47,23 +74,93 @@ struct ViewDefinition {
   uint64_t created_at = 0;
 };
 
+/// \brief An immutable, epoch-consistent view of the store.
+///
+/// Produced by ViewStore::SnapshotAt/Snapshot; contains exactly the views
+/// published at epochs <= epoch(), in id order, and keeps them alive
+/// independently of the live store.
+class ViewSnapshot {
+ public:
+  ViewSnapshot() = default;
+
+  Epoch epoch() const { return epoch_; }
+  size_t size() const { return views_.size(); }
+
+  /// Borrowed pointers, valid for the snapshot's lifetime, ordered by id.
+  std::vector<const ViewDefinition*> All() const;
+
+  /// Finds a view *within this snapshot* (NotFound for views published
+  /// after the snapshot's epoch, even if they exist in the live store).
+  Result<const ViewDefinition*> Find(ViewId id) const;
+
+ private:
+  friend class ViewStore;
+  Epoch epoch_ = 0;
+  std::vector<std::shared_ptr<const ViewDefinition>> views_;
+};
+
 /// \brief The system's view metadata store.
 ///
 /// Views are deduplicated by AFK annotation: materializing the same semantic
 /// content twice keeps the first copy (the paper discards duplicate views,
-/// Section 8.3.3).
+/// Section 8.3.3). All methods are thread-safe.
 class ViewStore {
  public:
+  ViewStore() = default;
+
+  /// Copy/move are DEEP: every ViewDefinition is cloned (never aliased), so
+  /// a copied store is a true checkpoint — later RecordAccess/Drop on one
+  /// side never leaks into the other. Both sides are locked; intended for
+  /// offline experiment checkpoint/rollback, not for serving traffic.
+  ViewStore(const ViewStore& other);
+  ViewStore& operator=(const ViewStore& other);
+  ViewStore(ViewStore&& other) noexcept;
+  ViewStore& operator=(ViewStore&& other) noexcept;
+
+  /// Outcome of publishing one definition.
+  struct PublishResult {
+    ViewId id = -1;
+    /// False when an AFK-identical view already existed (dedup: `id` is
+    /// the surviving original's).
+    bool added = false;
+  };
+
+  /// Publishes a batch of fully-materialized views atomically: every view
+  /// of the batch gets the same (new) epoch and becomes visible to
+  /// snapshots taken at or after it, all at once. The epoch advances by
+  /// exactly one per call — also for an empty or fully-deduplicated batch,
+  /// so a completed query always accounts for one publish step (this is
+  /// what makes serial replay line up epoch-for-epoch with a concurrent
+  /// run). Returns one PublishResult per input definition, in order; the
+  /// new epoch is stored in `*epoch_out` when non-null.
+  std::vector<PublishResult> PublishBatch(std::vector<ViewDefinition> defs,
+                                          Epoch* epoch_out = nullptr);
+
+  /// Publishes a single view (one-element batch; one epoch bump).
+  PublishResult Publish(ViewDefinition def);
+
   /// Adds a view. If a view with an identical AFK annotation exists, returns
-  /// that existing view's id and does not add (deduplication).
+  /// that existing view's id and does not add (deduplication). Equivalent
+  /// to Publish(def).id — the historical single-view interface.
   ViewId Add(ViewDefinition def);
 
-  Result<const ViewDefinition*> Find(ViewId id) const;
-  bool Has(ViewId id) const { return views_.count(id) > 0; }
+  /// The epoch of the most recent publish batch (0 before the first).
+  /// A query admitted now sees exactly SnapshotAt(epoch()).
+  Epoch epoch() const;
 
-  /// All current views, ordered by id.
+  /// The views published at epochs <= `at`, in id order.
+  ViewSnapshot SnapshotAt(Epoch at) const;
+  /// SnapshotAt(epoch()): everything currently published.
+  ViewSnapshot Snapshot() const;
+
+  Result<const ViewDefinition*> Find(ViewId id) const;
+  bool Has(ViewId id) const;
+
+  /// All current views, ordered by id. Borrowed pointers into the live
+  /// store: stable across inserts, invalidated by Drop*. Prefer Snapshot()
+  /// wherever concurrent mutation is possible.
   std::vector<const ViewDefinition*> All() const;
-  size_t size() const { return views_.size(); }
+  size_t size() const;
 
   /// Total bytes of all retained views.
   uint64_t TotalBytes() const;
@@ -81,12 +178,17 @@ class ViewStore {
   Status RecordAccess(ViewId id, double benefit_s);
 
   /// Current value of the logical clock (accesses + additions).
-  uint64_t clock() const { return clock_; }
+  uint64_t clock() const;
 
  private:
-  ViewId next_id_ = 1;
-  uint64_t clock_ = 0;
-  std::map<ViewId, ViewDefinition> views_;
+  /// Inserts (or dedups) one definition; caller holds mu_.
+  PublishResult PublishLocked(ViewDefinition def, Epoch epoch);
+
+  mutable std::mutex mu_;
+  ViewId next_id_ = 1;       // guarded by mu_
+  uint64_t clock_ = 0;       // guarded by mu_
+  Epoch epoch_ = 0;          // guarded by mu_
+  std::map<ViewId, std::shared_ptr<ViewDefinition>> views_;  // guarded by mu_
   std::map<std::string, ViewId> by_canonical_;  // AFK canonical -> id
 };
 

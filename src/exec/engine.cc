@@ -1883,12 +1883,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         def.stats.rows = static_cast<double>(st.table->num_rows());
         def.stats.avg_row_bytes = st.table->AvgRowBytes();
       }
-      size_t before = views_->size();
-      views_->Add(std::move(def));
-      if (views_->size() > before) {
-        metrics.views_created += 1;
-        if (options_.metrics) registry.counter("engine.views_created").Inc();
-      }
+      // The definition is complete here (data in DFS, stats collected) but
+      // is not yet visible: the whole run's views publish as one atomic
+      // batch below (or by the serving layer, when deferred).
+      result.pending_views.push_back(std::move(def));
     }
     return Status::OK();
   };
@@ -1948,6 +1946,20 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
   if (sink == results.end()) {
     return Status::Internal("plan produced no sink result");
   }
+
+  // Publish the run's retained views as one atomic batch (one epoch bump
+  // per Execute), unless the caller — the serving layer — asked to defer
+  // publication to query completion.
+  if (options_.retain_views && !options_.defer_view_publish) {
+    const auto published = views_->PublishBatch(std::move(result.pending_views));
+    result.pending_views.clear();
+    for (const auto& pub : published) {
+      if (!pub.added) continue;
+      metrics.views_created += 1;
+      if (options_.metrics) registry.counter("engine.views_created").Inc();
+    }
+  }
+
   result.table = sink->second;
   result.metrics = metrics;
   return result;

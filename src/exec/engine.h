@@ -10,6 +10,7 @@
 #ifndef OPD_EXEC_ENGINE_H_
 #define OPD_EXEC_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +85,13 @@ struct EngineOptions {
   /// Emit one span per map/partition/reduce task when a Trace is attached to
   /// Execute. Off keeps only the job/phase spans (cheaper for huge jobs).
   bool trace_tasks = true;
+  /// Defer view publication to the caller: instead of inserting retained
+  /// views into the ViewStore inline (one by one, mid-query), Execute
+  /// collects the fully-materialized definitions in
+  /// ExecResult::pending_views. The serving layer publishes them as one
+  /// atomic batch at query completion (snapshot-consistent visibility,
+  /// DESIGN.md §3). Only meaningful when `retain_views`.
+  bool defer_view_publish = false;
 };
 
 /// Observed execution record of one MR job — the raw material for
@@ -119,6 +127,10 @@ struct ExecResult {
   ExecMetrics metrics;
   /// One record per executed MR job, in submission order.
   std::vector<JobRun> jobs;
+  /// Materialized-view definitions awaiting publication, in job order
+  /// (only populated under EngineOptions::defer_view_publish; the data is
+  /// already in the DFS, the metadata just isn't visible yet).
+  std::vector<catalog::ViewDefinition> pending_views;
 };
 
 /// \brief Executes plans over the simulated cluster.
@@ -151,7 +163,7 @@ class Engine {
 
   const EngineOptions& options() const { return options_; }
   /// Number of Execute calls so far (used to build unique DFS paths).
-  int runs() const { return run_counter_; }
+  int runs() const { return run_counter_.load(); }
 
   /// Attaches a cost accountant: every finalized job's residual is folded
   /// into its per-operator-class EWMA. Caller owns; may be null to detach.
@@ -169,7 +181,9 @@ class Engine {
   /// Task pool shared by all jobs of this engine; null when running with a
   /// single thread (tasks then execute inline on the calling thread).
   std::unique_ptr<ThreadPool> pool_;
-  int run_counter_ = 0;
+  /// Atomic: concurrent tenant queries of a Server share one Engine, and
+  /// each Execute call needs a unique "views/run<N>/..." DFS namespace.
+  std::atomic<int> run_counter_{0};
 };
 
 }  // namespace opd::exec

@@ -152,6 +152,14 @@ struct SearchState {
 Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
                                            obs::Trace* trace,
                                            uint64_t parent_span) const {
+  // Single-tenant path: rewrite against everything currently published.
+  return Rewrite(plan, views_->Snapshot(), trace, parent_span);
+}
+
+Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
+                                           const catalog::ViewSnapshot& snapshot,
+                                           obs::Trace* trace,
+                                           uint64_t parent_span) const {
   obs::TraceSpan rewrite_span(trace, parent_span, "rewrite", "rewrite");
   OPD_RETURN_NOT_OK(optimizer_->Prepare(plan));
   OPD_ASSIGN_OR_RETURN(plan::JobDag dag, plan::JobDag::Build(*plan));
@@ -169,7 +177,7 @@ Result<RewriteOutcome> BfRewriter::Rewrite(plan::Plan* plan,
   deps.udfs = optimizer_->context().udfs;
   deps.options = options_;
 
-  const auto all_views = views_->All();
+  const auto all_views = snapshot.All();
   state.best_plan.resize(n);
   state.best_cost.resize(n);
   state.finders.resize(n);

@@ -33,13 +33,24 @@ class BfRewriter {
              const catalog::ViewStore* views, RewriteOptions options = {})
       : optimizer_(optimizer), views_(views), options_(std::move(options)) {}
 
-  /// Finds the minimum-cost rewrite of `plan` using the current views.
-  /// `plan` is prepared (annotated + costed) in place; the returned outcome
-  /// contains the best plan (possibly the original) and search statistics.
+  /// Finds the minimum-cost rewrite of `plan` using the currently-published
+  /// views (equivalent to Rewrite against `views->Snapshot()`). `plan` is
+  /// prepared (annotated + costed) in place; the returned outcome contains
+  /// the best plan (possibly the original) and search statistics.
   ///
   /// When `trace` is non-null the search opens a "rewrite" span under
   /// `parent_span` with one "round" span per refinement iteration.
   Result<RewriteOutcome> Rewrite(plan::Plan* plan,
+                                 obs::Trace* trace = nullptr,
+                                 uint64_t parent_span = 0) const;
+
+  /// Same search against a fixed epoch-consistent snapshot of the store
+  /// (serving layer: a query rewrites only against the views published at
+  /// its admission epoch, never against views materializing concurrently).
+  /// `snapshot` must outlive the call. Thread-safe: concurrent Rewrite
+  /// calls share only the internal (mutex-guarded) target memo.
+  Result<RewriteOutcome> Rewrite(plan::Plan* plan,
+                                 const catalog::ViewSnapshot& snapshot,
                                  obs::Trace* trace = nullptr,
                                  uint64_t parent_span = 0) const;
 

@@ -1,0 +1,265 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "catalog/eviction.h"
+#include "oql/parser.h"
+
+namespace opd {
+
+// --- ClientSession ---------------------------------------------------------
+
+Result<RunResult> ClientSession::Run(const std::string& oql,
+                                     const RunOptions& opts) {
+  return server_->Run(tenant_, oql, opts);
+}
+
+Result<RunResult> ClientSession::Run(plan::Plan plan, const RunOptions& opts) {
+  return server_->Run(tenant_, std::move(plan), opts);
+}
+
+Result<std::string> ClientSession::ExplainAnalyze(const std::string& oql,
+                                                  const RunOptions& opts) {
+  OPD_ASSIGN_OR_RETURN(RunResult run, Run(oql, opts));
+  return run.ExplainAnalyze();
+}
+
+Result<rewrite::RewriteOutcome> ClientSession::Rewrite(
+    const std::string& oql) {
+  return server_->Rewrite(oql);
+}
+
+Result<std::string> ClientSession::ExplainRewrite(const std::string& oql) {
+  OPD_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome, Rewrite(oql));
+  return RenderExplainRewrite(outcome, server_->views().size());
+}
+
+// --- Server ----------------------------------------------------------------
+
+Result<std::unique_ptr<Server>> Server::Create(SessionOptions options) {
+  options = options.Resolve();
+
+  auto server = std::unique_ptr<Server>(new Server());
+  server->options_ = options;
+  server->dfs_ = std::make_unique<storage::Dfs>();
+  server->catalog_ = std::make_unique<catalog::Catalog>();
+  server->views_ = std::make_unique<catalog::ViewStore>();
+  server->udfs_ = std::make_unique<udf::UdfRegistry>();
+
+  plan::AnnotationContext ctx;
+  ctx.catalog = server->catalog_.get();
+  ctx.views = server->views_.get();
+  ctx.udfs = server->udfs_.get();
+  server->optimizer_ = std::make_unique<optimizer::Optimizer>(
+      ctx, optimizer::CostModel(options.cost), options.optimizer);
+
+  // The serving path owns view publication: the engine hands each run's
+  // retained views back (defer_view_publish) and Run publishes them as one
+  // atomic batch at query completion.
+  exec::EngineOptions engine_opts = options.engine;
+  engine_opts.defer_view_publish = true;
+  server->engine_ = std::make_unique<exec::Engine>(
+      server->dfs_.get(), server->views_.get(), server->optimizer_.get(),
+      engine_opts);
+
+  optimizer::CostAccountant::Options acc_opts;
+  acc_opts.publish_metrics = options.obs.metrics;
+  server->accountant_ = std::make_unique<optimizer::CostAccountant>(acc_opts);
+  server->engine_->set_accountant(server->accountant_.get());
+  server->bfr_ = std::make_unique<rewrite::BfRewriter>(
+      server->optimizer_.get(), server->views_.get(), options.rewrite);
+
+  server::AdmissionController::Options adm;
+  adm.max_concurrent = options.server.max_concurrent_queries;
+  adm.per_tenant_quota = options.server.per_tenant_quota;
+  adm.fair = options.server.fair_scheduling;
+  server->admission_ = std::make_unique<server::AdmissionController>(adm);
+  return server;
+}
+
+Server::~Server() = default;
+
+ClientSession Server::Connect(const std::string& tenant) {
+  return ClientSession(this, tenant.empty() ? "default" : tenant);
+}
+
+Status Server::RegisterTable(const storage::TablePtr& table,
+                             const std::vector<std::string>& key_columns) {
+  return catalog_->RegisterBase(table, key_columns, dfs_.get());
+}
+
+Result<RunResult> Server::Run(const std::string& tenant,
+                              const std::string& oql,
+                              const RunOptions& opts) {
+  OPD_ASSIGN_OR_RETURN(plan::Plan plan, oql::ParseQuery(oql));
+  return Run(tenant, std::move(plan), opts);
+}
+
+Result<RunResult> Server::Run(const std::string& tenant_in, plan::Plan plan,
+                              const RunOptions& opts) {
+  const std::string tenant = !opts.tenant.empty()  ? opts.tenant
+                             : !tenant_in.empty()  ? tenant_in
+                                                   : "default";
+  // --- Admission ----------------------------------------------------------
+  const auto wait_start = std::chrono::steady_clock::now();
+  uint64_t ticket = 0;
+  if (opts.admission.fail_fast) {
+    OPD_ASSIGN_OR_RETURN(ticket, admission_->TryAdmit(tenant));
+  } else {
+    ticket = admission_->Admit(tenant);
+  }
+  const double queue_wait_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wait_start)
+          .count();
+  // The admission epoch decides exactly which views this query may see:
+  // everything published before this point, nothing publishing after.
+  const catalog::Epoch admission_epoch =
+      opts.admission.pin_epoch >= 0
+          ? static_cast<catalog::Epoch>(opts.admission.pin_epoch)
+          : views_->epoch();
+
+  Result<RunResult> run =
+      RunAdmitted(tenant, std::move(plan), opts, admission_epoch);
+  admission_->Release(tenant);
+  if (!run.ok()) return run;
+
+  run->tenant = tenant;
+  run->admission_ticket = ticket;
+  run->queue_wait_s = queue_wait_s;
+  if (options_.obs.metrics) {
+    obs::MetricRegistry::Global().histogram("server.queue.wait_s")
+        .Observe(queue_wait_s);
+    TenantRegistry(tenant).histogram("server.queue.wait_s")
+        .Observe(queue_wait_s);
+  }
+  return run;
+}
+
+Result<RunResult> Server::RunAdmitted(const std::string& tenant,
+                                      plan::Plan plan, const RunOptions& opts,
+                                      catalog::Epoch admission_epoch) {
+  RunResult out;
+  out.admission_epoch = admission_epoch;
+
+  obs::MetricRegistry& global = obs::MetricRegistry::Global();
+  obs::MetricRegistry& scope = TenantRegistry(tenant);
+  obs::MetricsSnapshot before;
+  obs::MetricsSnapshot tenant_before;
+  if (options_.obs.metrics) {
+    before = obs::MetricsSnapshot::Capture(global);
+    tenant_before = obs::MetricsSnapshot::Capture(scope);
+  }
+  if (options_.obs.tracing) out.trace = std::make_shared<obs::Trace>();
+  obs::Trace* trace = out.trace.get();
+  obs::TraceSpan query_span(trace, 0, "query:" + plan.name(), "query");
+
+  if (opts.rewrite) {
+    const catalog::ViewSnapshot snapshot = views_->SnapshotAt(admission_epoch);
+    OPD_ASSIGN_OR_RETURN(out.rewrite,
+                         bfr_->Rewrite(&plan, snapshot, trace,
+                                       query_span.id()));
+    out.rewritten = true;
+    // Credit the views the rewrite uses (drives the retention policies).
+    OPD_RETURN_NOT_OK(catalog::RecordPlanAccesses(
+        views_.get(), out.rewrite.plan,
+        std::max(out.rewrite.original_cost - out.rewrite.est_cost, 0.0)));
+    plan = out.rewrite.plan;
+    // Record which views the executed plan scans, resolved against the
+    // admission snapshot (proves no half-published view was observed and
+    // surfaces cross-tenant reuse).
+    for (const plan::OpNodePtr& node : plan.TopoOrder()) {
+      if (node->kind != plan::OpKind::kScan || node->view_id < 0) continue;
+      ViewUse use;
+      use.id = node->view_id;
+      Result<const catalog::ViewDefinition*> def = snapshot.Find(node->view_id);
+      if (def.ok()) {
+        use.publish_epoch = (*def)->publish_epoch;
+        use.tenant = (*def)->tenant;
+      }
+      out.views_used.push_back(use);
+    }
+  }
+
+  OPD_ASSIGN_OR_RETURN(exec::ExecResult exec,
+                       engine_->Execute(&plan, trace, query_span.id()));
+
+  // --- Atomic view publication at completion ------------------------------
+  // One PublishBatch per query — also when the batch is empty — so the
+  // epoch sequence counts completed queries and a recorded schedule can be
+  // replayed serially, epoch for epoch.
+  for (catalog::ViewDefinition& def : exec.pending_views) def.tenant = tenant;
+  catalog::Epoch publish_epoch = 0;
+  const std::vector<catalog::ViewStore::PublishResult> published =
+      views_->PublishBatch(std::move(exec.pending_views), &publish_epoch);
+  exec.pending_views.clear();
+  out.publish_epoch = publish_epoch;
+  uint64_t views_added = 0;
+  for (const auto& pub : published) {
+    if (pub.added) ++views_added;
+  }
+  exec.metrics.views_created += views_added;
+  query_span.End();
+
+  uint64_t cross_tenant_hits = 0;
+  for (const ViewUse& use : out.views_used) {
+    if (!use.tenant.empty() && use.tenant != tenant) ++cross_tenant_hits;
+  }
+  if (options_.obs.metrics) {
+    if (views_added > 0) {
+      global.counter("engine.views_created").Inc(views_added);
+    }
+    for (obs::MetricRegistry* reg : {&global, &scope}) {
+      reg->counter("server.queries.completed").Inc();
+      reg->counter("server.views.published").Inc(views_added);
+      reg->counter("server.views.cross_reuse").Inc(cross_tenant_hits);
+    }
+  }
+
+  out.table = std::move(exec.table);
+  out.metrics = exec.metrics;
+  out.jobs = std::move(exec.jobs);
+  out.plan = std::move(plan);
+  if (options_.obs.metrics) {
+    out.metrics_delta =
+        obs::MetricsSnapshot::Capture(global).DiffFrom(before);
+    out.tenant_delta =
+        obs::MetricsSnapshot::Capture(scope).DiffFrom(tenant_before);
+  }
+  out.cost_drifts = accountant_->Drifts();
+  return out;
+}
+
+Result<rewrite::RewriteOutcome> Server::Rewrite(const std::string& oql) {
+  OPD_ASSIGN_OR_RETURN(plan::Plan plan, oql::ParseQuery(oql));
+  // No trace, no view-access credit: this is a read-only search, so running
+  // it must not perturb retention policies or metrics-driven decisions.
+  return bfr_->Rewrite(&plan, /*trace=*/nullptr, /*parent_span=*/0);
+}
+
+std::vector<std::string> Server::Tenants() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  std::vector<std::string> names;
+  names.reserve(tenant_scopes_.size());
+  for (const auto& [name, _] : tenant_scopes_) names.push_back(name);
+  return names;
+}
+
+obs::MetricRegistry& Server::TenantRegistry(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenant_scopes_.find(tenant);
+  if (it == tenant_scopes_.end()) {
+    it = tenant_scopes_
+             .emplace(tenant, std::make_unique<obs::MetricRegistry>())
+             .first;
+  }
+  return *it->second;
+}
+
+obs::MetricsSnapshot Server::TenantSnapshot(const std::string& tenant) {
+  return obs::MetricsSnapshot::Capture(TenantRegistry(tenant));
+}
+
+}  // namespace opd

@@ -1,12 +1,10 @@
 #include "session/session.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <utility>
 
-#include "catalog/eviction.h"
 #include "common/json_writer.h"
-#include "oql/parser.h"
+#include "server/server.h"
 
 namespace opd {
 
@@ -21,103 +19,58 @@ std::string FormatSeconds(double v) {
 }  // namespace
 
 Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
-  // The session-level obs toggles are the single source of truth; mirror
-  // them into the engine's own knobs.
-  options.engine.metrics = options.obs.metrics;
-  options.engine.trace_tasks = options.obs.trace_tasks;
-
   auto session = std::unique_ptr<Session>(new Session());
-  session->options_ = options;
-  session->dfs_ = std::make_unique<storage::Dfs>();
-  session->catalog_ = std::make_unique<catalog::Catalog>();
-  session->views_ = std::make_unique<catalog::ViewStore>();
-  session->udfs_ = std::make_unique<udf::UdfRegistry>();
-
-  plan::AnnotationContext ctx;
-  ctx.catalog = session->catalog_.get();
-  ctx.views = session->views_.get();
-  ctx.udfs = session->udfs_.get();
-  session->optimizer_ = std::make_unique<optimizer::Optimizer>(
-      ctx, optimizer::CostModel(options.cost), options.optimizer);
-  session->engine_ = std::make_unique<exec::Engine>(
-      session->dfs_.get(), session->views_.get(), session->optimizer_.get(),
-      options.engine);
-  optimizer::CostAccountant::Options acc_opts;
-  acc_opts.publish_metrics = options.obs.metrics;
-  session->accountant_ =
-      std::make_unique<optimizer::CostAccountant>(acc_opts);
-  session->engine_->set_accountant(session->accountant_.get());
-  session->bfr_ = std::make_unique<rewrite::BfRewriter>(
-      session->optimizer_.get(), session->views_.get(), options.rewrite);
+  OPD_ASSIGN_OR_RETURN(session->server_, Server::Create(std::move(options)));
+  session->client_ =
+      std::make_unique<ClientSession>(session->server_->Connect("default"));
   return session;
 }
 
+Session::~Session() = default;
+
 Status Session::RegisterTable(const storage::TablePtr& table,
                               const std::vector<std::string>& key_columns) {
-  return catalog_->RegisterBase(table, key_columns, dfs_.get());
+  return server_->RegisterTable(table, key_columns);
 }
 
 Result<RunResult> Session::Run(const std::string& oql,
                                const RunOptions& opts) {
-  OPD_ASSIGN_OR_RETURN(plan::Plan plan, oql::ParseQuery(oql));
-  return Run(std::move(plan), opts);
+  return client_->Run(oql, opts);
 }
 
 Result<RunResult> Session::Run(plan::Plan plan, const RunOptions& opts) {
-  RunResult out;
-  obs::MetricsSnapshot before;
-  if (options_.obs.metrics) {
-    before = obs::MetricsSnapshot::Capture(obs::MetricRegistry::Global());
-  }
-  if (options_.obs.tracing) out.trace = std::make_shared<obs::Trace>();
-  obs::Trace* trace = out.trace.get();
-  obs::TraceSpan query_span(trace, 0, "query:" + plan.name(), "query");
-
-  if (opts.rewrite) {
-    OPD_ASSIGN_OR_RETURN(out.rewrite,
-                         bfr_->Rewrite(&plan, trace, query_span.id()));
-    out.rewritten = true;
-    // Credit the views the rewrite uses (drives the retention policies).
-    OPD_RETURN_NOT_OK(catalog::RecordPlanAccesses(
-        views_.get(), out.rewrite.plan,
-        std::max(out.rewrite.original_cost - out.rewrite.est_cost, 0.0)));
-    plan = out.rewrite.plan;
-  }
-
-  OPD_ASSIGN_OR_RETURN(exec::ExecResult exec,
-                       engine_->Execute(&plan, trace, query_span.id()));
-  query_span.End();
-
-  out.table = std::move(exec.table);
-  out.metrics = exec.metrics;
-  out.jobs = std::move(exec.jobs);
-  out.plan = std::move(plan);
-  if (options_.obs.metrics) {
-    out.metrics_delta =
-        obs::MetricsSnapshot::Capture(obs::MetricRegistry::Global())
-            .DiffFrom(before);
-  }
-  out.cost_drifts = accountant_->Drifts();
-  return out;
+  return client_->Run(std::move(plan), opts);
 }
 
 Result<std::string> Session::ExplainAnalyze(const std::string& oql,
                                             const RunOptions& opts) {
-  OPD_ASSIGN_OR_RETURN(RunResult run, Run(oql, opts));
-  return run.ExplainAnalyze();
+  return client_->ExplainAnalyze(oql, opts);
 }
 
 Result<rewrite::RewriteOutcome> Session::Rewrite(const std::string& oql) {
-  OPD_ASSIGN_OR_RETURN(plan::Plan plan, oql::ParseQuery(oql));
-  // No trace, no view-access credit: this is a read-only search, so running
-  // it must not perturb retention policies or metrics-driven decisions.
-  return bfr_->Rewrite(&plan, /*trace=*/nullptr, /*parent_span=*/0);
+  return client_->Rewrite(oql);
 }
 
 Result<std::string> Session::ExplainRewrite(const std::string& oql) {
-  OPD_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome, Rewrite(oql));
-  return RenderExplainRewrite(outcome, views_->size());
+  return client_->ExplainRewrite(oql);
 }
+
+Server& Session::server() { return *server_; }
+storage::Dfs& Session::dfs() { return server_->dfs(); }
+catalog::Catalog& Session::catalog() { return server_->catalog(); }
+catalog::ViewStore& Session::views() { return server_->views(); }
+udf::UdfRegistry& Session::udfs() { return server_->udfs(); }
+const optimizer::Optimizer& Session::optimizer() const {
+  return server_->optimizer();
+}
+exec::Engine& Session::engine() { return server_->engine(); }
+const rewrite::BfRewriter& Session::rewriter() const {
+  return server_->rewriter();
+}
+const optimizer::CostAccountant& Session::accountant() const {
+  return server_->accountant();
+}
+const SessionOptions& Session::options() const { return server_->options(); }
 
 std::string RunResult::ExplainAnalyze(
     const exec::AnalyzeOptions& options) const {
@@ -172,6 +125,22 @@ std::string RunResult::MetricsJson() const {
   w.Key("stale").BeginArray();
   for (const auto& d : cost_drifts) {
     if (d.stale) w.String(d.op_class);
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("serving").BeginObject();
+  w.Key("tenant").String(tenant);
+  w.Key("admission_epoch").UInt(admission_epoch);
+  w.Key("publish_epoch").UInt(publish_epoch);
+  w.Key("admission_ticket").UInt(admission_ticket);
+  w.Key("queue_wait_s").Double(queue_wait_s);
+  w.Key("views_used").BeginArray();
+  for (const ViewUse& use : views_used) {
+    w.BeginObject();
+    w.Key("id").Int(use.id);
+    w.Key("publish_epoch").UInt(use.publish_epoch);
+    w.Key("tenant").String(use.tenant);
+    w.EndObject();
   }
   w.EndArray();
   w.EndObject();

@@ -1,11 +1,16 @@
-// opd::Session — the single entry point into the system.
+// opd::Session — the single-tenant entry point into the system.
 //
-// A Session owns the whole stack (simulated DFS, catalog, opportunistic view
-// store, UDF registry, optimizer, MR engine, and the BFREWRITE rewriter) and
-// wires it together, so embedders no longer assemble the pieces by hand.
-// `Session::Run` takes an OQL program or a plan and returns the result table
-// together with the run's metrics, the per-job observations, the rewrite
-// outcome, and — when tracing is on — the query's span trace.
+// Since the serving-layer redesign (DESIGN.md §3) the full stack (simulated
+// DFS, catalog, opportunistic view store, UDF registry, optimizer, MR
+// engine, BFREWRITE rewriter, admission control) is owned by opd::Server;
+// a Session is a thin wrapper holding a private Server plus one connected
+// ClientSession for the "default" tenant, so single-tenant embedders keep
+// the familiar surface while multi-tenant embedders call Server::Connect
+// directly.
+//
+// `Session::Run` takes an OQL program or a plan and returns the result
+// table together with the run's metrics, the per-job observations, the
+// rewrite outcome, and — when tracing is on — the query's span trace.
 
 #ifndef OPD_SESSION_SESSION_H_
 #define OPD_SESSION_SESSION_H_
@@ -30,6 +35,9 @@
 
 namespace opd {
 
+class Server;
+class ClientSession;
+
 /// Observability knobs, session-wide.
 struct ObsOptions {
   /// Record a span trace per Run (query -> rewrite/job -> phase -> task).
@@ -40,22 +48,73 @@ struct ObsOptions {
   bool trace_tasks = true;
 };
 
-/// Every knob of a session, grouped by subsystem. The nested structs are the
-/// same ones the subsystems take directly (EngineOptions, RewriteOptions,
-/// ...), so existing code keeps compiling; the session copies the obs
-/// toggles into the engine options at creation.
+/// Serving-layer knobs (admission control and scheduling of concurrent
+/// tenant queries; see src/server/).
+struct ServerOptions {
+  /// Queries executing at once; further admissions queue. Minimum 1.
+  int max_concurrent_queries = 4;
+  /// Maximum queries one tenant may have running at once (0 = no quota).
+  int per_tenant_quota = 0;
+  /// Pick the next admission round-robin across waiting tenants (the
+  /// tenant with the fewest running queries goes first, FIFO tie-break)
+  /// instead of strict global FIFO.
+  bool fair_scheduling = true;
+};
+
+/// Every knob of a session/server, grouped by subsystem. The nested structs
+/// are the same ones the subsystems take directly (EngineOptions,
+/// RewriteOptions, ...), so existing code keeps compiling.
 struct SessionOptions {
   optimizer::CostParams cost;
   optimizer::OptimizerOptions optimizer;
   exec::EngineOptions engine;
   rewrite::RewriteOptions rewrite;
   ObsOptions obs;
+  ServerOptions server;
+
+  /// The session-level obs toggles are the single source of truth; Resolve
+  /// mirrors them into the engine's own knobs. Server::Create and
+  /// Session::Create both construct from Resolve() so the two entry points
+  /// cannot drift.
+  SessionOptions Resolve() const {
+    SessionOptions r = *this;
+    r.engine.metrics = r.obs.metrics;
+    r.engine.trace_tasks = r.obs.trace_tasks;
+    return r;
+  }
+};
+
+/// Per-Run admission knobs (serving layer).
+struct AdmissionOptions {
+  /// Fail with OutOfRange instead of queueing when no slot is free.
+  bool fail_fast = false;
+  /// Pin the view-visibility epoch: when >= 0 the query rewrites against
+  /// ViewStore::SnapshotAt(pin_epoch) instead of the store's epoch at
+  /// admission. This is the serial-replay hook — re-running a recorded
+  /// workload with each query's original admission epoch pinned reproduces
+  /// its rewrite decisions exactly.
+  int64_t pin_epoch = -1;
 };
 
 /// Per-Run knobs.
 struct RunOptions {
   /// Rewrite against the view store (BFREWRITE) before executing.
   bool rewrite = true;
+  /// Tenant override; empty means the handle's tenant (ClientSession) or
+  /// "default" (Session).
+  std::string tenant;
+  AdmissionOptions admission;
+};
+
+/// One materialized view the executed plan scanned (from the rewrite's
+/// admission-epoch snapshot).
+struct ViewUse {
+  catalog::ViewId id = -1;
+  /// Epoch at which the view became visible; always <= the scanning
+  /// query's admission_epoch (snapshot consistency).
+  catalog::Epoch publish_epoch = 0;
+  /// Tenant whose query materialized the view ("" pre-serving-layer).
+  std::string tenant;
 };
 
 /// What one Run produced.
@@ -72,11 +131,32 @@ struct RunResult {
   /// The query's span trace; non-null iff ObsOptions::tracing.
   std::shared_ptr<obs::Trace> trace;
   /// What this run contributed to the global MetricRegistry (snapshot diff
-  /// across the run); empty when ObsOptions::metrics is off.
+  /// across the run); empty when ObsOptions::metrics is off. Under
+  /// concurrent serving the global delta includes other tenants' traffic —
+  /// use `tenant_delta` for isolation.
   obs::MetricsSnapshot metrics_delta;
+  /// This run's contribution to its tenant's private registry scope
+  /// (server.* counters only; exact even under concurrency).
+  obs::MetricsSnapshot tenant_delta;
   /// Cost-model calibration state after this run (per-operator-class EWMA
   /// residuals from the session's CostAccountant).
   std::vector<optimizer::CostAccountant::ClassDrift> cost_drifts;
+
+  // --- serving-layer observations -------------------------------------
+  /// Tenant the query ran as.
+  std::string tenant;
+  /// View-store epoch the query was admitted at: the rewrite saw exactly
+  /// the views published at epochs <= admission_epoch.
+  catalog::Epoch admission_epoch = 0;
+  /// Epoch assigned when this run's views published (one bump per query).
+  catalog::Epoch publish_epoch = 0;
+  /// Admission order: the ticket's position in the server's admit sequence
+  /// (1-based; 0 outside a Server).
+  uint64_t admission_ticket = 0;
+  /// Time spent queued before admission.
+  double queue_wait_s = 0;
+  /// Views the executed plan scanned (empty when not rewritten).
+  std::vector<ViewUse> views_used;
 
   /// Renders the EXPLAIN ANALYZE tree of this run.
   std::string ExplainAnalyze(const exec::AnalyzeOptions& options = {}) const;
@@ -94,10 +174,14 @@ struct RunResult {
 std::string RenderExplainRewrite(const rewrite::RewriteOutcome& outcome,
                                  size_t views_in_store);
 
-/// \brief A fully-wired system instance behind one coherent API.
+/// \brief Single-tenant facade over a private Server.
+///
+/// Owns the Server; every call is delegated as tenant "default". Use
+/// `server()` (or Server::Create directly) for multi-tenant serving.
 class Session {
  public:
   static Result<std::unique_ptr<Session>> Create(SessionOptions options = {});
+  ~Session();
 
   /// Registers `table` as a base relation keyed on `key_columns` (writes its
   /// data to the session DFS and computes exact statistics).
@@ -122,29 +206,24 @@ class Session {
   /// EXPLAIN REWRITE: Rewrite() rendered as the decision-log report.
   Result<std::string> ExplainRewrite(const std::string& oql);
 
-  storage::Dfs& dfs() { return *dfs_; }
-  catalog::Catalog& catalog() { return *catalog_; }
-  catalog::ViewStore& views() { return *views_; }
-  udf::UdfRegistry& udfs() { return *udfs_; }
-  const optimizer::Optimizer& optimizer() const { return *optimizer_; }
-  exec::Engine& engine() { return *engine_; }
-  const rewrite::BfRewriter& rewriter() const { return *bfr_; }
+  /// The underlying server (for Connect-ing further tenants).
+  Server& server();
+  storage::Dfs& dfs();
+  catalog::Catalog& catalog();
+  catalog::ViewStore& views();
+  udf::UdfRegistry& udfs();
+  const optimizer::Optimizer& optimizer() const;
+  exec::Engine& engine();
+  const rewrite::BfRewriter& rewriter() const;
   /// Cost-model accountability state (per-class residual EWMAs).
-  const optimizer::CostAccountant& accountant() const { return *accountant_; }
-  const SessionOptions& options() const { return options_; }
+  const optimizer::CostAccountant& accountant() const;
+  const SessionOptions& options() const;
 
  private:
   Session() = default;
 
-  SessionOptions options_;
-  std::unique_ptr<storage::Dfs> dfs_;
-  std::unique_ptr<catalog::Catalog> catalog_;
-  std::unique_ptr<catalog::ViewStore> views_;
-  std::unique_ptr<udf::UdfRegistry> udfs_;
-  std::unique_ptr<optimizer::Optimizer> optimizer_;
-  std::unique_ptr<optimizer::CostAccountant> accountant_;
-  std::unique_ptr<exec::Engine> engine_;
-  std::unique_ptr<rewrite::BfRewriter> bfr_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<ClientSession> client_;
 };
 
 }  // namespace opd

@@ -6,6 +6,7 @@
 namespace opd::storage {
 
 Status Dfs::Write(const std::string& path, TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (table == nullptr) {
     return Status::InvalidArgument("cannot write null table to " + path);
   }
@@ -28,6 +29,7 @@ Status Dfs::Write(const std::string& path, TablePtr table) {
 }
 
 Result<TablePtr> Dfs::Read(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   metrics_.bytes_read += it->second->ByteSize();
@@ -37,16 +39,19 @@ Result<TablePtr> Dfs::Read(const std::string& path) {
 }
 
 Result<TablePtr> Dfs::Peek(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second;
 }
 
 bool Dfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) > 0;
 }
 
 Status Dfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   used_ -= it->second->ByteSize();
@@ -59,6 +64,7 @@ Status Dfs::Delete(const std::string& path) {
 }
 
 size_t Dfs::DeletePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t count = 0;
   for (auto it = files_.begin(); it != files_.end();) {
     if (StartsWith(it->first, prefix)) {
@@ -79,6 +85,7 @@ size_t Dfs::DeletePrefix(const std::string& prefix) {
 }
 
 std::vector<std::string> Dfs::ListPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, _] : files_) out.push_back(path);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,11 @@ struct DfsMetrics {
 };
 
 /// \brief A path -> table store with byte accounting and a capacity budget.
+///
+/// Thread-safe: concurrent queries of a Server write their job outputs and
+/// read shared base tables/views through one Dfs. Tables themselves are
+/// immutable (`TablePtr` is shared_ptr-to-const), so handing the pointer out
+/// under the lock is all the synchronization a read needs.
 class Dfs {
  public:
   /// Default DFS block size. Real HDFS uses 64 MB; the synthetic tables are
@@ -37,6 +43,19 @@ class Dfs {
 
   /// `capacity_bytes` of 0 means unlimited.
   explicit Dfs(uint64_t capacity_bytes = 0) : capacity_(capacity_bytes) {}
+
+  /// Movable (factory returns, e.g. persistence::LoadDfs). Only move a Dfs
+  /// that is not yet shared with concurrent users.
+  Dfs(Dfs&& other) noexcept : capacity_(other.capacity_) {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    block_size_ = other.block_size_;
+    used_ = other.used_;
+    files_ = std::move(other.files_);
+    metrics_ = other.metrics_;
+  }
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+  Dfs& operator=(Dfs&&) = delete;
 
   /// Writes (or fails if present) a table at `path`, metering bytes.
   /// Returns kOutOfRange if the write would exceed capacity.
@@ -59,24 +78,40 @@ class Dfs {
   /// All stored paths in lexicographic order.
   std::vector<std::string> ListPaths() const;
 
-  uint64_t used_bytes() const { return used_; }
+  uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
   uint64_t capacity_bytes() const { return capacity_; }
 
   /// The block size that determines map-task input splits (Hadoop: one map
   /// task per block of the input file).
-  uint64_t block_size_bytes() const { return block_size_; }
+  uint64_t block_size_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return block_size_;
+  }
   void set_block_size_bytes(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
     block_size_ = bytes == 0 ? kDefaultBlockSizeBytes : bytes;
   }
-  const DfsMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_ = DfsMetrics{}; }
+  /// A consistent copy of the I/O counters (by value: the counters keep
+  /// moving under concurrent traffic).
+  DfsMetrics metrics() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_;
+  }
+  void ResetMetrics() {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = DfsMetrics{};
+  }
 
  private:
-  uint64_t capacity_;
-  uint64_t block_size_ = kDefaultBlockSizeBytes;
-  uint64_t used_ = 0;
-  std::map<std::string, TablePtr> files_;
-  DfsMetrics metrics_;
+  mutable std::mutex mu_;
+  const uint64_t capacity_;                    // immutable after construction
+  uint64_t block_size_ = kDefaultBlockSizeBytes;  // guarded by mu_
+  uint64_t used_ = 0;                          // guarded by mu_
+  std::map<std::string, TablePtr> files_;      // guarded by mu_
+  DfsMetrics metrics_;                         // guarded by mu_
 };
 
 }  // namespace opd::storage
