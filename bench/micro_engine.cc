@@ -570,25 +570,32 @@ int RunJsonMode(const char* trace_path) {
       {"pipelined", true, true, true},
       {"pipelined_unfused", true, true, false},
   };
+  // On a 1-core host every lane above 1 thread measures the same inline
+  // execution three more times; skip them. The skipped lanes stay in the
+  // JSON arrays as nulls so the record schema (and the trajectory tooling
+  // reading it) is identical on every runner.
+  const size_t measured_lanes = hw_cores > 1 ? kNumThreads : 1;
   uint64_t row_mode_hash = 0;
   for (const Mode& mode : kModes) {
     JsonRun runs[kNumThreads];
-    for (size_t i = 0; i < kNumThreads; ++i) {
+    for (size_t i = 0; i < measured_lanes; ++i) {
       runs[i] = RunEngineWorkload(kThreads[i], kTweets, kIters,
                                   mode.vectorized, mode.pipelined,
                                   mode.fused);
     }
     JsonRun traced = RunEngineWorkload(
-        kThreads[kNumThreads - 1], kTweets, kIters, mode.vectorized,
+        kThreads[measured_lanes - 1], kTweets, kIters, mode.vectorized,
         mode.pipelined, mode.fused, /*traced=*/true,
         trace_path != nullptr ? &traces : nullptr);
-    const double speedup = runs[kNumThreads - 1].wall_ms > 0
-                               ? runs[0].wall_ms / runs[kNumThreads - 1].wall_ms
-                               : 0;
+    const bool have_speedup = measured_lanes == kNumThreads;
+    const double speedup =
+        have_speedup && runs[kNumThreads - 1].wall_ms > 0
+            ? runs[0].wall_ms / runs[kNumThreads - 1].wall_ms
+            : 0;
     if (&mode == &kModes[0]) row_mode_hash = runs[0].output_hash;
     bool outputs_match = true;
-    for (const JsonRun& r : runs) {
-      outputs_match = outputs_match && r.output_hash == row_mode_hash;
+    for (size_t i = 0; i < measured_lanes; ++i) {
+      outputs_match = outputs_match && runs[i].output_hash == row_mode_hash;
     }
 
     JsonWriter w;
@@ -605,15 +612,37 @@ int RunJsonMode(const char* trace_path) {
     for (int t : kThreads) w.Int(t);
     w.EndArray();
     w.Key("wall_ms").BeginArray();
-    for (const JsonRun& r : runs) w.Double(r.wall_ms);
+    for (size_t i = 0; i < kNumThreads; ++i) {
+      if (i < measured_lanes) {
+        w.Double(runs[i].wall_ms);
+      } else {
+        w.Null();
+      }
+    }
     w.EndArray();
     w.Key("rows_per_sec").BeginArray();
-    for (const JsonRun& r : runs) w.Double(r.rows_per_sec);
+    for (size_t i = 0; i < kNumThreads; ++i) {
+      if (i < measured_lanes) {
+        w.Double(runs[i].rows_per_sec);
+      } else {
+        w.Null();
+      }
+    }
     w.EndArray();
     w.Key("best_iter_rows_per_sec").BeginArray();
-    for (const JsonRun& r : runs) w.Double(r.best_iter_rows_per_sec);
+    for (size_t i = 0; i < kNumThreads; ++i) {
+      if (i < measured_lanes) {
+        w.Double(runs[i].best_iter_rows_per_sec);
+      } else {
+        w.Null();
+      }
+    }
     w.EndArray();
-    w.Key("speedup_8v1").Double(speedup);
+    if (have_speedup) {
+      w.Key("speedup_8v1").Double(speedup);
+    } else {
+      w.Key("speedup_8v1").Null();
+    }
     w.Key("output_hash").UInt(runs[0].output_hash);
     w.Key("outputs_match_row_mode").Bool(outputs_match);
     if (mode.pipelined) {
@@ -624,8 +653,9 @@ int RunJsonMode(const char* trace_path) {
       w.Key("speedup_floor_8v1").Double(floor);
     }
     w.Key("traced_rows_per_sec").Double(traced.rows_per_sec);
-    w.Key("untraced_rows_per_sec").Double(runs[kNumThreads - 1].rows_per_sec);
-    w.Key("metrics").Raw(runs[kNumThreads - 1].metrics.ToJson());
+    w.Key("untraced_rows_per_sec")
+        .Double(runs[measured_lanes - 1].rows_per_sec);
+    w.Key("metrics").Raw(runs[measured_lanes - 1].metrics.ToJson());
     w.EndObject();
     std::printf("%s\n", w.str().c_str());
   }

@@ -139,11 +139,16 @@ struct JoinResult {
   double wall_s = 0;
   double build_allocs_per_row = 0;
   double probe_allocs_per_row = 0;
+  uint64_t table_bytes = 0;
 };
 
 // Flat join: HashKeys pass + fully reserved FlatMultiMap build + probe.
 // The allocation deltas cover exactly the per-row build and probe loops.
-JoinResult FlatJoin(int iterations) {
+// `prefetch` toggles the probe-slot __builtin_prefetch in the linear-probe
+// loops and `distinct_hint` feeds Reserve's duplicate-chain pre-sizing (the
+// engine passes the optimizer's est_distinct) — both ablated in --json.
+JoinResult FlatJoin(int iterations, bool prefetch = true,
+                    size_t distinct_hint = 0) {
   const auto& build = BuildBatches();
   const auto& probe = ProbeBatches();
   JoinResult res;
@@ -154,7 +159,9 @@ JoinResult FlatJoin(int iterations) {
     const std::vector<KeyCodec> codecs = exec::hash::PlanKeyCodecs(
         {{&build, &kKeyCols}, {&probe, &kKeyCols}});
     FlatMultiMap<uint32_t> ht;
-    ht.Reserve(kBuildRows, codecs[0].bounded ? codecs[0].width_bound : 0);
+    ht.Reserve(kBuildRows, codecs[0].bounded ? codecs[0].width_bound : 0,
+               distinct_hint);
+    ht.set_prefetch(prefetch);
     KeyScratch key;
     uint64_t matches = 0;
 
@@ -180,6 +187,7 @@ JoinResult FlatJoin(int iterations) {
     const uint64_t allocs_after =
         g_allocs.load(std::memory_order_relaxed);
     res.matches = matches;
+    res.table_bytes = ht.memory_bytes();
     res.build_allocs_per_row =
         static_cast<double>(allocs_before_probe - allocs_before_build) /
         static_cast<double>(kBuildRows);
@@ -237,7 +245,7 @@ struct GroupResult {
   double wall_s = 0;
 };
 
-GroupResult FlatGroupBy(int iterations) {
+GroupResult FlatGroupBy(int iterations, bool prefetch = true) {
   const auto& in = ProbeBatches();
   GroupResult res;
   const auto start = std::chrono::steady_clock::now();
@@ -247,6 +255,7 @@ GroupResult FlatGroupBy(int iterations) {
         exec::hash::PlanKeyCodecs({{&in, &kKeyCols}});
     FlatGroupIndex index;
     index.Reserve(kKeySpace, codecs[0].bounded ? codecs[0].width_bound : 0);
+    index.set_prefetch(prefetch);
     std::vector<uint64_t> counts;
     counts.reserve(kKeySpace);
     KeyScratch key;
@@ -304,10 +313,26 @@ double RowsPerSec(size_t rows, double wall_s) {
 
 int RunJsonMode() {
   constexpr int kIters = 5;
+  // Warm the data, code paths, and allocator once so lane ordering doesn't
+  // bias the speedup ratios (the first timed lane otherwise pays every
+  // cold-cache and page-fault cost and the later ablation lanes run warm).
+  FlatJoin(1);
+  LegacyJoin(1);
+  FlatGroupBy(1);
+  LegacyGroupBy(1);
   const JoinResult flat_join = FlatJoin(kIters);
   const JoinResult legacy_join = LegacyJoin(kIters);
   const GroupResult flat_group = FlatGroupBy(kIters);
   const GroupResult legacy_group = LegacyGroupBy(kIters);
+  // Ablation lanes (measured, not gated): the same loops with the
+  // linear-probe prefetch off, and with the duplicate-chain arrays
+  // pre-sized from the exact distinct-key count the way the engine seeds
+  // Reserve from est_rows/est_distinct.
+  const JoinResult join_noprefetch = FlatJoin(kIters, /*prefetch=*/false);
+  const GroupResult group_noprefetch =
+      FlatGroupBy(kIters, /*prefetch=*/false);
+  const JoinResult join_presized =
+      FlatJoin(kIters, /*prefetch=*/true, /*distinct_hint=*/kKeySpace);
 
   const bool match = flat_join.matches == legacy_join.matches &&
                      flat_group.groups == legacy_group.groups;
@@ -336,6 +361,24 @@ int RunJsonMode() {
                                     : 0);
   w.Key("numeric_build_allocs_per_row").Double(flat_join.build_allocs_per_row);
   w.Key("numeric_probe_allocs_per_row").Double(flat_join.probe_allocs_per_row);
+  w.Key("prefetch_join_speedup")
+      .Double(flat_join.wall_s > 0 ? join_noprefetch.wall_s / flat_join.wall_s
+                                   : 0);
+  w.Key("prefetch_groupby_speedup")
+      .Double(flat_group.wall_s > 0
+                  ? group_noprefetch.wall_s / flat_group.wall_s
+                  : 0);
+  w.Key("presize_join_speedup")
+      .Double(join_presized.wall_s > 0
+                  ? flat_join.wall_s / join_presized.wall_s
+                  : 0);
+  // Pre-sizing's main win: the distinct-hint lane retains a fraction of
+  // the all-distinct worst-case table footprint.
+  w.Key("presize_join_bytes_ratio")
+      .Double(flat_join.table_bytes > 0
+                  ? static_cast<double>(join_presized.table_bytes) /
+                        static_cast<double>(flat_join.table_bytes)
+                  : 0);
   w.Key("join_matches").UInt(flat_join.matches);
   w.Key("groups").UInt(flat_group.groups);
   w.Key("outputs_match").Bool(match);

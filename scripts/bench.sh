@@ -12,7 +12,11 @@
 # contributes one serving-layer record (interleaved multi-tenant queries/sec,
 # view hit rate, and the outputs_match_serial_replay receipt — the binary
 # itself exits 1 when the receipt fails, so appending doubles as a
-# determinism gate). Every appended record carries "ts" and "git_sha" so the
+# determinism gate). micro_recycle --json contributes one hash-recycler
+# record (cold vs recycled join wall time, recycler hit counters, the
+# zero-rebuild receipt, and the warm-rewrite view-join hit rate; the binary
+# exits 1 when recycled outputs diverge from the cold build or a warm run
+# rebuilds). Every appended record carries "ts" and "git_sha" so the
 # trajectory is attributable to commits.
 #
 # Usage: scripts/bench.sh [--no-build] [--check]
@@ -56,6 +60,10 @@ BATCH_VS_ROW_FLOOR=1.3
 # group-by job of micro_engine's "flat_hash" record (single-thread,
 # gated on byte-identical outputs).
 FLAT_HASH_FLOOR=1.3
+# A recycled (warm) repetition of micro_recycle's join must beat the cold
+# build-every-time run by this factor (gated on byte-identical outputs and
+# the zero-rebuild receipt).
+RECYCLE_FLOOR=1.3
 
 build=1
 check=0
@@ -79,9 +87,11 @@ if [[ "${check}" == 1 ]]; then
   ./build/bench/micro_eval --json >> "${out}"
   ./build/bench/micro_hash --json >> "${out}"
   ./build/bench/micro_serve --json >> "${out}"
+  ./build/bench/micro_recycle --json >> "${out}"
   EVAL_FLOOR_ROWS_PER_SEC="${EVAL_FLOOR_ROWS_PER_SEC}" \
   BATCH_VS_ROW_FLOOR="${BATCH_VS_ROW_FLOOR}" \
   FLAT_HASH_FLOOR="${FLAT_HASH_FLOOR}" \
+  RECYCLE_FLOOR="${RECYCLE_FLOOR}" \
   python3 - "${out}" <<'EOF'
 import json
 import os
@@ -244,6 +254,31 @@ else:
               f"cross_tenant_reuse={serve.get('cross_tenant_reuse')}, "
               "serial replay OK")
 
+# Hash-recycler gate: micro_recycle's warm repetitions of the same join
+# must probe the cached build (zero_rebuild receipt) and clear the
+# RECYCLE_FLOOR speedup over the cold build-every-time run, with
+# byte-identical outputs — a fast wrong answer is a correctness bug.
+rc = modes.get("recycle")
+rc_floor = float(os.environ["RECYCLE_FLOOR"])
+if rc is None:
+    failures.append("no micro_recycle record in benchmark output")
+else:
+    if not rc.get("outputs_match", False):
+        failures.append("micro_recycle: recycled join outputs diverge from "
+                        "the cold build (recycling correctness regression)")
+    if not rc.get("zero_rebuild", False):
+        failures.append("micro_recycle: warm runs rebuilt the hash table "
+                        "(the recycler is not being hit)")
+    sp = rc.get("repeated_join_speedup", 0.0)
+    if sp < rc_floor:
+        failures.append(
+            f"micro_recycle repeated_join_speedup {sp:.2f} is below the "
+            f"floor {rc_floor}x: recycling is not paying for itself")
+    elif not any("micro_recycle" in f for f in failures):
+        print(f"bench --check: micro_recycle warm join = {sp:.2f}x cold "
+              f"(floor {rc_floor}x), warm_rewrite_hit_rate="
+              f"{rc.get('warm_rewrite_hit_rate', 0.0):.2f}")
+
 if failures:
     for f in failures:
         print(f"bench --check FAILED: {f}", file=sys.stderr)
@@ -282,7 +317,8 @@ fi
 ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
 { ./build/bench/micro_engine --json; ./build/bench/micro_eval --json; \
-  ./build/bench/micro_hash --json; ./build/bench/micro_serve --json; } |
+  ./build/bench/micro_hash --json; ./build/bench/micro_serve --json; \
+  ./build/bench/micro_recycle --json; } |
 while IFS= read -r line; do
   stamped="{\"ts\":\"${ts}\",\"git_sha\":\"${git_sha}\",${line#\{}"
   echo "${stamped}"

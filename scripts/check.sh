@@ -11,9 +11,10 @@
 # ThreadSanitizer (cmake -DOPD_TSAN=ON, build-tsan/) and runs the
 # concurrency-sensitive suites under it: the serving-layer tests
 # (server_test — admission control, snapshot visibility, and the
-# interleaved multi-tenant stress test with its serial-replay oracle) plus
-# the engine's parallel-determinism suite. TSan and ASan cannot share a
-# build, hence the separate tree.
+# interleaved multi-tenant stress test with its serial-replay oracle), the
+# engine's parallel-determinism suite, and the hash-recycler stress test
+# (concurrent tenants racing lookups/inserts on the shared recycler). TSan
+# and ASan cannot share a build, hence the separate tree.
 #
 # Then runs the perf-floor gate
 # (scripts/bench.sh --check) against the REGULAR build — never the
@@ -36,10 +37,11 @@ ASAN_OPTIONS=detect_leaks=0 OPD_TRACE=1 ctest --output-on-failure "$@"
 cd ..
 echo "== ThreadSanitizer pass (serving layer + parallel determinism) =="
 cmake -B build-tsan -S . -DOPD_TSAN=ON >/dev/null
-cmake --build build-tsan --target server_test parallel_determinism_test -j
+cmake --build build-tsan --target server_test parallel_determinism_test \
+  recycler_test -j
 cd build-tsan
 TSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure \
-  -R 'AdmissionController|ServerAdmission|Serving|ServerStress|ParallelDeterminism' "$@"
+  -R 'AdmissionController|ServerAdmission|Serving|ServerStress|ParallelDeterminism|RecyclerStress' "$@"
 cd ..
 echo "== micro_eval under ASan+UBSan (expression kernels, correctness only) =="
 # One sanitized pass over the fused expression kernels: masks, selection
@@ -52,6 +54,11 @@ echo "== micro_hash under ASan+UBSan (flat shuffle tables, correctness only) =="
 # linear probing, rehash moves, and the vectorized key-hash kernels all run
 # under ASan+UBSan against the unordered_map oracle (exit 1 on divergence).
 ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/micro_hash --json >/dev/null
+echo "== micro_recycle under ASan+UBSan (hash recycling, correctness only) =="
+# One sanitized pass over the recycler: cached-build lifetime across
+# queries, shared probes of recycled tables, and the eviction sweep all run
+# under ASan+UBSan (exit 1 on output divergence or any warm rebuild).
+ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/micro_recycle --json >/dev/null
 echo "== perf-floor gate (regular build, see scripts/bench.sh --check) =="
 scripts/bench.sh --check
 echo "== metric-name lint (scripts/lint_metrics.py) =="

@@ -26,6 +26,19 @@ import re
 import sys
 
 NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,2}$")
+# Names that must ALWAYS be in the registered dump. The hash-recycler
+# instrumentation only resolves when a recycler is attached to the engine
+# (the serving layer wires one up), so a wiring regression would silently
+# drop these from the dump instead of tripping rule 2 -- pin them here.
+REQUIRED_NAMES = {
+    "engine.recycle.hit",
+    "engine.recycle.miss",
+    "engine.recycle.insert",
+    "engine.recycle.evict",
+    "engine.recycle.bytes",
+    "server.recycle.hits",
+    "server.recycle.misses",
+}
 # counter("...")/gauge("...")/histogram("...") calls; DOTALL so a ternary
 # spanning lines (e.g. the memo hit/miss counter) still parses.
 CALL_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(([^)]*)\)", re.S)
@@ -47,6 +60,11 @@ def main() -> int:
             failures.append(
                 f"registered metric {name!r} violates the "
                 "<subsystem>.<object>[.<event>] naming scheme")
+
+    for name in sorted(REQUIRED_NAMES - registered):
+        failures.append(
+            f"required metric {name!r} is not registered by the "
+            "--dump-metrics workload (recycler instrumentation unwired?)")
 
     literals = {}  # name -> first file seen in
     files = sorted(src_root.rglob("*.cc")) + sorted(src_root.rglob("*.h"))

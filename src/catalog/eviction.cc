@@ -55,8 +55,7 @@ double ViewRetention::Score(const ViewDefinition& def) const {
       return -static_cast<double>(def.bytes);
     case EvictionPolicy::kCostBenefit:
       // Benefit per byte; unaccessed views score 0.
-      return def.cumulative_benefit_s /
-             static_cast<double>(std::max<uint64_t>(def.bytes, 1));
+      return CostBenefitPerByte(def.cumulative_benefit_s, def.bytes);
     case EvictionPolicy::kFifo:
       return static_cast<double>(def.created_at);
   }

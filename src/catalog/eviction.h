@@ -11,6 +11,7 @@
 #ifndef OPD_CATALOG_EVICTION_H_
 #define OPD_CATALOG_EVICTION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -21,6 +22,15 @@
 #include "storage/dfs.h"
 
 namespace opd::catalog {
+
+/// The cost-benefit retention score (ReStore's heuristic): cumulative
+/// benefit per retained byte. Lower = evicted earlier. Shared by the view
+/// retention manager below and the hash-table recycler
+/// (src/exec/hash/recycler.cc), so both layers rank reuse candidates by
+/// the same economics.
+inline double CostBenefitPerByte(double benefit_s, uint64_t bytes) {
+  return benefit_s / static_cast<double>(std::max<uint64_t>(bytes, 1));
+}
 
 /// Credits every distinct view scanned by `plan` with an equal share of
 /// `benefit_s` (the estimated savings of the rewrite that uses them) and

@@ -60,6 +60,13 @@ void Render(const OpNodePtr& node, int depth,
                   HumanBytes(jr.bytes_written).c_str(), jr.map_tasks,
                   jr.pipelined ? "p" : "m", jr.reduce_tasks);
     line += buf;
+    // Hash-recycler outcome of this job, if it had a recyclable build
+    // (join build side or group-by input scanning an unchanged table/view).
+    if (jr.recycle_hits > 0) {
+      line += " recycle=hit";
+    } else if (jr.recycle_misses > 0) {
+      line += " recycle=miss";
+    }
     if (options.show_wall) {
       std::snprintf(buf, sizeof(buf), " wall=%.1fms straggler=%.2fms",
                     jr.wall_time_s * 1e3, jr.max_task_time_s * 1e3);

@@ -15,6 +15,7 @@
 #include "exec/expr/expr_program.h"
 #include "exec/hash/flat_table.h"
 #include "exec/hash/hash_kernels.h"
+#include "exec/hash/recycler.h"
 #include "exec/pipeline.h"
 #include "exec/udf_exec.h"
 #include "obs/metrics.h"
@@ -320,11 +321,10 @@ struct BatchList {
   const RowBatch& batch(size_t b) const { return (*batches)[b]; }
 };
 
-// Flattened location of one row inside a BatchList.
-struct RowRef {
-  uint32_t batch = 0;
-  uint32_t idx = 0;
-};
+// Flattened location of one row inside a BatchList. Shared with the
+// recycler (hash::RowRef) so cached join builds use the exact payload
+// layout the engine probes with.
+using RowRef = hash::RowRef;
 
 // Appends the canonical key encoding of cell `i` of `col`: equal encodings
 // exactly when the cells compare equal under Value::operator== (numerics
@@ -626,6 +626,33 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
       options_.metrics ? &registry.histogram("engine.shuffle.probe_len")
                        : nullptr;
   const bool flat = options_.flat_hash;
+  // Hash-table recycling (HashStash, src/exec/hash/recycler.h): active only
+  // when the flat tables are on and a recycler is attached. The counters
+  // resolve whenever metrics are on so the engine.recycle.* names register
+  // even on runs that never touch a recyclable build.
+  hash::HashRecycler* const recycler =
+      (options_.recycle_hash && flat) ? recycler_ : nullptr;
+  obs::Counter* recycle_hit_ctr =
+      options_.metrics ? &registry.counter("engine.recycle.hit") : nullptr;
+  obs::Counter* recycle_miss_ctr =
+      options_.metrics ? &registry.counter("engine.recycle.miss") : nullptr;
+  obs::Counter* recycle_insert_ctr =
+      options_.metrics ? &registry.counter("engine.recycle.insert") : nullptr;
+  obs::Counter* recycle_evict_ctr =
+      options_.metrics ? &registry.counter("engine.recycle.evict") : nullptr;
+  obs::Gauge* recycle_bytes_gauge =
+      options_.metrics ? &registry.gauge("engine.recycle.bytes") : nullptr;
+  // Publishes one recycler insert outcome (called from pool threads; the
+  // registry objects are thread-safe).
+  auto observe_recycle_insert = [&](const hash::HashRecycler::InsertResult& r) {
+    if (recycle_insert_ctr != nullptr && r.inserted) recycle_insert_ctr->Inc();
+    if (recycle_evict_ctr != nullptr && r.evicted > 0) {
+      recycle_evict_ctr->Inc(r.evicted);
+    }
+    if (recycle_bytes_gauge != nullptr && recycler != nullptr) {
+      recycle_bytes_gauge->Set(static_cast<double>(recycler->bytes()));
+    }
+  };
   // Publishes one flat table's probe/arena stats after its bucket finishes.
   auto observe_flat = [&](const hash::FlatStats& s, size_t arena) {
     if (ht_resizes != nullptr && s.resizes > 0) ht_resizes->Inc(s.resizes);
@@ -639,6 +666,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
   ExecMetrics metrics;
   ExecResult result;
   std::map<const OpNode*, TablePtr> results;
+  // Recycling identity of each scan node: view id + publish epoch for view
+  // scans, table name for base scans. Filled during scan resolution below
+  // and read-only afterwards (jobs may run on pool threads).
+  std::map<const OpNode*, std::string> scan_identity;
 
   // --- Plan the run ---------------------------------------------------------
   // Scans resolve serially up front (catalog/DFS lookups); every other
@@ -661,10 +692,13 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         OPD_ASSIGN_OR_RETURN(const catalog::ViewDefinition* def,
                              ctx.views->Find(node->view_id));
         path = def->dfs_path;
+        scan_identity[node] =
+            hash::ViewIdentity(node->view_id, def->publish_epoch);
       } else {
         OPD_ASSIGN_OR_RETURN(const catalog::BaseTableEntry* entry,
                              ctx.catalog->Find(node->table));
         path = entry->dfs_path;
+        scan_identity[node] = hash::BaseIdentity(node->table);
       }
       OPD_ASSIGN_OR_RETURN(TablePtr table, dfs_->Read(path));
       results[node] = table;
@@ -703,9 +737,19 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     size_t tasks = 0;
     double skew = -1.0;
     double wall_s = 0;
+    uint64_t recycle_hits = 0;
+    uint64_t recycle_misses = 0;
     plan::JobCostInfo cost;
   };
   std::vector<JobState> states(specs.size());
+
+  // The recycling identity of a direct-scan input, or null when the child
+  // is not a scan (operator outputs are run-local and never recycled).
+  auto scan_ident = [&](const OpNode* child) -> const std::string* {
+    if (child->kind != OpKind::kScan) return nullptr;
+    auto it = scan_identity.find(child);
+    return it == scan_identity.end() ? nullptr : &it->second;
+  };
 
   // --- Per-job execution ----------------------------------------------------
   // Everything here is schedule-independent: inputs come from immutable
@@ -754,6 +798,17 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     double job_max_task_s = 0;  // critical-path task time across the job
     size_t job_reduce_tasks = 0;
     double job_skew = -1.0;
+    uint64_t job_recycle_hits = 0, job_recycle_misses = 0;
+    // Counts one recycler lookup outcome (global counter + per-job tally).
+    auto count_recycle = [&](bool hit) {
+      if (hit) {
+        ++job_recycle_hits;
+        if (recycle_hit_ctr != nullptr) recycle_hit_ctr->Inc();
+      } else {
+        ++job_recycle_misses;
+        if (recycle_miss_ctr != nullptr) recycle_miss_ctr->Inc();
+      }
+    };
 
     Status body = [&]() -> Status {
     switch (node->kind) {
@@ -924,6 +979,51 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             options_.num_reduce_tasks, shuffle_bytes, block_size);
         job_reduce_tasks = num_buckets;
 
+        // Optimizer distinct-key estimate for the build side (product of
+        // the build child's per-key-column distincts, capped by its row
+        // estimate): pre-sizes each bucket table's per-key arrays (index
+        // slots, key refs, duplicate-chain heads/tails) well below the
+        // all-distinct worst case on duplicate-heavy keys. Growth past the
+        // estimate shows up in engine.shuffle.ht_resizes.
+        const OpNode* build_child = node->children[build_right ? 1 : 0].get();
+        size_t est_build_keys = 0;
+        {
+          double est = 1.0;
+          bool have = !node->join.pairs.empty();
+          for (const auto& [lname, rname] : node->join.pairs) {
+            auto it = build_child->est_distinct.find(build_right ? rname
+                                                                 : lname);
+            if (it == build_child->est_distinct.end() || it->second <= 0) {
+              have = false;
+              break;
+            }
+            est *= std::max(1.0, it->second);
+          }
+          if (have) {
+            if (build_child->est_rows > 0) {
+              est = std::min(est, build_child->est_rows);
+            }
+            est_build_keys = static_cast<size_t>(est);
+          }
+        }
+        auto join_key_hint = [&](size_t bucket_n) -> size_t {
+          return est_build_keys > 0
+                     ? std::min(bucket_n, est_build_keys / num_buckets + 1)
+                     : 0;
+        };
+
+        // Hash recycling: when the build side is a direct scan of an
+        // unchanged table/view, the recycler may hold its fully built
+        // per-bucket tables from an earlier query (possibly another
+        // tenant's). `cached` set => probe-only job; `pending` set => this
+        // job builds into the recycler's entry-to-be.
+        hash::RecycleKey rkey;
+        std::shared_ptr<const hash::CachedBuild> cached;
+        std::shared_ptr<hash::CachedBuild> pending;
+        const std::string* build_identity =
+            recycler != nullptr ? scan_ident(build_child) : nullptr;
+        std::atomic<uint64_t> build_ns{0};
+
         if (vectorized) {
           const BatchList build_list(build_in);
           const BatchList probe_list(probe_in);
@@ -941,6 +1041,26 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           }
           std::vector<uint64_t> build_hash, probe_hash;
 
+          if (build_identity != nullptr && flat) {
+            rkey.kind = hash::RecycleKind::kJoinBuildBatch;
+            rkey.identity = *build_identity;
+            rkey.key_cols = build_keys;
+            rkey.codec_modes.reserve(codecs[0].modes.size());
+            for (hash::KeyColMode m : codecs[0].modes) {
+              rkey.codec_modes.push_back(static_cast<uint8_t>(m));
+            }
+            rkey.num_buckets = static_cast<uint32_t>(num_buckets);
+            cached = recycler->Lookup(rkey, build_list.batches.get());
+            count_recycle(cached != nullptr);
+            if (cached == nullptr) {
+              pending = std::make_shared<hash::CachedBuild>();
+              pending->join_batch.resize(num_buckets);
+              pending->batches = build_list.batches;
+              pending->pin = build_list.batches.get();
+              pending->view_id = build_child->view_id;
+            }
+          }
+
           // Reduce body shared by both schedules: each bucket keys its
           // build rows by their packed key bytes (equal exactly when the
           // key Values are equal) and probes in row order, emitting
@@ -955,17 +1075,48 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                                    const auto& probe_each) -> Status {
             auto& local = bucket_out[b];
             local.reserve(probe_n);
-            if (flat) {
-              hash::FlatMultiMap<RowRef> ht;
-              ht.Reserve(build_n,
-                         codecs[0].bounded ? codecs[0].width_bound : 0);
+            if (cached != nullptr) {
+              // Recycled build: probe the shared cached table through the
+              // stats-free accessors (other queries may probe it
+              // concurrently). Matches come out in the cached table's
+              // insertion order == global build-row order, exactly what a
+              // fresh build would emit.
+              const hash::FlatMultiMap<RowRef>& ht = cached->join_batch[b];
               hash::KeyScratch key;
+              probe_each([&](RowRef pref) {
+                hash::NormalizeKey(probe_list.batch(pref.batch), pref.idx,
+                                   codecs[1], &key);
+                const size_t pg = probe_list.offsets[pref.batch] + pref.idx;
+                ht.ForEachMatchShared(probe_hash[pg], key.data(), key.size(),
+                                      [&](RowRef bref) {
+                                        local.push_back(Match{pg, pref, bref});
+                                      });
+              });
+              return Status::OK();
+            }
+            if (flat) {
+              hash::FlatMultiMap<RowRef> fresh;
+              hash::FlatMultiMap<RowRef>& ht =
+                  pending != nullptr ? pending->join_batch[b] : fresh;
+              ht.Reserve(build_n,
+                         codecs[0].bounded ? codecs[0].width_bound : 0,
+                         join_key_hint(build_n));
+              hash::KeyScratch key;
+              const auto build_start = std::chrono::steady_clock::now();
               build_each([&](RowRef ref) {
                 hash::NormalizeKey(build_list.batch(ref.batch), ref.idx,
                                    codecs[0], &key);
                 const size_t bg = build_list.offsets[ref.batch] + ref.idx;
                 ht.Insert(build_hash[bg], key.data(), key.size(), ref);
               });
+              if (pending != nullptr) {
+                build_ns.fetch_add(
+                    static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - build_start)
+                            .count()),
+                    std::memory_order_relaxed);
+              }
               if (ht_load_hist != nullptr && ht.size() > 0) {
                 ht_load_hist->Observe(ht.load_factor());
               }
@@ -1015,10 +1166,12 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             PartitionBuffer<RowRef> pbuf(probe_list.size(), num_buckets);
             probe_bucket.assign(probe_list.num_rows, 0);
             if (flat) {
-              build_hash.resize(build_list.num_rows);
+              if (cached == nullptr) build_hash.resize(build_list.num_rows);
               probe_hash.resize(probe_list.num_rows);
             }
-            const size_t nb = build_list.size();
+            // On a recycle hit the build side needs no producers at all:
+            // the cached tables already hold every build row.
+            const size_t nb = cached != nullptr ? 0 : build_list.size();
             OPD_RETURN_NOT_OK(RunPipelinedShuffle(
                 pipe, nb + probe_list.size(),
                 [&](size_t t) -> Status {
@@ -1080,7 +1233,13 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             // reduce wave.
             double part_build_s = 0, part_probe_s = 0;
             std::vector<uint32_t> build_bucket;
-            if (flat) {
+            if (flat && cached != nullptr) {
+              // Recycle hit: the build side was partitioned when the cached
+              // tables were built; only the probe side needs a wave.
+              OPD_RETURN_NOT_OK(ComputeBucketsBatchFlat(
+                  pctx, "partition:probe", probe_list, probe_keys,
+                  num_buckets, &probe_bucket, &probe_hash, &part_probe_s));
+            } else if (flat) {
               OPD_RETURN_NOT_OK(ComputeBucketsBatchFlat(
                   pctx, "partition:build", build_list, build_keys,
                   num_buckets, &build_bucket, &build_hash, &part_build_s));
@@ -1097,7 +1256,9 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             }
             part_s = part_build_s + part_probe_s;
             const auto build_lists =
-                BucketRefLists(build_list, build_bucket, num_buckets);
+                cached != nullptr
+                    ? std::vector<std::vector<RowRef>>(num_buckets)
+                    : BucketRefLists(build_list, build_bucket, num_buckets);
             const auto probe_lists =
                 BucketRefLists(probe_list, probe_bucket, num_buckets);
             job_skew = BucketSkew(probe_lists);
@@ -1117,6 +1278,15 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                 &reduce_max_s));
           }
           job_max_task_s = part_s + reduce_max_s;
+
+          if (pending != nullptr) {
+            pending->build_cost_s =
+                static_cast<double>(
+                    build_ns.load(std::memory_order_relaxed)) *
+                1e-9;
+            observe_recycle_insert(recycler->Insert(rkey, std::move(pending)));
+            pending.reset();
+          }
 
           // Deterministic merge: matches in probe-row order (each bucket's
           // output is already ordered by probe index, so a cursor per
@@ -1180,6 +1350,27 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         std::vector<uint64_t> build_hash, probe_hash;
         std::vector<std::vector<std::pair<size_t, Row>>> bucket_out(
             num_buckets);
+
+        if (build_identity != nullptr && flat) {
+          // Row-mode recycling: keys normalize codec-free (NormalizeKeyRow
+          // is canonical per row), so the key carries no codec modes. The
+          // pin is the build Table object itself.
+          rkey.kind = hash::RecycleKind::kJoinBuildRow;
+          rkey.identity = *build_identity;
+          rkey.key_cols = build_keys;
+          rkey.num_buckets = static_cast<uint32_t>(num_buckets);
+          const storage::TablePtr& build_table =
+              build_right ? inputs[1] : inputs[0];
+          cached = recycler->Lookup(rkey, build_table.get());
+          count_recycle(cached != nullptr);
+          if (cached == nullptr) {
+            pending = std::make_shared<hash::CachedBuild>();
+            pending->join_row.resize(num_buckets);
+            pending->table = build_table;
+            pending->pin = build_table.get();
+            pending->view_id = build_child->view_id;
+          }
+        }
         // Builds one output row for match (probe p, build m), shared by both
         // hash-table variants.
         auto emit_match = [&](size_t p, size_t m,
@@ -1200,14 +1391,35 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                                  const auto& probe_each) -> Status {
           auto& local = bucket_out[b];
           local.reserve(probe_n);
-          if (flat) {
-            hash::FlatMultiMap<size_t> ht;
-            ht.Reserve(build_n, 0);
+          if (cached != nullptr) {
+            const hash::FlatMultiMap<size_t>& ht = cached->join_row[b];
             hash::KeyScratch key;
+            probe_each([&](size_t p) {
+              hash::NormalizeKeyRow(probe_in.row(p), probe_keys, &key);
+              ht.ForEachMatchShared(probe_hash[p], key.data(), key.size(),
+                                    [&](size_t m) { emit_match(p, m, &local); });
+            });
+            return Status::OK();
+          }
+          if (flat) {
+            hash::FlatMultiMap<size_t> fresh;
+            hash::FlatMultiMap<size_t>& ht =
+                pending != nullptr ? pending->join_row[b] : fresh;
+            ht.Reserve(build_n, 0, join_key_hint(build_n));
+            hash::KeyScratch key;
+            const auto build_start = std::chrono::steady_clock::now();
             build_each([&](size_t r) {
               hash::NormalizeKeyRow(build_in.row(r), build_keys, &key);
               ht.Insert(build_hash[r], key.data(), key.size(), r);
             });
+            if (pending != nullptr) {
+              build_ns.fetch_add(
+                  static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - build_start)
+                          .count()),
+                  std::memory_order_relaxed);
+            }
             if (ht_load_hist != nullptr && ht.size() > 0) {
               ht_load_hist->Observe(ht.load_factor());
             }
@@ -1260,10 +1472,11 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           PartitionBuffer<size_t> pbuf(psplits.size(), num_buckets);
           probe_bucket.assign(probe_rows.size(), 0);
           if (flat) {
-            build_hash.resize(build_rows.size());
+            if (cached == nullptr) build_hash.resize(build_rows.size());
             probe_hash.resize(probe_rows.size());
           }
-          const size_t nb = bsplits.size();
+          // On a recycle hit the build side needs no producers at all.
+          const size_t nb = cached != nullptr ? 0 : bsplits.size();
           OPD_RETURN_NOT_OK(RunPipelinedShuffle(
               pipe, nb + psplits.size(),
               [&](size_t t) -> Status {
@@ -1318,7 +1531,12 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           // reduce wave.
           double part_build_s = 0, part_probe_s = 0;
           std::vector<uint32_t> build_bucket;
-          if (flat) {
+          if (flat && cached != nullptr) {
+            // Recycle hit: only the probe side needs a partition wave.
+            OPD_RETURN_NOT_OK(ComputeBucketsFlat(
+                pctx, "partition:probe", probe_in, probe_keys, num_buckets,
+                block_size, &probe_bucket, &probe_hash, &part_probe_s));
+          } else if (flat) {
             OPD_RETURN_NOT_OK(ComputeBucketsFlat(
                 pctx, "partition:build", build_in, build_keys, num_buckets,
                 block_size, &build_bucket, &build_hash, &part_build_s));
@@ -1336,7 +1554,10 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                                              &probe_bucket, &part_probe_s));
           }
           part_s = part_build_s + part_probe_s;
-          const auto build_lists = BucketLists(build_bucket, num_buckets);
+          const auto build_lists =
+              cached != nullptr
+                  ? std::vector<std::vector<size_t>>(num_buckets)
+                  : BucketLists(build_bucket, num_buckets);
           const auto probe_lists = BucketLists(probe_bucket, num_buckets);
           job_skew = BucketSkew(probe_lists);
           OPD_RETURN_NOT_OK(RunPhase(
@@ -1355,6 +1576,14 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
               &reduce_max_s));
         }
         job_max_task_s = part_s + reduce_max_s;
+
+        if (pending != nullptr) {
+          pending->build_cost_s =
+              static_cast<double>(build_ns.load(std::memory_order_relaxed)) *
+              1e-9;
+          observe_recycle_insert(recycler->Insert(rkey, std::move(pending)));
+          pending.reset();
+        }
 
         // Deterministic merge: emit matches in probe-row order (each
         // bucket's output is already ordered by probe index, so a cursor
@@ -1412,6 +1641,20 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                      : bucket_n;
         };
 
+        // Hash recycling for group-by: the aggregates are query-specific,
+        // so the recycler caches the *grouping routes* — per bucket, each
+        // input row (in reduce order) with the dense group id it folded
+        // into, plus a copy of each group's key. A hit skips partitioning
+        // and group discovery entirely and replays the routes with a
+        // hash-free linear pass, folding this query's aggregates from the
+        // live input.
+        hash::RecycleKey grkey;
+        std::shared_ptr<const hash::CachedBuild> gcached;
+        std::shared_ptr<hash::CachedBuild> gpending;
+        const OpNode* in_child = node->children[0].get();
+        const std::string* in_identity =
+            (recycler != nullptr && flat) ? scan_ident(in_child) : nullptr;
+
         if (vectorized) {
           const BatchList in_list(in);
           std::vector<hash::KeyCodec> codecs;
@@ -1419,6 +1662,28 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             codecs = hash::PlanKeyCodecs({{in_list.batches.get(), &key_idx}});
           }
           std::vector<uint64_t> hash_of;
+
+          if (in_identity != nullptr) {
+            grkey.kind = hash::RecycleKind::kGroupByBatch;
+            grkey.identity = *in_identity;
+            grkey.key_cols = key_idx;
+            grkey.codec_modes.reserve(codecs[0].modes.size());
+            for (hash::KeyColMode m : codecs[0].modes) {
+              grkey.codec_modes.push_back(static_cast<uint8_t>(m));
+            }
+            grkey.num_buckets = static_cast<uint32_t>(num_buckets);
+            gcached = recycler->Lookup(grkey, in_list.batches.get());
+            count_recycle(gcached != nullptr);
+            if (gcached == nullptr) {
+              gpending = std::make_shared<hash::CachedBuild>();
+              gpending->group_rows_batch.resize(num_buckets);
+              gpending->group_of.resize(num_buckets);
+              gpending->group_keys.resize(num_buckets);
+              gpending->batches = in_list.batches;
+              gpending->pin = in_list.batches.get();
+              gpending->view_id = in_child->view_id;
+            }
+          }
 
           // Reduce body shared by both schedules: hash-aggregate one
           // bucket, keying groups by the packed key bytes; the key Row is
@@ -1444,9 +1709,18 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                   for (size_t c : key_idx) {
                     krow.push_back(batch.column(c).GetValue(ref.idx));
                   }
+                  // Copy the key into the recycler record *before* the
+                  // move below (the merge later moves keys out of groups).
+                  if (gpending != nullptr) {
+                    gpending->group_keys[b].push_back(krow);
+                  }
                   groups.emplace_back(
                       std::move(krow),
                       std::vector<AggState>(node->group.aggs.size()));
+                }
+                if (gpending != nullptr) {
+                  gpending->group_rows_batch[b].push_back(ref);
+                  gpending->group_of[b].push_back(id);
                 }
                 auto& states_ = groups[id].second;
                 for (size_t a = 0; a < states_.size(); ++a) {
@@ -1494,7 +1768,41 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             return Status::OK();
           };
 
-          if (pipelined) {
+          if (gcached != nullptr) {
+            // Recycle hit: no partitioning, no hashing — replay the
+            // recorded routes per bucket, folding this query's aggregates
+            // from the live input. Route order == the original reduce
+            // order == global row order per bucket, so float accumulation
+            // and first-seen group order are byte-identical to a rebuild.
+            OPD_RETURN_NOT_OK(RunPhase(
+                pctx, "reduce", num_buckets,
+                [&](size_t b) -> Status {
+                  const auto& rrows = gcached->group_rows_batch[b];
+                  const auto& rgof = gcached->group_of[b];
+                  const auto& rkeys = gcached->group_keys[b];
+                  std::vector<GroupEntry>& groups = bucket_groups[b];
+                  groups.reserve(rkeys.size());
+                  for (size_t i = 0; i < rrows.size(); ++i) {
+                    const uint32_t id = rgof[i];
+                    if (id == groups.size()) {
+                      groups.emplace_back(
+                          rkeys[id],
+                          std::vector<AggState>(node->group.aggs.size()));
+                    }
+                    const RowRef ref = rrows[i];
+                    const RowBatch& batch = in_list.batch(ref.batch);
+                    auto& states_ = groups[id].second;
+                    for (size_t a = 0; a < states_.size(); ++a) {
+                      states_[a].Update(
+                          agg_idx[a]
+                              ? batch.column(*agg_idx[a]).GetValue(ref.idx)
+                              : Value(int64_t{1}));
+                    }
+                  }
+                  return Status::OK();
+                },
+                &reduce_max_s));
+          } else if (pipelined) {
             // Fused map+partition: one producer per batch hashes straight
             // into its per-bucket buffer slots.
             PartitionBuffer<RowRef> buf(in_list.size(), num_buckets);
@@ -1568,6 +1876,25 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           // Row-at-a-time group-by; same structure as the batch path with
           // Row keys instead of packed key bytes.
           std::vector<uint64_t> hash_of;
+
+          if (in_identity != nullptr) {
+            grkey.kind = hash::RecycleKind::kGroupByRow;
+            grkey.identity = *in_identity;
+            grkey.key_cols = key_idx;
+            grkey.num_buckets = static_cast<uint32_t>(num_buckets);
+            gcached = recycler->Lookup(grkey, inputs[0].get());
+            count_recycle(gcached != nullptr);
+            if (gcached == nullptr) {
+              gpending = std::make_shared<hash::CachedBuild>();
+              gpending->group_rows_row.resize(num_buckets);
+              gpending->group_of.resize(num_buckets);
+              gpending->group_keys.resize(num_buckets);
+              gpending->table = inputs[0];
+              gpending->pin = inputs[0].get();
+              gpending->view_id = in_child->view_id;
+            }
+          }
+
           auto reduce_bucket = [&](size_t b, size_t bucket_n,
                                    const auto& for_each) -> Status {
             std::vector<GroupEntry>& groups = bucket_groups[b];
@@ -1584,9 +1911,16 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
                   Row krow;
                   krow.reserve(key_idx.size());
                   for (size_t i : key_idx) krow.push_back(row[i]);
+                  if (gpending != nullptr) {
+                    gpending->group_keys[b].push_back(krow);
+                  }
                   groups.emplace_back(
                       std::move(krow),
                       std::vector<AggState>(node->group.aggs.size()));
+                }
+                if (gpending != nullptr) {
+                  gpending->group_rows_row[b].push_back(r);
+                  gpending->group_of[b].push_back(id);
                 }
                 auto& states_ = groups[id].second;
                 for (size_t a = 0; a < states_.size(); ++a) {
@@ -1626,7 +1960,34 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
             return Status::OK();
           };
 
-          if (pipelined) {
+          if (gcached != nullptr) {
+            // Recycle hit: replay the recorded routes (see the batch path).
+            OPD_RETURN_NOT_OK(RunPhase(
+                pctx, "reduce", num_buckets,
+                [&](size_t b) -> Status {
+                  const auto& rrows = gcached->group_rows_row[b];
+                  const auto& rgof = gcached->group_of[b];
+                  const auto& rkeys = gcached->group_keys[b];
+                  std::vector<GroupEntry>& groups = bucket_groups[b];
+                  groups.reserve(rkeys.size());
+                  for (size_t i = 0; i < rrows.size(); ++i) {
+                    const uint32_t id = rgof[i];
+                    if (id == groups.size()) {
+                      groups.emplace_back(
+                          rkeys[id],
+                          std::vector<AggState>(node->group.aggs.size()));
+                    }
+                    const Row& row = in.row(rrows[i]);
+                    auto& states_ = groups[id].second;
+                    for (size_t a = 0; a < states_.size(); ++a) {
+                      states_[a].Update(agg_idx[a] ? row[*agg_idx[a]]
+                                                   : Value(int64_t{1}));
+                    }
+                  }
+                  return Status::OK();
+                },
+                &reduce_max_s));
+          } else if (pipelined) {
             const std::vector<Row>& rows = in.rows();
             const std::vector<RowRange> splits =
                 storage::SplitRowsByBlockSize(rows.size(), in.AvgRowBytes(),
@@ -1696,6 +2057,14 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
           }
         }
         job_max_task_s = part_s + reduce_max_s;
+
+        if (gpending != nullptr) {
+          // Benefit = the partition + reduce wall a future hit skips (the
+          // replay pass it pays instead is a fraction of it).
+          gpending->build_cost_s = part_s + reduce_max_s;
+          observe_recycle_insert(recycler->Insert(grkey, std::move(gpending)));
+          gpending.reset();
+        }
 
         // Deterministic merge: groups sorted by key — the order the old
         // ordered-map implementation emitted, for any thread/bucket count.
@@ -1782,6 +2151,8 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     st.reduce_tasks = job_reduce_tasks;
     st.tasks = job_tasks;
     st.skew = job_skew;
+    st.recycle_hits = job_recycle_hits;
+    st.recycle_misses = job_recycle_misses;
     st.wall_s = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - job_wall_start)
                     .count();
@@ -1825,6 +2196,8 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     jr.reduce_tasks = st.reduce_tasks;
     jr.max_task_time_s = st.max_task_s;
     jr.pipelined = pipelined;
+    jr.recycle_hits = st.recycle_hits;
+    jr.recycle_misses = st.recycle_misses;
     // Cost-model accountability: the optimizer's prediction (cost over
     // estimated rows/bytes, annotated at Prepare) vs the model re-run on
     // the observed byte counts. Finalize order is topological in both

@@ -30,6 +30,10 @@
 
 namespace opd::exec {
 
+namespace hash {
+class HashRecycler;
+}
+
 /// Execution knobs.
 struct EngineOptions {
   /// Retain job outputs as opportunistic views (Section 2.1). Always true in
@@ -79,6 +83,15 @@ struct EngineOptions {
   /// either way (every shuffle merge is order-normalized, so the different
   /// bucket mapping is unobservable).
   bool flat_hash = true;
+  /// Recycle built flat hash tables across queries (HashStash-style, see
+  /// src/exec/hash/recycler.h): when a join build side or group-by input is
+  /// a direct scan of an unchanged table/view, reuse the cached structures
+  /// instead of rebuilding. Only takes effect when `flat_hash` is on and a
+  /// recycler is attached (set_recycler; the serving layer shares one
+  /// across tenants). Results are byte-identical either way — FlatMultiMap
+  /// preserves insertion order, so a recycled probe emits the exact match
+  /// sequence a fresh build would.
+  bool recycle_hash = true;
   /// Publish per-job observations (shuffle skew, hash-table load factors,
   /// dictionary compression, byte counts) into obs::MetricRegistry::Global().
   bool metrics = true;
@@ -119,6 +132,11 @@ struct JobRun {
   /// loop) instead of separate phased map/partition waves; EXPLAIN ANALYZE
   /// renders the task counts as "#p+#r" vs "#m+#r" accordingly.
   bool pipelined = false;
+  /// Hash-table recycler outcomes of this job (0/0 when the job had no
+  /// recyclable build or recycling is off). EXPLAIN ANALYZE renders
+  /// "recycle=hit" / "recycle=miss"; the server attributes them per tenant.
+  uint64_t recycle_hits = 0;
+  uint64_t recycle_misses = 0;
 };
 
 /// Result of executing one plan.
@@ -171,11 +189,18 @@ class Engine {
     accountant_ = accountant;
   }
 
+  /// Attaches a hash-table recycler (thread-safe; shared across every
+  /// Execute of this engine, and across engines/tenants when the serving
+  /// layer hangs one off the Server). Caller owns; null detaches and
+  /// disables recycling regardless of EngineOptions::recycle_hash.
+  void set_recycler(hash::HashRecycler* recycler) { recycler_ = recycler; }
+
  private:
   storage::Dfs* dfs_;
   catalog::ViewStore* views_;
   const optimizer::Optimizer* optimizer_;
   optimizer::CostAccountant* accountant_ = nullptr;
+  hash::HashRecycler* recycler_ = nullptr;
   EngineOptions options_;
   StatsCollector stats_;
   /// Task pool shared by all jobs of this engine; null when running with a

@@ -10,17 +10,32 @@
 // allocation-free; growth beyond the reservation is counted in
 // FlatStats::resizes and surfaces as the engine.shuffle.ht_resizes counter.
 //
-// These tables are per-reduce-task (one bucket each) and single-threaded;
-// nothing here is safe for concurrent use.
+// These tables are per-reduce-task (one bucket each) and single-threaded
+// while being built; nothing here is safe for concurrent mutation. A fully
+// built table may be probed concurrently from many threads through the
+// `FindShared` / `ForEachMatchShared` variants only — they skip the mutable
+// FlatStats bookkeeping the regular probes update (this is what the
+// cross-query recycler, recycler.h, relies on).
 
 #ifndef OPD_EXEC_HASH_FLAT_TABLE_H_
 #define OPD_EXEC_HASH_FLAT_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <utility>
 #include <vector>
+
+// Probe-loop prefetch of the next linear-probe slot: hides the latency of
+// the (random) slot-array cache line behind the key comparison of the
+// current one. Toggleable per table (set_prefetch) so micro_hash can report
+// before/after numbers.
+#if defined(__GNUC__) || defined(__clang__)
+#define OPD_FLAT_PREFETCH(addr) __builtin_prefetch((addr))
+#else
+#define OPD_FLAT_PREFETCH(addr) ((void)0)
+#endif
 
 namespace opd::exec::hash {
 
@@ -86,6 +101,10 @@ class FlatKeyIndex {
       }
       if (s.hash == h && eq(s.id)) return {s.id, false};
       i = (i + 1) & mask_;
+      // Collision chain: hide the next slot's cache line behind this
+      // step's key comparison. Home-slot lookups (the common case at the
+      // 7/8 load cap) never pay for a prefetch.
+      if (prefetch_) OPD_FLAT_PREFETCH(&slots_[(i + 1) & mask_]);
       ++stats_.probe_steps;
     }
   }
@@ -101,9 +120,32 @@ class FlatKeyIndex {
       if (s.id == kNone) return kNone;
       if (s.hash == h && eq(s.id)) return s.id;
       i = (i + 1) & mask_;
+      if (prefetch_) OPD_FLAT_PREFETCH(&slots_[(i + 1) & mask_]);
       ++stats_.probe_steps;
     }
   }
+
+  /// Find without the FlatStats bookkeeping: safe to call concurrently from
+  /// many threads on a fully built, no-longer-mutated index (the regular
+  /// probes bump the mutable stats counters and therefore are not).
+  template <typename Eq>
+  uint32_t FindShared(uint64_t h, Eq&& eq) const {
+    if (slots_.empty()) return kNone;
+    size_t i = static_cast<size_t>(h) & mask_;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.id == kNone) return kNone;
+      if (s.hash == h && eq(s.id)) return s.id;
+      i = (i + 1) & mask_;
+      if (prefetch_) OPD_FLAT_PREFETCH(&slots_[(i + 1) & mask_]);
+    }
+  }
+
+  /// Probe-slot prefetching on/off (default on; micro_hash ablation knob).
+  void set_prefetch(bool on) { prefetch_ = on; }
+
+  /// Approximate heap footprint of the slot array (recycler budgeting).
+  size_t memory_bytes() const { return slots_.capacity() * sizeof(Slot); }
 
   size_t size() const { return size_; }
   double load_factor() const {
@@ -143,6 +185,7 @@ class FlatKeyIndex {
   size_t mask_ = 0;
   size_t size_ = 0;
   size_t max_fill_ = 0;
+  bool prefetch_ = true;
   mutable FlatStats stats_;
 };
 
@@ -173,6 +216,11 @@ class FlatGroupIndex {
   double load_factor() const { return index_.load_factor(); }
   const FlatStats& stats() const { return index_.stats(); }
   size_t arena_bytes() const { return arena_.total_bytes(); }
+  void set_prefetch(bool on) { index_.set_prefetch(on); }
+  size_t memory_bytes() const {
+    return index_.memory_bytes() + arena_.total_bytes() +
+           keys_.capacity() * sizeof(KeyRef);
+  }
 
  private:
   struct KeyRef {
@@ -190,19 +238,26 @@ class FlatGroupIndex {
 template <typename Ref>
 class FlatMultiMap {
  public:
-  /// `build_rows` is the exact build-side row count of this bucket: every
-  /// per-row array reserves it up front, and the key index is sized for the
-  /// worst case of all-distinct keys, so the insert loop never allocates.
-  /// `key_width_bound` > 0 additionally pre-sizes the key arena (bounded
-  /// codecs: numeric / dict-code keys).
-  void Reserve(size_t build_rows, size_t key_width_bound) {
-    index_.Reserve(build_rows);
-    keys_.reserve(build_rows);
-    head_.reserve(build_rows);
-    tail_.reserve(build_rows);
+  /// `build_rows` is the exact build-side row count of this bucket: the
+  /// per-insert arrays (payloads, chain links) reserve it up front.
+  /// `distinct_hint` > 0 sizes the per-key arrays (index slots, key refs,
+  /// chain heads/tails, arena) for that many distinct keys — the optimizer's
+  /// distinct estimate for the build keys; 0 keeps the worst case of
+  /// all-distinct keys. Under-estimates only cost growth (counted in
+  /// FlatStats::resizes), never correctness. `key_width_bound` > 0
+  /// additionally pre-sizes the key arena (bounded codecs: numeric /
+  /// dict-code keys).
+  void Reserve(size_t build_rows, size_t key_width_bound,
+               size_t distinct_hint = 0) {
+    const size_t keys =
+        distinct_hint > 0 ? std::min(distinct_hint, build_rows) : build_rows;
+    index_.Reserve(keys);
+    keys_.reserve(keys);
+    head_.reserve(keys);
+    tail_.reserve(keys);
     refs_.reserve(build_rows);
     next_.reserve(build_rows);
-    if (key_width_bound > 0) arena_.Reserve(build_rows * key_width_bound);
+    if (key_width_bound > 0) arena_.Reserve(keys * key_width_bound);
   }
 
   void Insert(uint64_t h, const char* key, uint32_t len, Ref ref) {
@@ -239,10 +294,34 @@ class FlatMultiMap {
     }
   }
 
+  /// ForEachMatch without the FlatStats bookkeeping: safe to call
+  /// concurrently from many threads on a fully built table (the recycler's
+  /// shared-probe path).
+  template <typename Fn>
+  void ForEachMatchShared(uint64_t h, const char* key, uint32_t len,
+                          Fn&& fn) const {
+    const uint32_t id = index_.FindShared(h, [&](uint32_t cand) {
+      return keys_[cand].len == len &&
+             std::memcmp(keys_[cand].data, key, len) == 0;
+    });
+    if (id == FlatKeyIndex::kNone) return;
+    for (uint32_t e = head_[id]; e != FlatKeyIndex::kNone; e = next_[e]) {
+      fn(refs_[e]);
+    }
+  }
+
   size_t size() const { return keys_.size(); }
   double load_factor() const { return index_.load_factor(); }
   const FlatStats& stats() const { return index_.stats(); }
   size_t arena_bytes() const { return arena_.total_bytes(); }
+  void set_prefetch(bool on) { index_.set_prefetch(on); }
+  size_t memory_bytes() const {
+    return index_.memory_bytes() + arena_.total_bytes() +
+           keys_.capacity() * sizeof(KeyRef) +
+           (head_.capacity() + tail_.capacity() + next_.capacity()) *
+               sizeof(uint32_t) +
+           refs_.capacity() * sizeof(Ref);
+  }
 
  private:
   struct KeyRef {

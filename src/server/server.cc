@@ -68,6 +68,15 @@ Result<std::unique_ptr<Server>> Server::Create(SessionOptions options) {
   acc_opts.publish_metrics = options.obs.metrics;
   server->accountant_ = std::make_unique<optimizer::CostAccountant>(acc_opts);
   server->engine_->set_accountant(server->accountant_.get());
+
+  // One recycler per server: every tenant's queries share it (a build cached
+  // by one tenant's join is a hit for every other tenant probing the same
+  // table or published view).
+  exec::hash::HashRecycler::Config recycler_cfg;
+  recycler_cfg.budget_bytes = options.server.recycle_budget_bytes;
+  server->recycler_ =
+      std::make_unique<exec::hash::HashRecycler>(recycler_cfg);
+  server->engine_->set_recycler(server->recycler_.get());
   server->bfr_ = std::make_unique<rewrite::BfRewriter>(
       server->optimizer_.get(), server->views_.get(), options.rewrite);
 
@@ -201,11 +210,24 @@ Result<RunResult> Server::RunAdmitted(const std::string& tenant,
     if (pub.added) ++views_added;
   }
   exec.metrics.views_created += views_added;
+  // Publication can evict or supersede views (retention runs inside
+  // PublishBatch); sweep recycled builds whose source view is gone. Entries
+  // keyed at older epochs of a still-alive view die naturally: their
+  // RecycleKey embeds the publish epoch, so nothing can look them up, and
+  // the byte budget reclaims them as their benefit-per-byte decays.
+  recycler_->InvalidateViews(
+      [this](int64_t id) { return views_->Has(id); });
   query_span.End();
 
   uint64_t cross_tenant_hits = 0;
   for (const ViewUse& use : out.views_used) {
     if (!use.tenant.empty() && use.tenant != tenant) ++cross_tenant_hits;
+  }
+  uint64_t recycle_hits = 0;
+  uint64_t recycle_misses = 0;
+  for (const exec::JobRun& jr : exec.jobs) {
+    recycle_hits += jr.recycle_hits;
+    recycle_misses += jr.recycle_misses;
   }
   if (options_.obs.metrics) {
     if (views_added > 0) {
@@ -215,6 +237,11 @@ Result<RunResult> Server::RunAdmitted(const std::string& tenant,
       reg->counter("server.queries.completed").Inc();
       reg->counter("server.views.published").Inc(views_added);
       reg->counter("server.views.cross_reuse").Inc(cross_tenant_hits);
+      // Per-tenant recycler attribution: the engine's engine.recycle.*
+      // counters are global (pool threads can't know the tenant), so the
+      // per-job outcomes are re-attributed here in the tenant scope.
+      reg->counter("server.recycle.hits").Inc(recycle_hits);
+      reg->counter("server.recycle.misses").Inc(recycle_misses);
     }
   }
 

@@ -32,6 +32,7 @@
 #include "catalog/view_store.h"
 #include "common/status.h"
 #include "exec/engine.h"
+#include "exec/hash/recycler.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "optimizer/accountability.h"
@@ -132,6 +133,9 @@ class Server {
   udf::UdfRegistry& udfs() { return *udfs_; }
   const optimizer::Optimizer& optimizer() const { return *optimizer_; }
   exec::Engine& engine() { return *engine_; }
+  /// The shared hash-table recycler (one per server, shared by every
+  /// tenant's queries; budget from ServerOptions::recycle_budget_bytes).
+  exec::hash::HashRecycler& recycler() { return *recycler_; }
   const rewrite::BfRewriter& rewriter() const { return *bfr_; }
   const optimizer::CostAccountant& accountant() const { return *accountant_; }
   const SessionOptions& options() const { return options_; }
@@ -151,6 +155,7 @@ class Server {
   std::unique_ptr<udf::UdfRegistry> udfs_;
   std::unique_ptr<optimizer::Optimizer> optimizer_;
   std::unique_ptr<optimizer::CostAccountant> accountant_;
+  std::unique_ptr<exec::hash::HashRecycler> recycler_;
   std::unique_ptr<exec::Engine> engine_;
   std::unique_ptr<rewrite::BfRewriter> bfr_;
   std::unique_ptr<server::AdmissionController> admission_;

@@ -59,6 +59,11 @@ struct ServerOptions {
   /// tenant with the fewest running queries goes first, FIFO tie-break)
   /// instead of strict global FIFO.
   bool fair_scheduling = true;
+  /// Byte budget of the shared hash-table recycler (HashStash-style reuse
+  /// of built join/group-by tables across queries and tenants; see
+  /// src/exec/hash/recycler.h). 0 = unbounded. The engine-side switch is
+  /// EngineOptions::recycle_hash.
+  uint64_t recycle_budget_bytes = 64ull << 20;
 };
 
 /// Every knob of a session/server, grouped by subsystem. The nested structs

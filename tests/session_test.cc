@@ -126,10 +126,12 @@ TEST(SessionTest, ExplainAnalyzeGoldenShape) {
   // Pipelined execution (the default) reports fused pipeline tasks: "#p".
   // The residual sign is deterministic here: the estimator undershoots this
   // groupby (observed proxy cost > prediction), so resid renders "+".
+  // The groupby input is a direct base-table scan, so it is recyclable; a
+  // cold session's first run records a recycler miss.
   const std::string expected =
       pad("GROUPBY(user_id)") +
       "  [job #] time=#s pred=#s resid=+#% rows=# read=# shuffled=# "
-      "written=# tasks=#p+#r\n" +
+      "written=# tasks=#p+#r recycle=miss\n" +
       pad("  SCAN(TWTR)") + "  (scan)\n" +
       "jobs: #  sim time: #s (+stats #s)  read: #  shuffled: #  written: #  "
       "views: #  max resid: +#%\n";
