@@ -22,6 +22,11 @@
 // trace_event JSON file — open it in chrome://tracing or Perfetto — and the
 // rewrite decision logs are exported alongside it as <path minus
 // .json>.rewrite.json.
+//
+// Introspection statements (served from the query-history ring):
+//   SHOW QUERIES;           one line per retained completion
+//   SHOW PROFILE <ticket>;  one query in long form (+ slow capture, if any)
+//   SHOW SERVER STATS;      counters, admission gate, SLO percentiles
 
 #include <cstdio>
 #include <cstring>
@@ -104,6 +109,45 @@ int WriteDecisionLogFile(const std::string& path) {
 
 int RunProgram(workload::TestBed* bed, ClientSession* client,
                std::string source, const char* label) {
+  // SHOW statements are whole programs; dispatch them before EXPLAIN.
+  uint64_t ticket = 0;
+  const oql::ShowKind show = oql::ConsumeShowPrefix(&source, &ticket);
+  if (show != oql::ShowKind::kNone) {
+    Server& server = client->server();
+    std::printf("--- %s (tenant %s) ---\n", label, client->tenant().c_str());
+    if (server.query_log() == nullptr) {
+      std::fprintf(stderr, "query log disabled (query_log_capacity = 0)\n");
+      return 1;
+    }
+    switch (show) {
+      case oql::ShowKind::kQueries:
+        std::printf("%s\n",
+                    server::RenderQueries(server.query_log()->Snapshot())
+                        .c_str());
+        break;
+      case oql::ShowKind::kProfile: {
+        auto record = server.query_log()->Find(ticket);
+        if (record == nullptr) {
+          std::fprintf(stderr, "no retained query with ticket %llu\n",
+                       static_cast<unsigned long long>(ticket));
+          return 1;
+        }
+        std::printf("%s\n",
+                    server::RenderProfile(
+                        *record, server.query_log()->FindProfile(ticket))
+                        .c_str());
+        break;
+      }
+      case oql::ShowKind::kServerStats:
+        std::printf("%s\n",
+                    server::RenderServerStats(server.Introspect()).c_str());
+        break;
+      case oql::ShowKind::kNone:
+        break;
+    }
+    return 0;
+  }
+
   const oql::ExplainMode mode = oql::ConsumeExplainPrefix(&source);
   std::printf("--- %s (tenant %s) ---\n%s\n", label,
               client->tenant().c_str(), source.c_str());
@@ -231,6 +275,11 @@ int main(int argc, char** argv) {
                       "session 2 (reuses session 1's views)");
     }
     if (rc == 0) rc = RunProgram(&bed, &client, kDemoScript3, "session 3");
+    // Introspection over the queries that just ran.
+    if (rc == 0) rc = RunProgram(&bed, &client, "SHOW QUERIES;", "show queries");
+    if (rc == 0) {
+      rc = RunProgram(&bed, &client, "SHOW SERVER STATS;", "show server stats");
+    }
   }
 
   if (trace_path != nullptr) {

@@ -9,10 +9,13 @@
 # (traced_rows_per_sec vs untraced_rows_per_sec = tracing overhead).
 # micro_eval --json contributes one expression-kernel record (fused
 # project/filter throughput without engine overheads). micro_serve --json
-# contributes one serving-layer record (interleaved multi-tenant queries/sec,
-# view hit rate, and the outputs_match_serial_replay receipt — the binary
-# itself exits 1 when the receipt fails, so appending doubles as a
-# determinism gate). micro_recycle --json contributes one hash-recycler
+# contributes two serving-layer records: "serve_observed" (the
+# continuous-observability tax — the same interleaved pass with the full
+# query log + slow capture on vs the log disabled, gated < 5% by --check,
+# plus slow-capture bytes and the server's p95 SLO gauge) and "serve"
+# (interleaved multi-tenant queries/sec, view hit rate, and the
+# outputs_match_serial_replay receipt — the binary itself exits 1 when the
+# receipt fails, so appending doubles as a determinism gate). micro_recycle --json contributes one hash-recycler
 # record (cold vs recycled join wall time, recycler hit counters, the
 # zero-rebuild receipt, and the warm-rewrite view-join hit rate; the binary
 # exits 1 when recycled outputs diverge from the cold build or a warm run
@@ -64,6 +67,11 @@ FLAT_HASH_FLOOR=1.3
 # build-every-time run by this factor (gated on byte-identical outputs and
 # the zero-rebuild receipt).
 RECYCLE_FLOOR=1.3
+# Full continuous observability (query-history ring + JSONL sink +
+# slow-query capture of EVERY query) may cost at most this much wall time
+# over the same serving pass with the query log disabled (micro_serve's
+# "serve_observed" record, best-of-2 per lane).
+QUERYLOG_OVERHEAD_PCT_MAX=5.0
 
 build=1
 check=0
@@ -92,6 +100,7 @@ if [[ "${check}" == 1 ]]; then
   BATCH_VS_ROW_FLOOR="${BATCH_VS_ROW_FLOOR}" \
   FLAT_HASH_FLOOR="${FLAT_HASH_FLOOR}" \
   RECYCLE_FLOOR="${RECYCLE_FLOOR}" \
+  QUERYLOG_OVERHEAD_PCT_MAX="${QUERYLOG_OVERHEAD_PCT_MAX}" \
   python3 - "${out}" <<'EOF'
 import json
 import os
@@ -253,6 +262,33 @@ else:
               f"queries/s, view_hit_rate={serve.get('view_hit_rate'):.2f}, "
               f"cross_tenant_reuse={serve.get('cross_tenant_reuse')}, "
               "serial replay OK")
+
+# Observability-tax gate: serving with the full query log on (history ring
+# + JSONL sink + slow-query capture of every query) must stay within
+# QUERYLOG_OVERHEAD_PCT_MAX of the same pass with the log disabled. Both
+# lanes are best-of-2 inside micro_serve, so one stall does not flip the
+# gate; negative overhead (observed lane won the coin flip) passes.
+observed = modes.get("serve_observed")
+overhead_max = float(os.environ["QUERYLOG_OVERHEAD_PCT_MAX"])
+if observed is None:
+    failures.append("no 'serve_observed' record in benchmark output")
+else:
+    overhead = observed.get("querylog_overhead_pct", 1e9)
+    if observed.get("querylog_appended", 0) != observed.get("queries", -1):
+        failures.append(
+            f"serve_observed: logged {observed.get('querylog_appended')} "
+            f"records for {observed.get('queries')} queries (query history "
+            "is lossy)")
+    if overhead > overhead_max:
+        failures.append(
+            f"serve_observed querylog_overhead_pct {overhead:.1f} exceeds "
+            f"{overhead_max:.1f}%: continuous observability is not cheap "
+            "enough to leave on")
+    elif not any("serve_observed" in f for f in failures):
+        print(f"bench --check: serve_observed overhead {overhead:+.1f}% "
+              f"(max {overhead_max:.1f}%), "
+              f"{observed.get('slow_capture_bytes')} slow-capture bytes, "
+              f"p95 {observed.get('latency_p95_s'):.3f}s")
 
 # Hash-recycler gate: micro_recycle's warm repetitions of the same join
 # must probe the cached build (zero_rebuild receipt) and clear the

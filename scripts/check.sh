@@ -12,9 +12,12 @@
 # concurrency-sensitive suites under it: the serving-layer tests
 # (server_test — admission control, snapshot visibility, and the
 # interleaved multi-tenant stress test with its serial-replay oracle), the
-# engine's parallel-determinism suite, and the hash-recycler stress test
-# (concurrent tenants racing lookups/inserts on the shared recycler). TSan
-# and ASan cannot share a build, hence the separate tree.
+# engine's parallel-determinism suite, the hash-recycler stress test
+# (concurrent tenants racing lookups/inserts on the shared recycler), and
+# the query-log suite (concurrent appends racing lock-free ring snapshots,
+# plus the 8-tenant query-history-vs-serial-replay determinism check inside
+# ServerStress). TSan and ASan cannot share a build, hence the separate
+# tree.
 #
 # Then runs the perf-floor gate
 # (scripts/bench.sh --check) against the REGULAR build — never the
@@ -38,10 +41,10 @@ cd ..
 echo "== ThreadSanitizer pass (serving layer + parallel determinism) =="
 cmake -B build-tsan -S . -DOPD_TSAN=ON >/dev/null
 cmake --build build-tsan --target server_test parallel_determinism_test \
-  recycler_test -j
+  recycler_test query_log_test -j
 cd build-tsan
 TSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure \
-  -R 'AdmissionController|ServerAdmission|Serving|ServerStress|ParallelDeterminism|RecyclerStress' "$@"
+  -R 'AdmissionController|ServerAdmission|Serving|ServerStress|ServerIntrospection|ParallelDeterminism|RecyclerStress|QueryLog' "$@"
 cd ..
 echo "== micro_eval under ASan+UBSan (expression kernels, correctness only) =="
 # One sanitized pass over the fused expression kernels: masks, selection

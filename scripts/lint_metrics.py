@@ -30,6 +30,10 @@ NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,2}$")
 # instrumentation only resolves when a recycler is attached to the engine
 # (the serving layer wires one up), so a wiring regression would silently
 # drop these from the dump instead of tripping rule 2 -- pin them here.
+# Likewise the server.slo.* / server.querylog.* families: Server::Create
+# registers them eagerly whenever the query log is on, so their absence
+# means the continuous-observability wiring regressed (DESIGN.md §3),
+# and dashboards scraping these exact names would silently flatline.
 REQUIRED_NAMES = {
     "engine.recycle.hit",
     "engine.recycle.miss",
@@ -38,6 +42,18 @@ REQUIRED_NAMES = {
     "engine.recycle.bytes",
     "server.recycle.hits",
     "server.recycle.misses",
+    "server.slo.latency_s",
+    "server.slo.latency_p50",
+    "server.slo.latency_p95",
+    "server.slo.latency_p99",
+    "server.slo.queue_wait_p50",
+    "server.slo.queue_wait_p95",
+    "server.slo.queue_wait_p99",
+    "server.querylog.appended",
+    "server.querylog.dropped",
+    "server.querylog.slow_captured",
+    "server.querylog.slow_evicted",
+    "server.querylog.capture_bytes",
 }
 # counter("...")/gauge("...")/histogram("...") calls; DOTALL so a ternary
 # spanning lines (e.g. the memo hit/miss counter) still parses.

@@ -50,10 +50,11 @@ void Render(const OpNodePtr& node, int depth,
     // resid= their signed gap (the cost-model accountability signal).
     std::snprintf(buf, sizeof(buf),
                   "  [job %d] time=%.2fs pred=%.2fs resid=%+.1f%% "
-                  "rows=%llu read=%s shuffled=%s "
+                  "rows=%llu->%llu read=%s shuffled=%s "
                   "written=%s tasks=%zu%s+%zur",
                   jr.index, jr.sim_time_s, jr.predicted_cost_s,
                   jr.residual_pct,
+                  static_cast<unsigned long long>(jr.rows_in),
                   static_cast<unsigned long long>(jr.rows_out),
                   HumanBytes(jr.bytes_read).c_str(),
                   HumanBytes(jr.bytes_shuffled).c_str(),

@@ -728,6 +728,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     Status status = Status::OK();
     TablePtr table;  // sealed output (named, not yet written to the DFS)
     uint64_t in_bytes = 0;
+    uint64_t in_rows = 0;
     uint64_t shuffle_bytes = 0;
     uint64_t out_bytes = 0;
     uint64_t out_rows = 0;
@@ -779,6 +780,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
         return;
       }
       st.in_bytes += t->ByteSize();
+      st.in_rows += t->num_rows();
       inputs.push_back(std::move(t));
     }
     const uint64_t in_bytes = st.in_bytes;
@@ -2172,6 +2174,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
 
     metrics.sim_time_s += st.cost.total_s;
     metrics.bytes_read += st.in_bytes;
+    metrics.rows_read += st.in_rows;
     metrics.bytes_shuffled += st.shuffle_bytes;
     metrics.bytes_written += st.out_bytes;
     metrics.jobs += 1;
@@ -2190,6 +2193,7 @@ Result<ExecResult> Engine::Execute(plan::Plan* plan, obs::Trace* trace,
     jr.bytes_read = st.in_bytes;
     jr.bytes_shuffled = st.shuffle_bytes;
     jr.bytes_written = st.out_bytes;
+    jr.rows_in = st.in_rows;
     jr.rows_out = st.out_rows;
     jr.map_tasks = st.tasks >= st.reduce_tasks ? st.tasks - st.reduce_tasks
                                                : 0;

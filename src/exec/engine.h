@@ -118,6 +118,7 @@ struct JobRun {
   uint64_t bytes_read = 0;
   uint64_t bytes_shuffled = 0;
   uint64_t bytes_written = 0;
+  uint64_t rows_in = 0;                 ///< input rows gathered by the job
   uint64_t rows_out = 0;
   size_t map_tasks = 0;                 ///< tasks across map/partition waves
   size_t reduce_tasks = 0;              ///< shuffle buckets (0 = map-only)

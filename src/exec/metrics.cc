@@ -11,6 +11,7 @@ ExecMetrics& ExecMetrics::operator+=(const ExecMetrics& other) {
   stats_time_s += other.stats_time_s;
   stats_wall_time_s += other.stats_wall_time_s;
   bytes_read += other.bytes_read;
+  rows_read += other.rows_read;
   bytes_shuffled += other.bytes_shuffled;
   bytes_written += other.bytes_written;
   jobs += other.jobs;
@@ -37,6 +38,7 @@ std::string ExecMetrics::ToJson() const {
   w.Key("stats_wall_time_s").Double(stats_wall_time_s);
   w.Key("total_time_s").Double(TotalTime());
   w.Key("bytes_read").UInt(bytes_read);
+  w.Key("rows_read").UInt(rows_read);
   w.Key("bytes_shuffled").UInt(bytes_shuffled);
   w.Key("bytes_written").UInt(bytes_written);
   w.Key("bytes_manipulated").UInt(BytesManipulated());

@@ -23,6 +23,9 @@ struct ExecMetrics {
   double stats_wall_time_s = 0;
   /// Actual bytes read from the DFS across all jobs.
   uint64_t bytes_read = 0;
+  /// Rows fed into jobs (base tables, views, and intermediates alike —
+  /// the row-count twin of bytes_read). Deterministic for a given plan.
+  uint64_t rows_read = 0;
   /// Actual bytes sorted/transferred in shuffles.
   uint64_t bytes_shuffled = 0;
   /// Actual bytes written to the DFS.

@@ -81,6 +81,66 @@ double Histogram::BucketUpperBound(int b) {
   return std::ldexp(1.0, b - 32);
 }
 
+double Histogram::Quantile(double q) const {
+  // One snapshot of the bucket array; the total comes from the same
+  // snapshot (not count_), so a concurrent Observe() cannot make the rank
+  // walk run past the end.
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  // Target rank in [1, total]; find the bucket whose cumulative count
+  // reaches it and interpolate linearly within the bucket's bounds.
+  const double rank = q * static_cast<double>(total - 1) + 1.0;
+  uint64_t cum = 0;
+  double est = 0.0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(cum + counts[b]) >= rank) {
+      const double lo = b == 0 ? 0.0 : BucketUpperBound(b - 1);
+      const double hi = BucketUpperBound(b);
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(counts[b]);
+      est = lo + (hi - lo) * frac;
+      break;
+    }
+    cum += counts[b];
+    est = BucketUpperBound(b);
+  }
+  // The exact observed extrema are tighter than any bucket bound.
+  const double observed_min = min();
+  const double observed_max = max();
+  if (est < observed_min) est = observed_min;
+  if (est > observed_max) est = observed_max;
+  return est;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  uint64_t merged = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    merged += n;
+  }
+  if (merged == 0) return;
+  count_.fetch_add(merged, std::memory_order_relaxed);
+  AtomicAdd(&sum_, other.sum());
+  const bool had = has_.exchange(true, std::memory_order_relaxed);
+  if (!had) {
+    min_.store(other.min(), std::memory_order_relaxed);
+    max_.store(other.max(), std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, other.min());
+  AtomicMax(&max_, other.max());
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -50,6 +50,15 @@ class Gauge {
 /// Distribution sketch over power-of-two buckets spanning [2^-31, 2^31),
 /// plus exact count/sum/min/max. All updates are atomic; concurrent
 /// Observe() calls never lose events.
+///
+/// Threading contract: Observe() may race with every read accessor
+/// (readers see a slightly stale but internally usable sketch — Quantile()
+/// derives its total from one pass over the bucket array, never from
+/// count()). Reset() is the one exception: it is NOT linearizable against
+/// concurrent Observe() calls (an in-flight observation can land half
+/// before and half after the zeroing, leaving count/sum/buckets mutually
+/// inconsistent). Call Reset() — and MetricRegistry::ResetAll() — only
+/// while the metric is quiescent, e.g. between queries on a paused server.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
@@ -66,6 +75,20 @@ class Histogram {
   }
   /// Inclusive upper bound of bucket `b` (bucket 0 holds v <= 0).
   static double BucketUpperBound(int b);
+
+  /// Estimated q-quantile (q in [0,1]) from the bucket sketch: finds the
+  /// bucket holding the target rank and interpolates linearly inside its
+  /// bounds, clamped to the exact observed [min, max]. The error is bounded
+  /// by the power-of-two bucket width. Returns NaN on an empty histogram
+  /// (never UB): the rank walk uses a single snapshot of the bucket array,
+  /// so a concurrent Observe() can only shift the estimate, not break it.
+  double Quantile(double q) const;
+
+  /// Folds `other`'s mass into this sketch (buckets, count, sum, min/max) —
+  /// what makes per-tenant sketches mergeable into fleet-wide ones. Both
+  /// histograms follow the Observe() side of the threading contract; don't
+  /// merge out of a histogram that is being Reset().
+  void MergeFrom(const Histogram& other);
 
   void Reset();
 

@@ -25,7 +25,56 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// The `{label="value",...}` suffix shared by every sample line ("" when no
+// labels are set). Values are escaped once here, not per sample.
+std::string LabelSuffix(const PrometheusOptions& options) {
+  if (options.labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : options.labels) {
+    if (!first) out += ",";
+    first = false;
+    out += name + "=\"" + PrometheusEscapeLabelValue(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void AppendHelp(const PrometheusOptions& options, const std::string& name,
+                const std::string& pname, std::string* out) {
+  const auto it = options.help.find(name);
+  if (it == options.help.end()) return;
+  *out += "# HELP " + pname + " " + PrometheusEscapeHelp(it->second) + "\n";
+}
+
 }  // namespace
+
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
 
 MetricsSnapshot MetricsSnapshot::Capture(MetricRegistry& registry) {
   MetricsSnapshot snap;
@@ -92,24 +141,35 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 std::string MetricsSnapshot::ToPrometheus(const std::string& prefix) const {
+  PrometheusOptions options;
+  options.prefix = prefix;
+  return ToPrometheus(options);
+}
+
+std::string MetricsSnapshot::ToPrometheus(
+    const PrometheusOptions& options) const {
+  const std::string labels = LabelSuffix(options);
   std::string out;
   for (const auto& [name, value] : counters) {
-    const std::string pname = PrometheusName(prefix, name);
+    const std::string pname = PrometheusName(options.prefix, name);
+    AppendHelp(options, name, pname, &out);
     out += "# TYPE " + pname + " counter\n";
-    out += pname + " " + std::to_string(value) + "\n";
+    out += pname + labels + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : gauges) {
-    const std::string pname = PrometheusName(prefix, name);
+    const std::string pname = PrometheusName(options.prefix, name);
+    AppendHelp(options, name, pname, &out);
     out += "# TYPE " + pname + " gauge\n";
-    out += pname + " " + FormatDouble(value) + "\n";
+    out += pname + labels + " " + FormatDouble(value) + "\n";
   }
   for (const auto& [name, stat] : histograms) {
-    const std::string pname = PrometheusName(prefix, name);
+    const std::string pname = PrometheusName(options.prefix, name);
+    AppendHelp(options, name, pname, &out);
     out += "# TYPE " + pname + " summary\n";
-    out += pname + "_count " + std::to_string(stat.count) + "\n";
-    out += pname + "_sum " + FormatDouble(stat.sum) + "\n";
-    out += pname + "_min " + FormatDouble(stat.min) + "\n";
-    out += pname + "_max " + FormatDouble(stat.max) + "\n";
+    out += pname + "_count" + labels + " " + std::to_string(stat.count) + "\n";
+    out += pname + "_sum" + labels + " " + FormatDouble(stat.sum) + "\n";
+    out += pname + "_min" + labels + " " + FormatDouble(stat.min) + "\n";
+    out += pname + "_max" + labels + " " + FormatDouble(stat.max) + "\n";
   }
   return out;
 }

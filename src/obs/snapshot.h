@@ -10,10 +10,35 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 
 namespace opd::obs {
+
+/// How a snapshot renders as Prometheus text exposition.
+struct PrometheusOptions {
+  /// Metric-name prefix; names mangle to `<prefix>_<name with non-alnum
+  /// as underscores>`.
+  std::string prefix = "opd";
+  /// Labels attached to every sample, in the given order (e.g.
+  /// {{"tenant", "ana"}} for a per-tenant scope). Values are escaped per
+  /// the exposition format (`\\`, `"`, and newline).
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Optional `# HELP` text per (unmangled) metric name; escaped per the
+  /// exposition format (`\\` and newline).
+  std::map<std::string, std::string> help;
+};
+
+/// Escapes a Prometheus label value: `\` -> `\\`, `"` -> `\"`, newline ->
+/// `\n` (the exposition format is line-oriented; an unescaped newline in a
+/// label value corrupts every sample after it).
+std::string PrometheusEscapeLabelValue(const std::string& value);
+
+/// Escapes `# HELP` text: `\` -> `\\`, newline -> `\n` (quotes are legal in
+/// help text and stay as-is).
+std::string PrometheusEscapeHelp(const std::string& text);
 
 /// \brief The values of every registered metric at one instant.
 struct MetricsSnapshot {
@@ -49,6 +74,8 @@ struct MetricsSnapshot {
   /// mangled `<prefix>_<name with dots as underscores>`. Histograms export
   /// as summaries (`_count`/`_sum`) plus `_min`/`_max` gauges.
   std::string ToPrometheus(const std::string& prefix = "opd") const;
+  /// Full exposition control: label sets (escaped), `# HELP` lines, prefix.
+  std::string ToPrometheus(const PrometheusOptions& options) const;
 };
 
 }  // namespace opd::obs

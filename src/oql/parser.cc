@@ -340,4 +340,71 @@ ExplainMode ConsumeExplainPrefix(std::string* source) {
   return ExplainMode::kExplain;
 }
 
+ShowKind ConsumeShowPrefix(std::string* source, uint64_t* ticket) {
+  // Same front matter as EXPLAIN: whitespace and `#` comment lines.
+  size_t start = 0;
+  while (start < source->size()) {
+    const char c = (*source)[start];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++start;
+    } else if (c == '#') {
+      while (start < source->size() && (*source)[start] != '\n') ++start;
+    } else {
+      break;
+    }
+  }
+  const size_t after_show = ConsumeWord(*source, start, "show");
+  if (after_show == std::string::npos) return ShowKind::kNone;
+
+  // The statement must end after its operands (optionally `;`), otherwise
+  // it is not a SHOW program (e.g. `shows = scan ...` never gets here, but
+  // `show queries extra` should fall through to the parser's error).
+  auto at_end = [&source](size_t pos) {
+    if (pos < source->size() && (*source)[pos] == ';') {
+      ++pos;
+      while (pos < source->size() &&
+             std::isspace(static_cast<unsigned char>((*source)[pos]))) {
+        ++pos;
+      }
+    }
+    return pos >= source->size();
+  };
+
+  const size_t after_queries = ConsumeWord(*source, after_show, "queries");
+  if (after_queries != std::string::npos && at_end(after_queries)) {
+    source->clear();
+    return ShowKind::kQueries;
+  }
+  const size_t after_server = ConsumeWord(*source, after_show, "server");
+  if (after_server != std::string::npos) {
+    const size_t after_stats = ConsumeWord(*source, after_server, "stats");
+    if (after_stats != std::string::npos && at_end(after_stats)) {
+      source->clear();
+      return ShowKind::kServerStats;
+    }
+  }
+  const size_t after_profile = ConsumeWord(*source, after_show, "profile");
+  if (after_profile != std::string::npos) {
+    size_t i = after_profile;
+    uint64_t value = 0;
+    size_t digits = 0;
+    while (i < source->size() &&
+           std::isdigit(static_cast<unsigned char>((*source)[i]))) {
+      value = value * 10 + static_cast<uint64_t>((*source)[i] - '0');
+      ++i;
+      ++digits;
+    }
+    while (i < source->size() &&
+           std::isspace(static_cast<unsigned char>((*source)[i]))) {
+      ++i;
+    }
+    if (digits > 0 && at_end(i)) {
+      if (ticket != nullptr) *ticket = value;
+      source->clear();
+      return ShowKind::kProfile;
+    }
+  }
+  return ShowKind::kNone;
+}
+
 }  // namespace opd::oql

@@ -66,6 +66,22 @@ enum class ExplainMode {
 /// was requested. The rest of the program is left untouched for Parse().
 ExplainMode ConsumeExplainPrefix(std::string* source);
 
+/// An introspection statement (shell-level, like EXPLAIN).
+enum class ShowKind {
+  kNone,         ///< not a SHOW statement
+  kQueries,      ///< SHOW QUERIES — the retained query history
+  kProfile,      ///< SHOW PROFILE <ticket> — one query, long form
+  kServerStats,  ///< SHOW SERVER STATS — counters + SLO percentiles
+};
+
+/// Recognizes a whole-statement `show queries` / `show profile <ticket>` /
+/// `show server stats` (case-insensitive, optional trailing `;`). On match
+/// consumes `source` entirely — a SHOW statement is a complete program —
+/// and for kProfile stores the ticket in `*ticket`. Returns kNone (leaving
+/// `source` untouched) when the text is anything else, including a
+/// malformed SHOW; the parser then reports the error on the full text.
+ShowKind ConsumeShowPrefix(std::string* source, uint64_t* ticket);
+
 }  // namespace opd::oql
 
 #endif  // OPD_OQL_PARSER_H_

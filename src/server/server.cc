@@ -2,12 +2,47 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "catalog/eviction.h"
 #include "oql/parser.h"
 
 namespace opd {
+
+namespace {
+
+// Normalizes OQL text for the one-line query-history record: drops `#`
+// comments, trims the ends, and collapses internal whitespace runs
+// (newlines included) to one space, so SHOW QUERIES stays line-oriented.
+std::string CompactSource(const std::string& oql) {
+  std::string out;
+  out.reserve(oql.size());
+  bool in_space = true;  // leading whitespace is dropped
+  bool in_comment = false;
+  for (char c : oql) {
+    if (in_comment) {
+      if (c == '\n') in_comment = false;
+      continue;
+    }
+    if (c == '#') {
+      in_comment = true;
+      continue;
+    }
+    const bool space = c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    if (space) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace
 
 // --- ClientSession ---------------------------------------------------------
 
@@ -85,6 +120,35 @@ Result<std::unique_ptr<Server>> Server::Create(SessionOptions options) {
   adm.per_tenant_quota = options.server.per_tenant_quota;
   adm.fair = options.server.fair_scheduling;
   server->admission_ = std::make_unique<server::AdmissionController>(adm);
+
+  if (options.server.query_log_capacity > 0) {
+    obs::QueryLog::Options ql;
+    ql.capacity = options.server.query_log_capacity;
+    ql.jsonl_path = options.server.query_log_path;
+    ql.slow_threshold_s = options.server.slow_query_threshold_s;
+    ql.slow_capture_budget_bytes = options.server.slow_query_capture_bytes;
+    ql.registry = options.obs.metrics ? &obs::MetricRegistry::Global() : nullptr;
+    server->query_log_ = std::make_unique<obs::QueryLog>(ql);
+  }
+  if (options.obs.metrics) {
+    // Eager registration: the server.slo.* / server.querylog.* families
+    // exist from startup (so exposition and the metric-name lint see them
+    // before the first completion touches each one).
+    obs::MetricRegistry& global = obs::MetricRegistry::Global();
+    global.histogram("server.slo.latency_s");
+    for (const char* name :
+         {"server.slo.latency_p50", "server.slo.latency_p95",
+          "server.slo.latency_p99", "server.slo.queue_wait_p50",
+          "server.slo.queue_wait_p95", "server.slo.queue_wait_p99"}) {
+      global.gauge(name);
+    }
+    for (const char* name :
+         {"server.querylog.appended", "server.querylog.dropped",
+          "server.querylog.slow_captured", "server.querylog.slow_evicted"}) {
+      global.counter(name);
+    }
+    global.gauge("server.querylog.capture_bytes");
+  }
   return server;
 }
 
@@ -103,11 +167,18 @@ Result<RunResult> Server::Run(const std::string& tenant,
                               const std::string& oql,
                               const RunOptions& opts) {
   OPD_ASSIGN_OR_RETURN(plan::Plan plan, oql::ParseQuery(oql));
-  return Run(tenant, std::move(plan), opts);
+  return RunWithSource(tenant, std::move(plan), opts, CompactSource(oql));
 }
 
 Result<RunResult> Server::Run(const std::string& tenant_in, plan::Plan plan,
                               const RunOptions& opts) {
+  return RunWithSource(tenant_in, std::move(plan), opts, /*source=*/"");
+}
+
+Result<RunResult> Server::RunWithSource(const std::string& tenant_in,
+                                        plan::Plan plan,
+                                        const RunOptions& opts,
+                                        const std::string& source) {
   const std::string tenant = !opts.tenant.empty()  ? opts.tenant
                              : !tenant_in.empty()  ? tenant_in
                                                    : "default";
@@ -130,21 +201,103 @@ Result<RunResult> Server::Run(const std::string& tenant_in, plan::Plan plan,
           ? static_cast<catalog::Epoch>(opts.admission.pin_epoch)
           : views_->epoch();
 
+  const auto exec_start = std::chrono::steady_clock::now();
   Result<RunResult> run =
       RunAdmitted(tenant, std::move(plan), opts, admission_epoch);
+  const double wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    exec_start)
+          .count();
   admission_->Release(tenant);
+
+  // --- Query history ------------------------------------------------------
+  // Every completion — success or failure — leaves a record. The record is
+  // assembled before the early error return so failed queries are visible
+  // to SHOW QUERIES too.
+  if (query_log_ != nullptr) {
+    obs::QueryRecord rec;
+    rec.tenant = tenant;
+    rec.query = source;
+    rec.ticket = ticket;
+    rec.admission_epoch = admission_epoch;
+    rec.queue_wait_s = queue_wait_s;
+    rec.wall_time_s = wall_time_s;
+    if (run.ok()) {
+      rec.publish_epoch = run->publish_epoch;
+      rec.exec_time_s = run->metrics.TotalTime();
+      rec.rows_in = run->metrics.rows_read;
+      rec.rows_out = run->table != nullptr ? run->table->num_rows() : 0;
+      rec.jobs = static_cast<uint64_t>(run->metrics.jobs);
+      rec.views_used = run->views_used.size();
+      for (const ViewUse& use : run->views_used) {
+        if (!use.tenant.empty() && use.tenant != tenant) {
+          ++rec.cross_tenant_views;
+        }
+      }
+      rec.views_published =
+          static_cast<uint64_t>(run->metrics.views_created);
+      for (const exec::JobRun& jr : run->jobs) {
+        rec.recycle_hits += jr.recycle_hits;
+        if (std::fabs(jr.residual_pct) > std::fabs(rec.max_residual_pct)) {
+          rec.max_residual_pct = jr.residual_pct;
+        }
+      }
+      if (run->rewritten) {
+        const rewrite::DecisionCounts counts =
+            run->rewrite.decisions.Counts();
+        rec.rw_candidates = counts.candidates;
+        rec.rw_accepted = counts.accepted;
+        rec.rw_signature_mismatch = counts.signature_mismatch;
+        rec.rw_afk_containment = counts.afk_containment;
+        rec.rw_not_cost_improving = counts.not_cost_improving;
+        rec.rw_pruned_by_bound = counts.pruned_by_bound;
+      }
+    } else {
+      rec.status = "error";
+      rec.error = run.status().ToString();
+    }
+    query_log_->Append(rec);
+    if (run.ok() && query_log_->ShouldCapture(wall_time_s)) {
+      obs::SlowQueryProfile profile;
+      profile.ticket = ticket;
+      profile.tenant = tenant;
+      profile.wall_time_s = wall_time_s;
+      profile.explain_analyze = run->ExplainAnalyze();
+      if (run->rewritten) {
+        profile.decision_log = run->rewrite.decisions.ToText();
+      }
+      if (run->trace != nullptr) {
+        profile.trace_json = run->trace->ToChromeJson();
+      }
+      query_log_->CaptureSlow(std::move(profile));
+    }
+  }
   if (!run.ok()) return run;
 
   run->tenant = tenant;
   run->admission_ticket = ticket;
   run->queue_wait_s = queue_wait_s;
   if (options_.obs.metrics) {
-    obs::MetricRegistry::Global().histogram("server.queue.wait_s")
-        .Observe(queue_wait_s);
-    TenantRegistry(tenant).histogram("server.queue.wait_s")
-        .Observe(queue_wait_s);
+    obs::MetricRegistry& global = obs::MetricRegistry::Global();
+    obs::MetricRegistry& scope = TenantRegistry(tenant);
+    for (obs::MetricRegistry* reg : {&global, &scope}) {
+      reg->histogram("server.queue.wait_s").Observe(queue_wait_s);
+      reg->histogram("server.slo.latency_s").Observe(wall_time_s);
+      RefreshSloGauges(*reg);
+    }
   }
   return run;
+}
+
+void Server::RefreshSloGauges(obs::MetricRegistry& scope) {
+  const obs::Histogram& latency = scope.histogram("server.slo.latency_s");
+  scope.gauge("server.slo.latency_p50").Set(latency.Quantile(0.50));
+  scope.gauge("server.slo.latency_p95").Set(latency.Quantile(0.95));
+  scope.gauge("server.slo.latency_p99").Set(latency.Quantile(0.99));
+  const obs::Histogram& wait = scope.histogram("server.queue.wait_s");
+  scope.gauge("server.slo.queue_wait_p50").Set(wait.Quantile(0.50));
+  scope.gauge("server.slo.queue_wait_p95").Set(wait.Quantile(0.95));
+  scope.gauge("server.slo.queue_wait_p99").Set(wait.Quantile(0.99));
 }
 
 Result<RunResult> Server::RunAdmitted(const std::string& tenant,
@@ -264,6 +417,41 @@ Result<rewrite::RewriteOutcome> Server::Rewrite(const std::string& oql) {
   // No trace, no view-access credit: this is a read-only search, so running
   // it must not perturb retention policies or metrics-driven decisions.
   return bfr_->Rewrite(&plan, /*trace=*/nullptr, /*parent_span=*/0);
+}
+
+server::ServerStats Server::Introspect() {
+  server::ServerStats stats;
+  obs::MetricRegistry& global = obs::MetricRegistry::Global();
+  stats.queries_completed = global.counter("server.queries.completed").value();
+  stats.views_published = global.counter("server.views.published").value();
+  stats.cross_tenant_reuse = global.counter("server.views.cross_reuse").value();
+  stats.recycle_hits = global.counter("server.recycle.hits").value();
+  stats.recycle_misses = global.counter("server.recycle.misses").value();
+  stats.epoch = views_->epoch();
+  stats.views_in_store = views_->size();
+  stats.admission = admission_->stats();
+  if (query_log_ != nullptr) stats.querylog = query_log_->stats();
+
+  auto fill = [](obs::MetricRegistry& reg, server::TenantSlo* slo) {
+    const obs::Histogram& latency = reg.histogram("server.slo.latency_s");
+    slo->queries = latency.count();
+    slo->latency_p50_s = latency.Quantile(0.50);
+    slo->latency_p95_s = latency.Quantile(0.95);
+    slo->latency_p99_s = latency.Quantile(0.99);
+    const obs::Histogram& wait = reg.histogram("server.queue.wait_s");
+    slo->queue_wait_p50_s = wait.Quantile(0.50);
+    slo->queue_wait_p95_s = wait.Quantile(0.95);
+    slo->queue_wait_p99_s = wait.Quantile(0.99);
+  };
+  stats.global.tenant = "all";
+  fill(global, &stats.global);
+  for (const std::string& tenant : Tenants()) {
+    server::TenantSlo slo;
+    slo.tenant = tenant;
+    fill(TenantRegistry(tenant), &slo);
+    stats.tenants.push_back(std::move(slo));
+  }
+  return stats;
 }
 
 std::vector<std::string> Server::Tenants() const {

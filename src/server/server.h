@@ -34,12 +34,14 @@
 #include "exec/engine.h"
 #include "exec/hash/recycler.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/snapshot.h"
 #include "optimizer/accountability.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan.h"
 #include "rewrite/bf_rewrite.h"
 #include "server/admission.h"
+#include "server/introspect.h"
 #include "session/session.h"
 #include "storage/dfs.h"
 #include "udf/udf_registry.h"
@@ -119,6 +121,15 @@ class Server {
   /// Snapshot of the tenant's private scope (empty scope if unseen).
   obs::MetricsSnapshot TenantSnapshot(const std::string& tenant);
 
+  /// The server-lifetime query history, or nullptr when
+  /// ServerOptions::query_log_capacity is 0.
+  obs::QueryLog* query_log() { return query_log_.get(); }
+
+  /// Collects the `SHOW SERVER STATS` data: completion counters, view-store
+  /// state, admission gate, query-log stats, and global + per-tenant SLO
+  /// percentiles from the live sketches.
+  server::ServerStats Introspect();
+
   /// Admission-gate statistics and grant log (determinism tests).
   server::AdmissionController::Stats admission_stats() const {
     return admission_->stats();
@@ -143,10 +154,21 @@ class Server {
  private:
   Server() = default;
 
+  /// The full serving path behind both public Run overloads; `source` is
+  /// the OQL text when the query arrived as text ("" for prepared plans)
+  /// and lands in the query-history record.
+  Result<RunResult> RunWithSource(const std::string& tenant, plan::Plan plan,
+                                  const RunOptions& opts,
+                                  const std::string& source);
+
   /// The admitted section of Run (slot already held; releases nothing).
   Result<RunResult> RunAdmitted(const std::string& tenant, plan::Plan plan,
                                 const RunOptions& opts,
                                 catalog::Epoch admission_epoch);
+
+  /// Recomputes the p50/p95/p99 latency and queue-wait gauges of `scope`
+  /// from its live sketches (called on every completion).
+  static void RefreshSloGauges(obs::MetricRegistry& scope);
 
   SessionOptions options_;
   std::unique_ptr<storage::Dfs> dfs_;
@@ -159,6 +181,7 @@ class Server {
   std::unique_ptr<exec::Engine> engine_;
   std::unique_ptr<rewrite::BfRewriter> bfr_;
   std::unique_ptr<server::AdmissionController> admission_;
+  std::unique_ptr<obs::QueryLog> query_log_;  // null when capacity == 0
 
   mutable std::mutex tenants_mu_;
   /// Tenant -> private metric scope; pointers are stable (node-based map

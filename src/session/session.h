@@ -64,6 +64,21 @@ struct ServerOptions {
   /// src/exec/hash/recycler.h). 0 = unbounded. The engine-side switch is
   /// EngineOptions::recycle_hash.
   uint64_t recycle_budget_bytes = 64ull << 20;
+
+  // --- continuous observability (obs::QueryLog; DESIGN.md §3) ----------
+  /// Completed-query records retained in the server's history ring
+  /// (newest-wins overwrite). 0 disables the query log entirely — no
+  /// records, no SLO gauges, no slow capture.
+  size_t query_log_capacity = 1024;
+  /// When nonempty, every QueryRecord is also appended to this file as one
+  /// JSON line (the durable query-history sink).
+  std::string query_log_path;
+  /// Queries whose end-to-end wall time reaches this threshold get their
+  /// full trace + decision log + EXPLAIN ANALYZE tree captured. Negative
+  /// disables slow-query capture; 0.0 captures everything.
+  double slow_query_threshold_s = -1.0;
+  /// Byte budget for retained slow-query profiles (oldest-first eviction).
+  size_t slow_query_capture_bytes = 4u << 20;
 };
 
 /// Every knob of a session/server, grouped by subsystem. The nested structs

@@ -285,6 +285,50 @@ TEST(MetricsSnapshotTest, PrometheusExposition) {
   EXPECT_NE(custom.find("acme_engine_jobs 4\n"), std::string::npos);
 }
 
+TEST(MetricsSnapshotTest, PrometheusLabelsAndHelp) {
+  MetricRegistry registry;
+  registry.counter("server.queries.completed").Inc(3);
+  registry.histogram("server.slo.latency_s").Observe(0.5);
+
+  PrometheusOptions options;
+  options.labels = {{"tenant", "ana"}, {"shard", "0"}};
+  options.help["server.queries.completed"] = "Completed queries";
+  const std::string text =
+      MetricsSnapshot::Capture(registry).ToPrometheus(options);
+  EXPECT_NE(text.find("# HELP opd_server_queries_completed "
+                      "Completed queries\n"),
+            std::string::npos);
+  // The label block lands on every sample, summaries included.
+  EXPECT_NE(text.find("opd_server_queries_completed"
+                      "{tenant=\"ana\",shard=\"0\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opd_server_slo_latency_s_count"
+                      "{tenant=\"ana\",shard=\"0\"} 1\n"),
+            std::string::npos);
+}
+
+// Regression: exposition-format escaping of `\`, `"`, and newline. Before
+// this, a tenant name with a newline corrupted every sample after it.
+TEST(MetricsSnapshotTest, PrometheusEscapesLabelValuesAndHelp) {
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(PrometheusEscapeHelp("line1\nline2 \\ \"quoted\""),
+            "line1\\nline2 \\\\ \"quoted\"");
+
+  MetricRegistry registry;
+  registry.counter("server.queries.completed").Inc(1);
+  PrometheusOptions options;
+  options.labels = {{"tenant", "eva\nl \"x\" \\"}};
+  options.help["server.queries.completed"] = "multi\nline";
+  const std::string text =
+      MetricsSnapshot::Capture(registry).ToPrometheus(options);
+  EXPECT_NE(text.find("{tenant=\"eva\\nl \\\"x\\\" \\\\\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP opd_server_queries_completed multi\\nline\n"),
+            std::string::npos);
+  // The raw newline must not appear inside any line of the exposition.
+  EXPECT_EQ(text.find("eva\nl"), std::string::npos);
+}
+
 // --- Determinism across thread counts --------------------------------------
 
 // A query slice covering every traced shape: map-only ops, a shuffle join,

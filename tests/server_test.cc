@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -531,6 +533,144 @@ TEST(ServerStressTest, InterleavedOutputsMatchSerialReplay) {
         << rec.analyst << "v" << rec.version << " @ epoch "
         << rec.publish_epoch;
   }
+
+  // --- Query-history determinism ----------------------------------------
+  // The two servers' query logs, projected onto the deterministic fields
+  // (show_wall=false hides tickets, wall/queue times, and recycle hits,
+  // which legitimately differ between a concurrent run and its replay),
+  // must render byte-identically: Snapshot() orders by publish epoch, and
+  // every remaining field is a function of the pinned epoch schedule.
+  ASSERT_NE(server.query_log(), nullptr);
+  ASSERT_NE(replay.query_log(), nullptr);
+  EXPECT_EQ(server.query_log()->stats().appended, total);
+  EXPECT_EQ(replay.query_log()->stats().appended, total);
+  const server::IntrospectOptions deterministic{.show_wall = false};
+  const std::string concurrent_history =
+      server::RenderQueries(server.query_log()->Snapshot(), deterministic);
+  const std::string replay_history =
+      server::RenderQueries(replay.query_log()->Snapshot(), deterministic);
+  EXPECT_EQ(concurrent_history, replay_history)
+      << "query history diverged from serial replay";
+
+  // Same for the per-record JSON, timing fields zeroed out.
+  auto deterministic_json =
+      [](const std::vector<std::shared_ptr<const obs::QueryRecord>>& recs) {
+        std::string out;
+        for (const auto& rec : recs) {
+          obs::QueryRecord copy = *rec;
+          copy.ticket = 0;
+          copy.queue_wait_s = 0;
+          copy.wall_time_s = 0;
+          copy.recycle_hits = 0;
+          out += copy.ToJson();
+          out += '\n';
+        }
+        return out;
+      };
+  EXPECT_EQ(deterministic_json(server.query_log()->Snapshot()),
+            deterministic_json(replay.query_log()->Snapshot()));
+}
+
+// --- Introspection: query history, profiles, SHOW surfaces ------------------
+
+TEST(ServerIntrospectionTest, QueryLogProfilesAndShowSurfaces) {
+  auto config = TinyConfig();
+  config.session.server.slow_query_threshold_s = 0.0;  // capture everything
+  const std::string sink_path =
+      ::testing::TempDir() + "/opd_server_history.jsonl";
+  std::remove(sink_path.c_str());
+  config.session.server.query_log_path = sink_path;
+  auto bed = MakeBed(config);
+  ASSERT_NE(bed, nullptr);
+  Server& server = bed->session().server();
+  ASSERT_NE(server.query_log(), nullptr);
+
+  ClientSession ana = server.Connect("ana");
+  auto r1 = ana.Run(MustBuildQuery(1, 1));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = ana.Run(MustBuildQuery(1, 2));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  // Records mirror the RunResults they were cut from.
+  const auto records = server.query_log()->Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]->ticket, r1->admission_ticket);
+  EXPECT_EQ(records[0]->publish_epoch, r1->publish_epoch);
+  EXPECT_EQ(records[0]->rows_out, r1->table->num_rows());
+  EXPECT_EQ(records[0]->rows_in, r1->metrics.rows_read);
+  EXPECT_GT(records[0]->rows_in, 0u);
+  EXPECT_EQ(records[0]->jobs, static_cast<uint64_t>(r1->metrics.jobs));
+  EXPECT_EQ(records[0]->status, "ok");
+  EXPECT_EQ(records[1]->views_used, r2->views_used.size());
+  EXPECT_GT(records[1]->rw_candidates, 0u);  // the rewrite search ran
+
+  // Slow capture at threshold 0.0: every query keeps its full profile.
+  const auto rec = server.query_log()->Find(r2->admission_ticket);
+  ASSERT_NE(rec, nullptr);
+  const auto profile = server.query_log()->FindProfile(r2->admission_ticket);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_NE(profile->explain_analyze.find("[job "), std::string::npos);
+  EXPECT_EQ(server.query_log()->stats().slow_captured, 2u);
+
+  // The SHOW renderings carry the load-bearing pieces.
+  const std::string queries = server::RenderQueries(records);
+  EXPECT_NE(queries.find("queries: 2"), std::string::npos);
+  EXPECT_NE(queries.find("ana"), std::string::npos);
+  const std::string rendered = server::RenderProfile(*rec, profile);
+  EXPECT_NE(rendered.find("tenant=ana"), std::string::npos);
+  EXPECT_NE(rendered.find("slow-query capture"), std::string::npos);
+  EXPECT_NE(rendered.find("rewrite: candidates="), std::string::npos);
+
+  const server::ServerStats stats = server.Introspect();
+  EXPECT_EQ(stats.querylog.appended, 2u);
+  EXPECT_EQ(stats.querylog.slow_captured, 2u);
+  EXPECT_GT(stats.epoch, 0u);
+  ASSERT_FALSE(stats.tenants.empty());
+  const auto ana_slo =
+      std::find_if(stats.tenants.begin(), stats.tenants.end(),
+                   [](const server::TenantSlo& s) { return s.tenant == "ana"; });
+  ASSERT_NE(ana_slo, stats.tenants.end());
+  EXPECT_EQ(ana_slo->queries, 2u);
+  EXPECT_GT(ana_slo->latency_p95_s, 0.0);
+  const std::string stats_text = server::RenderServerStats(stats);
+  EXPECT_NE(stats_text.find("server stats"), std::string::npos);
+  EXPECT_NE(stats_text.find("slo"), std::string::npos);
+  EXPECT_NE(stats_text.find("ana:"), std::string::npos);
+
+  // SLO gauges refreshed on completion, in global and tenant scope alike.
+  EXPECT_GT(server.TenantSnapshot("ana").gauges.at("server.slo.latency_p95"),
+            0.0);
+
+  // A failing query still leaves an (error) record.
+  auto bad = ana.Run("x = scan NO_SUCH_TABLE;");
+  ASSERT_FALSE(bad.ok());
+  const auto after_error = server.query_log()->Snapshot();
+  ASSERT_EQ(after_error.size(), 3u);
+  // Failed queries never publish; their record sorts at publish_epoch 0.
+  EXPECT_EQ(after_error[0]->status, "error");
+  EXPECT_FALSE(after_error[0]->error.empty());
+  EXPECT_EQ(after_error[0]->query, "x = scan NO_SUCH_TABLE;");
+
+  // The JSONL sink holds one line per completion, errors included.
+  std::ifstream sink(sink_path);
+  ASSERT_TRUE(sink.good());
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(sink, line)) ++lines;
+  EXPECT_EQ(lines, 3u);
+  std::remove(sink_path.c_str());
+}
+
+TEST(ServerIntrospectionTest, QueryLogDisabledByZeroCapacity) {
+  auto config = TinyConfig();
+  config.session.server.query_log_capacity = 0;
+  auto bed = MakeBed(config);
+  ASSERT_NE(bed, nullptr);
+  Server& server = bed->session().server();
+  EXPECT_EQ(server.query_log(), nullptr);
+  ClientSession ana = server.Connect("ana");
+  auto run = ana.Run(MustBuildQuery(1, 1));
+  EXPECT_TRUE(run.ok()) << run.status().ToString();  // serving unaffected
 }
 
 }  // namespace

@@ -130,7 +130,7 @@ TEST(SessionTest, ExplainAnalyzeGoldenShape) {
   // cold session's first run records a recycler miss.
   const std::string expected =
       pad("GROUPBY(user_id)") +
-      "  [job #] time=#s pred=#s resid=+#% rows=# read=# shuffled=# "
+      "  [job #] time=#s pred=#s resid=+#% rows=#-># read=# shuffled=# "
       "written=# tasks=#p+#r recycle=miss\n" +
       pad("  SCAN(TWTR)") + "  (scan)\n" +
       "jobs: #  sim time: #s (+stats #s)  read: #  shuffled: #  written: #  "
@@ -241,6 +241,40 @@ TEST(OqlTest, ConsumeExplainPrefixModes) {
   EXPECT_EQ(oql::ConsumeExplainPrefix(&commented),
             oql::ExplainMode::kExplainAnalyze);
   EXPECT_EQ(commented, "x = scan TWTR;");
+}
+
+TEST(OqlTest, ConsumeShowPrefixKinds) {
+  uint64_t ticket = 0;
+
+  std::string queries = "SHOW QUERIES;";
+  EXPECT_EQ(oql::ConsumeShowPrefix(&queries, &ticket),
+            oql::ShowKind::kQueries);
+  EXPECT_TRUE(queries.empty());
+
+  std::string stats = "  show server stats";
+  EXPECT_EQ(oql::ConsumeShowPrefix(&stats, &ticket),
+            oql::ShowKind::kServerStats);
+  EXPECT_TRUE(stats.empty());
+
+  std::string profile = "# comment\nSHOW PROFILE 42;";
+  EXPECT_EQ(oql::ConsumeShowPrefix(&profile, &ticket),
+            oql::ShowKind::kProfile);
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(ticket, 42u);
+
+  // Not SHOW statements: bindings, trailing garbage, missing ticket.
+  std::string binding = "shower = scan TWTR;";
+  EXPECT_EQ(oql::ConsumeShowPrefix(&binding, &ticket), oql::ShowKind::kNone);
+  EXPECT_EQ(binding, "shower = scan TWTR;");
+
+  std::string garbage = "show queries extra";
+  EXPECT_EQ(oql::ConsumeShowPrefix(&garbage, &ticket), oql::ShowKind::kNone);
+  EXPECT_EQ(garbage, "show queries extra");
+
+  std::string no_ticket = "show profile;";
+  EXPECT_EQ(oql::ConsumeShowPrefix(&no_ticket, &ticket),
+            oql::ShowKind::kNone);
+  EXPECT_EQ(no_ticket, "show profile;");
 }
 
 // --- EXPLAIN REWRITE --------------------------------------------------------
